@@ -1,0 +1,299 @@
+(* taupsm — a command-line front end for the Temporal SQL/PSM stratum.
+
+     taupsm transform [--strategy max|perst] "<temporal statement>"
+         Show the conventional SQL/PSM the stratum generates (the
+         paper's source-to-source transformation), without executing.
+
+     taupsm run [--dataset DS1-SMALL] [--strategy ...] "<stmt>" ["<stmt>"...]
+         Execute temporal statements against a loaded τBench dataset (or
+         an empty database with --empty) and print results.
+
+     taupsm repl [--dataset ...]
+         An interactive prompt; statements end with ';'.
+
+     taupsm gen --dataset DS2-MEDIUM
+         Print dataset statistics (tables, row counts, periods).
+
+     taupsm explain [--dataset ...] --query q2 [--days 30]
+         For a τPSM benchmark query: analysis features, the heuristic's
+         strategy choice, and routine-invocation counts per strategy. *)
+
+open Cmdliner
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module Stratum = Taupsm.Stratum
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_conv =
+  let parse = function
+    | "max" | "MAX" -> Ok Stratum.Max
+    | "perst" | "PERST" -> Ok Stratum.Perst
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (max|perst)" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Stratum.strategy_to_string s) in
+  Arg.conv (parse, print)
+
+let spec_conv =
+  let parse s =
+    match String.uppercase_ascii s |> String.split_on_char '-' with
+    | [ ds; size ] -> (
+        let ds =
+          match ds with
+          | "DS1" -> Some Datasets.DS1
+          | "DS2" -> Some Datasets.DS2
+          | "DS3" -> Some Datasets.DS3
+          | _ -> None
+        in
+        let size =
+          match size with
+          | "SMALL" -> Some Taupsm.Heuristic.Small
+          | "MEDIUM" -> Some Taupsm.Heuristic.Medium
+          | "LARGE" -> Some Taupsm.Heuristic.Large
+          | _ -> None
+        in
+        match (ds, size) with
+        | Some ds, Some size -> Ok { Datasets.ds; size }
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown dataset %S (DS{1,2,3}-{SMALL,MEDIUM,LARGE})" s)))
+    | _ -> Error (`Msg "dataset must look like DS1-SMALL")
+  in
+  let print ppf s = Format.pp_print_string ppf (Datasets.spec_to_string s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Stratum.Max
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Sequenced slicing strategy: $(b,max) or $(b,perst).")
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt spec_conv { Datasets.ds = Datasets.DS1; size = Taupsm.Heuristic.Small }
+    & info [ "d"; "dataset" ] ~docv:"DATASET"
+        ~doc:"τBench dataset, e.g. $(b,DS1-SMALL) or $(b,DS3-LARGE).")
+
+let empty_arg =
+  Arg.(
+    value & flag
+    & info [ "empty" ]
+        ~doc:"Start from an empty database instead of a τBench dataset.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int Datasets.default_seed
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for data generation.")
+
+let make_engine ~empty ~seed spec =
+  if empty then begin
+    let e = Engine.create () in
+    Stratum.install e;
+    e
+  end
+  else begin
+    let e = Datasets.load ~seed spec in
+    Queries.install e;
+    e
+  end
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Eval.Sql_error msg ->
+      Printf.eprintf "SQL error: %s\n" msg;
+      1
+  | Sqlparse.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "parse error (line %d): %s\n" line msg;
+      1
+  | Sqlparse.Lexer.Lex_error (msg, line) ->
+      Printf.eprintf "lexical error (line %d): %s\n" line msg;
+      1
+  | Taupsm.Perst_slicing.Perst_unsupported msg ->
+      Printf.eprintf "PERST does not apply: %s (MAX always does)\n" msg;
+      1
+  | Taupsm.Max_slicing.Max_unsupported msg ->
+      Printf.eprintf "unsupported under sequenced semantics: %s\n" msg;
+      1
+  | Taupsm.Transform_util.Semantic_error msg ->
+      Printf.eprintf "semantic error: %s\n" msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_cmd =
+  let stmt_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STATEMENT" ~doc:"The Temporal SQL/PSM statement.")
+  in
+  let run strategy dataset empty seed stmt =
+    handle_errors (fun () ->
+        let e = make_engine ~empty ~seed dataset in
+        let ts = Sqlparse.Parser.parse_temporal_stmt stmt in
+        print_endline (Stratum.transform_to_sql ~strategy e ts))
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Show the conventional SQL/PSM generated for a temporal statement \
+          (no execution).")
+    Term.(const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg $ stmt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_result = function
+  | Eval.Rows rs -> print_string (Sqleval.Result_set.to_string rs)
+  | Eval.Affected n -> Printf.printf "%d row(s) affected\n" n
+  | Eval.Unit -> print_endline "ok"
+
+let run_cmd =
+  let stmts_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
+  in
+  let run strategy dataset empty seed stmts =
+    handle_errors (fun () ->
+        let e = make_engine ~empty ~seed dataset in
+        List.iter
+          (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
+          stmts)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute temporal statements and print the results.")
+    Term.(const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg $ stmts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* repl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let repl_cmd =
+  let run strategy dataset empty seed =
+    let e = make_engine ~empty ~seed dataset in
+    Printf.printf
+      "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
+      (if empty then "empty database" else Datasets.spec_to_string dataset);
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         print_string (if Buffer.length buf = 0 then "taupsm> " else "   ...> ");
+         flush stdout;
+         let line = input_line stdin in
+         Buffer.add_string buf line;
+         Buffer.add_char buf '\n';
+         if String.contains line ';' then begin
+           let stmt = Buffer.contents buf in
+           Buffer.clear buf;
+           ignore
+             (handle_errors (fun () ->
+                  print_result (Stratum.exec_sql ~strategy e stmt)))
+         end
+       done
+     with End_of_file -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive Temporal SQL/PSM prompt.")
+    Term.(const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run dataset seed =
+    let e = Datasets.load ~seed dataset in
+    Printf.printf "dataset %s (seed %d)\n" (Datasets.spec_to_string dataset) seed;
+    Printf.printf "%-16s %10s\n" "table" "rows";
+    List.iter
+      (fun (name, n) -> Printf.printf "%-16s %10d\n" name n)
+      (Datasets.row_counts e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a τBench dataset and print its statistics.")
+    Term.(const run $ dataset_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:"τPSM benchmark query id (q2, q2b, ..., q20).")
+  in
+  let days_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "days" ] ~docv:"DAYS" ~doc:"Temporal-context length in days.")
+  in
+  let run dataset seed qid days =
+    handle_errors (fun () ->
+        let e = make_engine ~empty:false ~seed dataset in
+        let q = Queries.find qid in
+        let ctx_b = Sqldb.Date.of_ymd ~y:2010 ~m:6 ~d:1 in
+        let ctx = (ctx_b, Sqldb.Date.add_days ctx_b days) in
+        let sql = Queries.sequenced ~context:ctx q in
+        let ts = Sqlparse.Parser.parse_temporal_stmt sql in
+        let a =
+          Taupsm.Analysis.of_stmt (Engine.catalog e)
+            (Sqlparse.Parser.parse_stmt_string q.Queries.body)
+        in
+        Printf.printf "query %s — %s\n\n%s\n\n" q.Queries.id
+          q.Queries.construct q.Queries.body;
+        Printf.printf "temporal tables reached: %s\n"
+          (String.concat ", " (Taupsm.Analysis.temporal_tables_list a));
+        Printf.printf "routines reached: %s\n"
+          (String.concat ", " (Taupsm.Analysis.routines_list a));
+        Printf.printf "per-period cursors: %b\n"
+          a.Taupsm.Analysis.has_cursor_over_temporal;
+        let features =
+          Taupsm.Heuristic.features_of e ~db_size:dataset.Datasets.size ts
+        in
+        Printf.printf "PERST applicable: %b\n" features.Taupsm.Heuristic.perst_applicable;
+        Printf.printf "heuristic (§VII-F) chooses: %s\n"
+          (Stratum.strategy_to_string (Taupsm.Heuristic.choose features));
+        let count strategy =
+          match Stratum.exec_counting_calls ~strategy (Engine.copy e) ts with
+          | _, n -> Some n
+          | exception Taupsm.Perst_slicing.Perst_unsupported _ -> None
+        in
+        Printf.printf "routine invocations over %d day(s): MAX %s, PERST %s\n"
+          days
+          (match count Stratum.Max with Some n -> string_of_int n | None -> "n/a")
+          (match count Stratum.Perst with
+          | Some n -> string_of_int n
+          | None -> "n/a"))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Analyze a benchmark query: reachability, heuristic choice, and \
+          invocation counts.")
+    Term.(const run $ dataset_arg $ seed_arg $ query_arg $ days_arg)
+
+let () =
+  let doc = "Temporal SQL/PSM: the stratum of Snodgrass et al. (ICDE 2012)" in
+  let info = Cmd.info "taupsm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ transform_cmd; run_cmd; repl_cmd; gen_cmd; explain_cmd ]))

@@ -1,0 +1,1 @@
+examples/bookstore_history.ml: Printf Sqldb Sqleval Sqlparse String Taupsm

@@ -1,0 +1,1 @@
+examples/payroll_audit.ml: Printf Sqlast Sqldb Sqleval Sqlparse Taupsm

@@ -1,0 +1,1 @@
+examples/slicing_advisor.ml: List Option Printf Sqldb Sqleval Sqlparse Taubench Taupsm Unix

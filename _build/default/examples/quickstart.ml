@@ -1,0 +1,74 @@
+(* Quickstart: temporal tables, the three temporal semantics, and
+   temporal upward compatibility — in a dozen statements.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Engine = Sqleval.Engine
+module Stratum = Taupsm.Stratum
+module Eval = Sqleval.Eval
+
+let show e ?strategy sql =
+  Printf.printf "\n-- %s\n" sql;
+  match Stratum.exec_sql ?strategy e sql with
+  | Eval.Rows rs -> print_string (Sqleval.Result_set.to_string rs)
+  | Eval.Affected n -> Printf.printf "%d row(s) affected\n" n
+  | Eval.Unit -> print_endline "ok"
+
+let () =
+  (* An engine whose CURRENT_DATE is fixed, for reproducible output. *)
+  let e = Engine.create ~now:(Sqldb.Date.of_ymd ~y:2024 ~m:6 ~d:1) () in
+  Stratum.install e;
+
+  (* A table WITH VALIDTIME is a temporal table: every row carries a
+     validity period.  Rows can be loaded with explicit history... *)
+  show e "CREATE TABLE position (emp VARCHAR(20), title VARCHAR(30)) WITH VALIDTIME";
+  show e
+    "INSERT INTO position (emp, title, begin_time, end_time) VALUES ('ada', \
+     'Engineer', DATE '2023-01-01', DATE '2024-03-01'), ('ada', 'Senior \
+     Engineer', DATE '2024-03-01', DATE '9999-12-31'), ('grace', 'Analyst', \
+     DATE '2023-06-01', DATE '9999-12-31')";
+
+  (* ...or through ordinary statements: an unmodified INSERT starts a
+     version valid from now on (temporal upward compatibility). *)
+  show e "INSERT INTO position (emp, title) VALUES ('alan', 'Intern')";
+
+  (* 1. Current semantics: no keyword.  The legacy query still works
+     and sees today's state only. *)
+  show e "SELECT emp, title FROM position";
+
+  (* 2. Sequenced semantics: VALIDTIME evaluates the query at every
+     instant independently, returning timestamped rows. *)
+  show e "VALIDTIME SELECT emp, title FROM position";
+
+  (* ...optionally within a temporal context. *)
+  show e
+    "VALIDTIME [DATE '2024-01-01', DATE '2024-06-01') SELECT emp FROM \
+     position WHERE title = 'Engineer'";
+
+  (* 3. Nonsequenced semantics: the timestamps become ordinary columns
+     under the user's control. *)
+  show e
+    "NONSEQUENCED VALIDTIME SELECT emp, begin_time FROM position WHERE \
+     end_time < DATE '9999-12-31'";
+
+  (* The point of the paper: all of this extends to stored routines.
+     The routine below is plain, conventional SQL/PSM... *)
+  show e
+    "CREATE FUNCTION title_of (who VARCHAR(20)) RETURNS VARCHAR(30) BEGIN \
+     DECLARE t VARCHAR(30); SET t = (SELECT title FROM position WHERE emp = \
+     who); RETURN t; END";
+
+  (* ...and the *invocation context* gives it its temporal semantics:
+     current here, sequenced below — with no change to the routine. *)
+  show e "SELECT title_of('ada') FROM position WHERE emp = 'ada'";
+  show e "VALIDTIME SELECT DISTINCT title_of('ada') FROM position WHERE emp = 'ada'";
+
+  (* Sequenced evaluation has two implementations; both give the same
+     answer (MAX always applies; PERST is often faster). *)
+  show e ~strategy:Stratum.Perst
+    "VALIDTIME SELECT DISTINCT title_of('ada') FROM position WHERE emp = 'ada'";
+
+  (* Current modifications preserve history: a legacy UPDATE closes the
+     old version and opens a new one. *)
+  show e "UPDATE position SET title = 'Principal Engineer' WHERE emp = 'ada'";
+  show e "VALIDTIME SELECT title FROM position WHERE emp = 'ada'"

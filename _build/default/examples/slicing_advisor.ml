@@ -1,0 +1,69 @@
+(* Slicing advisor: the §VII-F heuristic in action.
+
+   For each τPSM benchmark query the advisor extracts the compile-time
+   features (PERST applicability, per-period cursor use), combines them
+   with the workload parameters (database size, context length), asks
+   the heuristic for a strategy — and then measures both strategies to
+   show how often the advice is right.
+
+   Run with:  dune exec examples/slicing_advisor.exe *)
+
+module Engine = Sqleval.Engine
+module Stratum = Taupsm.Stratum
+module Heuristic = Taupsm.Heuristic
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+module Date = Sqldb.Date
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let () =
+  let spec = { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  let e0 = Datasets.load spec in
+  Queries.install e0;
+  let ctx_b = Date.of_ymd ~y:2010 ~m:6 ~d:1 in
+  Printf.printf
+    "Slicing advisor on %s — heuristic advice vs measured winner\n\n"
+    (Datasets.spec_to_string spec);
+  Printf.printf "%-5s %-8s %-7s %-7s %10s %10s  %s\n" "query" "context"
+    "advice" "winner" "MAX (s)" "PERST (s)" "verdict";
+  let agree = ref 0 and total = ref 0 in
+  List.iter
+    (fun days ->
+      List.iter
+        (fun (q : Queries.t) ->
+          let sql = Queries.sequenced ~context:(ctx_b, Date.add_days ctx_b days) q in
+          let ts = Sqlparse.Parser.parse_temporal_stmt sql in
+          let advice =
+            Heuristic.choose_for e0 ~db_size:spec.Datasets.size ts
+          in
+          let run strategy =
+            let e = Engine.copy e0 in
+            match time (fun () -> Stratum.exec ~strategy e ts) with
+            | t -> Some t
+            | exception Taupsm.Perst_slicing.Perst_unsupported _ -> None
+          in
+          let mx = Option.get (run Stratum.Max) in
+          let ps = run Stratum.Perst in
+          let winner =
+            match ps with
+            | Some p when p < mx -> Stratum.Perst
+            | _ -> Stratum.Max
+          in
+          incr total;
+          if winner = advice then incr agree;
+          Printf.printf "%-5s %-8s %-7s %-7s %10.4f %10s  %s\n" q.Queries.id
+            (Printf.sprintf "%dd" days)
+            (Stratum.strategy_to_string advice)
+            (Stratum.strategy_to_string winner)
+            mx
+            (match ps with Some p -> Printf.sprintf "%.4f" p | None -> "n/a")
+            (if winner = advice then "ok" else "missed"))
+        Queries.all)
+    [ 7; 365 ];
+  Printf.printf "\nadvice matched the measured winner %d/%d times (%.0f%%)\n"
+    !agree !total
+    (100.0 *. float_of_int !agree /. float_of_int !total)

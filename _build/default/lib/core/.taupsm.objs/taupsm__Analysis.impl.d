@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Hashtbl List Option Set Sqlast Sqldb Sqleval String

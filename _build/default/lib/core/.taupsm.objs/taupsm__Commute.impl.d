@@ -1,0 +1,1 @@
+lib/core/commute.ml: Analysis Format List Perst_slicing Printf Sqlast Sqldb Sqleval Sqlparse Stratum

@@ -1,0 +1,1 @@
+lib/core/commute.mli: Format Sqldb Sqleval Stratum

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Analysis Array Float Hashtbl List Perst_slicing Sqlast Sqldb Sqleval Stratum String Transform_util

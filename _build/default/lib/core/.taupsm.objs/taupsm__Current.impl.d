@@ -1,0 +1,1 @@
+lib/core/current.ml: Analysis List Names Option Sqlast Sqldb Sqleval String Transform_util

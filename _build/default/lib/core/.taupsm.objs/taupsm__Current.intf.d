@@ -1,0 +1,1 @@
+lib/core/current.mli: Sqlast Sqleval

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Analysis Perst_slicing Sqlast Sqldb Sqleval Stratum

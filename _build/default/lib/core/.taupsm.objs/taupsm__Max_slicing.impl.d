@@ -1,0 +1,1 @@
+lib/core/max_slicing.ml: Analysis Buffer List Names Option Printf Sqlast Sqldb Sqleval String Transform_util

@@ -1,0 +1,1 @@
+lib/core/max_slicing.mli: Sqlast Sqleval

@@ -1,0 +1,1 @@
+lib/core/nonseq.ml: Analysis List Max_slicing Option Sqlast Sqleval

@@ -1,0 +1,1 @@
+lib/core/nonseq.mli: Sqlast Sqleval

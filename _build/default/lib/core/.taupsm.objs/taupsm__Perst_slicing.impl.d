@@ -1,0 +1,1 @@
+lib/core/perst_slicing.ml: Analysis Hashtbl List Names Option Printf Set Sqlast Sqldb Sqleval String Transform_util

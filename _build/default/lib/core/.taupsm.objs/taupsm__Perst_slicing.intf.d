@@ -1,0 +1,1 @@
+lib/core/perst_slicing.mli: Sqlast Sqleval

@@ -1,0 +1,1 @@
+lib/core/stratum.ml: Array Current List Max_slicing Names Nonseq Option Perst_slicing Printf Sqlast Sqldb Sqleval Sqlparse String Transform_util

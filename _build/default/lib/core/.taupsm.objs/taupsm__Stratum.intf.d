@@ -1,0 +1,1 @@
+lib/core/stratum.mli: Sqlast Sqldb Sqleval

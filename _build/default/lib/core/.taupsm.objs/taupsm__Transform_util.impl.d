@@ -1,0 +1,1 @@
+lib/core/transform_util.ml: List Names Option Printf Sqlast Sqldb Sqleval

@@ -1,0 +1,37 @@
+(** Compile-time reachability analysis (paper §V-A, §V-C).
+
+    Which tables does a statement reach, directly or indirectly —
+    through views, stored functions called in expressions, table
+    functions in FROM, and procedures CALLed from those routines?  The
+    answers drive constant-period computation (MAX), the decision of
+    which routines need transformed clones, and the feature vector of
+    the §VII-F heuristic. *)
+
+module SS : Set.S with type elt = string
+
+type t = {
+  tables : SS.t;  (** all reachable base tables (lowercase names) *)
+  temporal_tables : SS.t;  (** the temporal subset *)
+  routines : SS.t;  (** all reachable stored routines *)
+  temporal_routines : SS.t;  (** routines that transitively reach temporal data *)
+  has_cursor_over_temporal : bool;
+      (** a reachable routine iterates a cursor or FOR loop over
+          temporal data — the per-period-processing cost driver *)
+  has_inner_modifier : bool;
+      (** a reachable routine contains a temporal statement modifier in
+          its body (legal only under nonsequenced invocation, §IV-A) *)
+}
+
+val empty : t
+
+val of_stmt : Sqleval.Catalog.t -> Sqlast.Ast.stmt -> t
+val of_query : Sqleval.Catalog.t -> Sqlast.Ast.query -> t
+
+val routine_is_temporal : Sqleval.Catalog.t -> string -> bool
+(** Does the routine transitively touch temporal data?  Routines that do
+    not are invoked unchanged by every transformation (the paper's
+    optimization). *)
+
+val temporal_tables_list : t -> string list
+val tables_list : t -> string list
+val routines_list : t -> string list

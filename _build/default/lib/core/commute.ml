@@ -1,0 +1,135 @@
+(* Correctness checking via commutativity (paper §VII-B):
+
+     timeslice(d, sequenced(Q))  =  Q(timeslice(d, DB))   for every d,
+
+   plus the equivalence of the MAX and PERST results.  Two temporal
+   relations are equal iff their timeslices agree at every instant; it
+   suffices to check at every constant-period start plus a point beyond
+   the last event. *)
+
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+type failure = {
+  at : Date.t option;  (* None for whole-relation comparisons *)
+  expected : RS.t;
+  got : RS.t;
+  what : string;
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>%s%s:@ expected:@ %a@ got:@ %a@]" f.what
+    (match f.at with
+    | Some d -> Printf.sprintf " at %s" (Date.to_string d)
+    | None -> "")
+    RS.pp f.expected RS.pp f.got
+
+(* The instants worth checking: each event point of the given tables
+   (clipped to the context), plus a probe inside the final period. *)
+let probe_instants (e : Engine.t) ~tables ~(context : Sqldb.Period.t) :
+    Date.t list =
+  let cat = Engine.catalog e in
+  let points = ref [] in
+  List.iter
+    (fun tname ->
+      match Sqldb.Database.find_table cat.Sqleval.Catalog.db tname with
+      | Some t ->
+          List.iter
+            (fun (p : Sqldb.Period.t) ->
+              points := p.Sqldb.Period.begin_ :: p.Sqldb.Period.end_ :: !points)
+            (Sqldb.Table.periods t)
+      | None -> ())
+    tables;
+  let inside =
+    List.filter
+      (fun d -> Sqldb.Period.contains context d)
+      (context.Sqldb.Period.begin_ :: !points)
+  in
+  List.sort_uniq Date.compare inside
+
+(* Check that the sequenced evaluation of [query_sql] (under [strategy])
+   commutes with timeslicing: at each probe instant, the timeslice of
+   the sequenced result equals the current evaluation on an engine whose
+   clock is set to that instant. *)
+let check_commutes ?strategy (e : Engine.t) ~context_sql ~query_sql () :
+    failure list =
+  Stratum.install e;
+  let seq_rs =
+    match
+      Stratum.exec_sql ?strategy e
+        (Printf.sprintf "VALIDTIME %s %s" context_sql query_sql)
+    with
+    | Eval.Rows rs -> rs
+    | _ -> invalid_arg "check_commutes: not a query"
+  in
+  let a =
+    Analysis.of_stmt (Engine.catalog e)
+      (Sqlparse.Parser.parse_stmt_string query_sql)
+  in
+  let tables = Analysis.temporal_tables_list a in
+  let context =
+    (* Parse the textual context "[DATE 'b', DATE 'e')". *)
+    match
+      Sqlparse.Parser.parse_temporal_stmt
+        (Printf.sprintf "VALIDTIME %s SELECT 1" context_sql)
+    with
+    | { t_modifier = Sqlast.Ast.Mod_sequenced (Some (b, ee)); _ } ->
+        let env = Eval.create_env (Engine.catalog e) in
+        Sqldb.Period.make
+          ~begin_:(Value.to_date_exn (Eval.eval_expr env b))
+          ~end_:(Value.to_date_exn (Eval.eval_expr env ee))
+    | _ -> Sqldb.Period.always
+  in
+  let instants = probe_instants e ~tables ~context in
+  List.filter_map
+    (fun d ->
+      let sliced = Stratum.timeslice_result seq_rs d in
+      let e' = Engine.copy e in
+      Engine.set_now e' d;
+      Stratum.install e';
+      let current =
+        match Stratum.exec_sql e' query_sql with
+        | Eval.Rows rs -> rs
+        | _ -> invalid_arg "check_commutes: not a query"
+      in
+      if RS.equal_bag sliced current then None
+      else
+        Some
+          { at = Some d; expected = current; got = sliced; what = "commutativity" })
+    instants
+
+(* Check that MAX and PERST produce the same temporal relation for a
+   sequenced query, by comparing timeslices at all probe instants. *)
+let check_equivalence (e : Engine.t) ~context_sql ~query_sql () : failure list
+    =
+  Stratum.install e;
+  let run strategy =
+    match
+      Stratum.exec_sql ~strategy e
+        (Printf.sprintf "VALIDTIME %s %s" context_sql query_sql)
+    with
+    | Eval.Rows rs -> rs
+    | _ -> invalid_arg "check_equivalence: not a query"
+  in
+  let max_rs = run Stratum.Max in
+  match run Stratum.Perst with
+  | exception Perst_slicing.Perst_unsupported _ -> []  (* vacuously ok *)
+  | ps_rs ->
+      let a =
+        Analysis.of_stmt (Engine.catalog e)
+          (Sqlparse.Parser.parse_stmt_string query_sql)
+      in
+      let tables = Analysis.temporal_tables_list a in
+      let instants = probe_instants e ~tables ~context:Sqldb.Period.always in
+      List.filter_map
+        (fun d ->
+          let sa = Stratum.timeslice_result max_rs d in
+          let sb = Stratum.timeslice_result ps_rs d in
+          if RS.equal_bag sa sb then None
+          else
+            Some
+              { at = Some d; expected = sa; got = sb; what = "MAX vs PERST" })
+        instants

@@ -1,0 +1,36 @@
+(** Correctness checking via commutativity (paper §VII-B):
+
+    {v timeslice(d, sequenced(Q)) = Q(timeslice(d, DB))  for every d v}
+
+    plus the equivalence of the MAX and PERST results.  Two temporal
+    relations are equal iff their timeslices agree at every instant;
+    checking at every constant-period start suffices. *)
+
+type failure = {
+  at : Sqldb.Date.t option;
+  expected : Sqleval.Result_set.t;
+  got : Sqleval.Result_set.t;
+  what : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val probe_instants :
+  Sqleval.Engine.t -> tables:string list -> context:Sqldb.Period.t ->
+  Sqldb.Date.t list
+(** The instants worth checking: the tables' event points clipped to the
+    context, plus the context start. *)
+
+val check_commutes :
+  ?strategy:Stratum.strategy ->
+  Sqleval.Engine.t -> context_sql:string -> query_sql:string -> unit ->
+  failure list
+(** Empty result = the sequenced evaluation commutes with timeslicing at
+    every probe instant.  [context_sql] is the textual context, e.g.
+    ["[DATE '2010-01-01', DATE '2010-06-01')"]. *)
+
+val check_equivalence :
+  Sqleval.Engine.t -> context_sql:string -> query_sql:string -> unit ->
+  failure list
+(** Empty result = MAX and PERST produce the same temporal relation
+    (vacuously satisfied when PERST does not apply). *)

@@ -1,0 +1,194 @@
+(* An analytical cost model for choosing the slicing strategy — the
+   paper's §VIII future work ("it would also be useful to develop a cost
+   model that can predict which transformation will perform better, to
+   replace the heuristic in Section VII-F").
+
+   The model combines compile-time analysis with cheap data statistics:
+
+   - MAX evaluates the statement once per constant period; each
+     evaluation scans the valid portion of the outer tables and invokes
+     each temporal routine once per candidate row, each invocation
+     scanning the valid portion of the routine's tables:
+
+       cost_MAX ~ n_cp * (outer_scan + drive * routine_scan)
+
+   - PERST invokes each routine once per distinct argument tuple; each
+     invocation processes the routine's tables over the whole context,
+     set-based; per-period cursor processing costs quadratically in the
+     number of version rows the cursor sees:
+
+       cost_PERST ~ distinct_args * (routine_rows + cursor_penalty)
+                    + outer_join_cost
+
+   Statistics (per table, within the context): the number of overlapping
+   version rows, the number of distinct event points, and the average
+   number of rows valid at an instant.  All are exact single-scan
+   computations over the stored data. *)
+
+module Catalog = Sqleval.Catalog
+module Engine = Sqleval.Engine
+module Table = Sqldb.Table
+module Schema = Sqldb.Schema
+module Period = Sqldb.Period
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+type table_stats = {
+  rows_in_context : int;  (* version rows overlapping the context *)
+  event_points : int;  (* distinct begin/end instants inside the context *)
+  avg_valid : float;  (* average rows valid at an instant of the context *)
+}
+
+let table_stats cat ~(context : Period.t) tname : table_stats =
+  match Sqldb.Database.find_table cat.Catalog.db tname with
+  | None -> { rows_in_context = 0; event_points = 0; avg_valid = 0.0 }
+  | Some t ->
+      let schema = Table.schema t in
+      if not schema.Schema.temporal then
+        {
+          rows_in_context = Table.row_count t;
+          event_points = 0;
+          avg_valid = float_of_int (Table.row_count t);
+        }
+      else begin
+        let bi = Schema.begin_index schema and ei = Schema.end_index schema in
+        let rows = ref 0 in
+        let covered = ref 0 in
+        let points = Hashtbl.create 64 in
+        Table.iter
+          (fun row ->
+            let b = Value.to_date_exn row.(bi) and e = Value.to_date_exn row.(ei) in
+            match
+              Period.intersect (Period.make ~begin_:b ~end_:e) context
+            with
+            | Some inter ->
+                incr rows;
+                covered := !covered + Period.duration inter;
+                if Period.contains context b then Hashtbl.replace points b ();
+                if Period.contains context e then Hashtbl.replace points e ()
+            | None -> ())
+          t;
+        {
+          rows_in_context = !rows;
+          event_points = Hashtbl.length points;
+          avg_valid =
+            float_of_int !covered /. float_of_int (Period.duration context);
+        }
+      end
+
+type estimate = {
+  max_cost : float;
+  perst_cost : float;
+  n_cp : int;  (* constant periods the MAX plan will iterate *)
+}
+
+(* Relative per-row work units, calibrated once against the interpreter
+   (their absolute scale cancels in the comparison; only the ratio of
+   set-based scans to per-call and per-period overheads matters). *)
+let scan_unit = 1.0
+let call_overhead = 30.0  (* routine invocation: env setup, body walk *)
+let cp_overhead = 4.0  (* per constant period: slice bookkeeping *)
+let perst_stmt_overhead = 25.0  (* var tables, splicing per statement *)
+let cursor_quadratic = 1.5  (* OFFSET-based fetch: per row pair *)
+
+let estimate (e : Engine.t) ~(context : Period.t)
+    (ts : Sqlast.Ast.temporal_stmt) : estimate =
+  let cat = Engine.catalog e in
+  let stmt = ts.Sqlast.Ast.t_stmt in
+  let a = Analysis.of_stmt cat stmt in
+  let stats tname = table_stats cat ~context tname in
+  (* Outer tables: those in the statement's own FROM clauses. *)
+  let outer_tables =
+    match stmt with
+    | Sqlast.Ast.Squery q ->
+        List.concat_map
+          (fun (s : Sqlast.Ast.select) ->
+            List.filter_map
+              (function
+                | Sqlast.Ast.Tref (n, _)
+                  when Transform_util.is_temporal_table cat n ->
+                    Some (String.lowercase_ascii n)
+                | _ -> None)
+              s.Sqlast.Ast.from)
+          (Sqlast.Ast.query_selects q)
+    | _ -> []
+  in
+  let routine_tables =
+    List.filter (fun t -> not (List.mem t outer_tables))
+      (Analysis.temporal_tables_list a)
+  in
+  (* Constant periods of the whole reachable table set (what MAX uses). *)
+  let n_cp =
+    let all_points =
+      List.fold_left
+        (fun acc t -> acc + (stats t).event_points)
+        0
+        (Analysis.temporal_tables_list a)
+    in
+    max 1 (all_points + 1)
+  in
+  let sum f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l in
+  let outer_scan = sum (fun t -> (stats t).avg_valid *. scan_unit) outer_tables in
+  let routine_scan =
+    sum (fun t -> (stats t).avg_valid *. scan_unit) routine_tables
+  in
+  let routine_rows =
+    sum (fun t -> float_of_int (stats t).rows_in_context *. scan_unit)
+      routine_tables
+  in
+  (* How many rows drive a routine call per evaluation: the smallest
+     outer table's valid cardinality is a usable lower-bound proxy. *)
+  let drive =
+    match outer_tables with
+    | [] -> 1.0
+    | ts -> List.fold_left (fun m t -> Float.min m (stats t).avg_valid) max_float ts
+  in
+  let has_routines = a.Analysis.temporal_routines <> Analysis.SS.empty in
+  let max_cost =
+    float_of_int n_cp
+    *. (cp_overhead +. outer_scan
+       +. (if has_routines then drive *. (call_overhead +. routine_scan) else 0.0)
+       )
+  in
+  let cursor_penalty =
+    if a.Analysis.has_cursor_over_temporal then
+      let n = routine_rows in
+      cursor_quadratic *. n *. n
+    else 0.0
+  in
+  let perst_applicable =
+    match ts.Sqlast.Ast.t_modifier with
+    | Sqlast.Ast.Mod_sequenced ctx -> (
+        match Perst_slicing.transform cat ~context:ctx stmt with
+        | _ -> true
+        | exception Perst_slicing.Perst_unsupported _ -> false)
+    | _ -> true
+  in
+  let perst_cost =
+    if not perst_applicable then infinity
+    else
+      (drive *. (call_overhead +. perst_stmt_overhead +. routine_rows))
+      +. outer_scan +. cursor_penalty
+  in
+  { max_cost; perst_cost; n_cp }
+
+let choose (e : Engine.t) ~context ts : Stratum.strategy =
+  let est = estimate e ~context ts in
+  if est.perst_cost < est.max_cost then Stratum.Perst else Stratum.Max
+
+(* The context of a sequenced statement as a concrete period (evaluating
+   the modifier's date expressions); [Period.always] when unbounded. *)
+let context_of_stmt (e : Engine.t) (ts : Sqlast.Ast.temporal_stmt) : Period.t =
+  match ts.Sqlast.Ast.t_modifier with
+  | Sqlast.Ast.Mod_sequenced (Some (b, en)) -> (
+      let env = Sqleval.Eval.create_env ~now:(Engine.now e) (Engine.catalog e) in
+      match
+        ( Sqleval.Eval.eval_expr env b,
+          Sqleval.Eval.eval_expr env en )
+      with
+      | Value.Date b, Value.Date en when b < en -> Period.make ~begin_:b ~end_:en
+      | _ -> Period.always)
+  | _ -> Period.always
+
+let choose_for (e : Engine.t) (ts : Sqlast.Ast.temporal_stmt) : Stratum.strategy =
+  choose e ~context:(context_of_stmt e ts) ts

@@ -1,0 +1,39 @@
+(** An analytical cost model for choosing the slicing strategy — the
+    paper's §VIII future work: "develop a cost model that can predict
+    which transformation will perform better, to replace the heuristic
+    in Section VII-F".
+
+    Combines compile-time analysis with cheap exact data statistics:
+    MAX cost grows with the number of constant periods in the context;
+    PERST cost is dominated by per-routine set-based scans plus a
+    quadratic per-period cursor penalty.  See the implementation for the
+    model's terms and the calibrated work units. *)
+
+type table_stats = {
+  rows_in_context : int;
+  event_points : int;
+  avg_valid : float;  (** average rows valid at an instant of the context *)
+}
+
+val table_stats :
+  Sqleval.Catalog.t -> context:Sqldb.Period.t -> string -> table_stats
+
+type estimate = {
+  max_cost : float;
+  perst_cost : float;  (** [infinity] when PERST does not apply *)
+  n_cp : int;  (** constant periods the MAX plan will iterate *)
+}
+
+val estimate :
+  Sqleval.Engine.t -> context:Sqldb.Period.t -> Sqlast.Ast.temporal_stmt ->
+  estimate
+
+val choose :
+  Sqleval.Engine.t -> context:Sqldb.Period.t -> Sqlast.Ast.temporal_stmt ->
+  Stratum.strategy
+
+val context_of_stmt : Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Sqldb.Period.t
+(** The sequenced statement's context as a concrete period;
+    {!Sqldb.Period.always} when unbounded. *)
+
+val choose_for : Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Stratum.strategy

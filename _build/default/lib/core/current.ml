@@ -1,0 +1,247 @@
+(* Current-semantics transformation (paper §IV-C).
+
+   cur[[Q]](r1..rn) = SQL[[Q]] applied to the current timeslice: one
+   predicate per temporal table in every WHERE clause whose FROM mentions
+   one —
+
+       t.begin_time <= CURRENT_DATE AND CURRENT_DATE < t.end_time
+
+   — both in the query and in every (transitively) reachable routine,
+   which is cloned as curr_<name> (Figures 5 and 6).  Routines that never
+   touch temporal data are invoked unchanged.
+
+   Current *modifications* implement temporal upward compatibility: an
+   INSERT starts a new version valid [CURRENT_DATE, forever); UPDATE and
+   DELETE close the current version at CURRENT_DATE (and UPDATE opens the
+   modified version). *)
+
+open Sqlast.Ast
+open Transform_util
+module Catalog = Sqleval.Catalog
+module Rewrite = Sqlast.Rewrite
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+(* The result of a transformation: routine definitions to install (in
+   dependency-safe order: they only call each other by final name), then
+   the main statement. *)
+type plan = { routines : stmt list; main : stmt }
+
+let plan_statements p = p.routines @ [ p.main ]
+
+let rec transform cat (s : stmt) : plan =
+  match s with
+  | Screate_function _ | Screate_procedure _ | Screate_view _
+  | Screate_table _ | Sdrop_table _ ->
+      (* Definitions are stored as written: a routine's temporal
+         semantics comes from its invocation context (§IV-A), so the
+         stratum must not bake currency predicates into the catalog. *)
+      { routines = []; main = s }
+  | _ -> transform_dml_or_query cat s
+
+and transform_dml_or_query cat (s : stmt) : plan =
+  let s = normalize_inner_joins s in
+  let analysis = Analysis.of_stmt cat s in
+  if analysis.Analysis.has_inner_modifier then
+    semantic_error
+      "a routine containing a temporal statement modifier can only be \
+       invoked from a nonsequenced context";
+  let temporal_routines = analysis.Analysis.temporal_routines in
+  let is_temporal_routine name =
+    Analysis.SS.mem (String.lowercase_ascii name) temporal_routines
+  in
+  let m = mapper cat ~is_temporal_routine in
+  let routines =
+    List.filter_map
+      (fun rname ->
+        if not (is_temporal_routine rname) then None
+        else
+          match Catalog.find_routine cat rname with
+          | Some (kind, r) ->
+              let r' =
+                {
+                  r with
+                  r_name = Names.curr r.r_name;
+                  r_body = List.map (m.Rewrite.stmt m) r.r_body;
+                }
+              in
+              Some
+                (match kind with
+                | Catalog.Rfunction -> Screate_function r'
+                | Catalog.Rprocedure -> Screate_procedure r')
+          | None -> None)
+      (Analysis.routines_list analysis)
+  in
+  { routines; main = transform_main cat m s }
+
+(* The mapper adding currency predicates and renaming temporal-routine
+   calls; shared between the main statement and routine bodies. *)
+and mapper cat ~is_temporal_routine : Rewrite.mapper =
+  let select m (s : select) =
+    let s = Rewrite.default_select m s in
+    add_validity_at cat ~at:current_date s
+  in
+  let expr m e =
+    let e = Rewrite.default_expr m e in
+    match e with
+    | Fun_call (name, args) when is_temporal_routine name ->
+        Fun_call (Names.curr name, args)
+    | _ -> e
+  in
+  let table_ref m tr =
+    match tr with
+    | Tfun (f, args, alias) when is_temporal_routine f ->
+        Tfun (Names.curr f, List.map (m.Rewrite.expr m) args, alias)
+    | _ -> (
+        match inline_view_ref cat tr ~transform_query:(m.Rewrite.query m) with
+        | Some tr' -> tr'
+        | None -> Rewrite.default_table_ref m tr)
+  in
+  let stmt m (s : stmt) =
+    match s with
+    | Scall (name, args) when is_temporal_routine name ->
+        Scall (Names.curr name, List.map (m.Rewrite.expr m) args)
+    | Sinsert (t, cols, src) when is_temporal_table cat t ->
+        current_insert cat m t cols src
+    | Sdelete (t, where) when is_temporal_table cat t ->
+        current_delete m t where
+    | Supdate (t, sets, where) when is_temporal_table cat t ->
+        current_update cat m t sets where
+    | Stemporal _ ->
+        semantic_error
+          "a routine containing a temporal statement modifier can only be \
+           invoked from a nonsequenced context"
+    | _ -> Rewrite.default_stmt m s
+  in
+  { Rewrite.default with select; expr; stmt; table_ref }
+
+and transform_main cat m (s : stmt) : stmt =
+  ignore cat;
+  m.Rewrite.stmt m s
+
+(* INSERT begins a new version valid from now until changed.  An INSERT
+   whose column list already names the timestamp columns is an explicit
+   history load and passes through untouched (the disciplined route is
+   NONSEQUENCED VALIDTIME INSERT, but this keeps bulk loads painless). *)
+and current_insert cat m t cols src : stmt =
+  let names_timestamps =
+    match cols with
+    | Some cs ->
+        List.exists
+          (fun c ->
+            let c = String.lowercase_ascii c in
+            c = Names.begin_col || c = Names.end_col)
+          cs
+    | None -> false
+  in
+  if names_timestamps then Rewrite.default_stmt m (Sinsert (t, cols, src))
+  else
+  let forever = Lit (Value.Date Date.forever) in
+  match src with
+  | Ivalues rows ->
+      let cols =
+        Option.map (fun cs -> cs @ [ Names.begin_col; Names.end_col ]) cols
+      in
+      let rows =
+        List.map
+          (fun vs -> List.map (m.Rewrite.expr m) vs @ [ current_date; forever ])
+          rows
+      in
+      Sinsert (t, cols, Ivalues rows)
+  | Iquery q ->
+      (* Append the period columns to whatever the query produces. *)
+      let q = m.Rewrite.query m q in
+      let cols =
+        match cols with
+        | Some cs -> cs
+        | None -> data_column_names cat t
+      in
+      let wrapped =
+        Select
+          {
+            select_default with
+            proj =
+              [ Star; Proj_expr (current_date, Some Names.begin_col);
+                Proj_expr (forever, Some Names.end_col) ];
+            from = [ Tsub (q, "taupsm_src") ];
+          }
+      in
+      Sinsert (t, Some (cols @ [ Names.begin_col; Names.end_col ]), Iquery wrapped)
+
+(* DELETE closes the current version: rows that became valid today are
+   removed outright (closing them would leave an empty period); older
+   current rows get end_time = CURRENT_DATE. *)
+and current_delete m t where : stmt =
+  let where = Option.map (m.Rewrite.expr m) where in
+  let cur_open =
+    Binop (Lt, Col (Some t, Names.begin_col), current_date)
+    &&& Binop (Lt, current_date, Col (Some t, Names.end_col))
+  in
+  let cur_today =
+    Binop (Eq, Col (Some t, Names.begin_col), current_date)
+    &&& Binop (Lt, current_date, Col (Some t, Names.end_col))
+  in
+  let conj extra = Some (match where with None -> extra | Some w -> w &&& extra) in
+  Sbegin
+    [
+      Sdelete (t, conj cur_today);
+      Supdate (t, [ (Names.end_col, current_date) ], conj cur_open);
+    ]
+
+(* UPDATE = snapshot the affected current rows, close/remove them, then
+   insert the modified versions valid [CURRENT_DATE, old end). *)
+and current_update cat m t sets where : stmt =
+  let where = Option.map (m.Rewrite.expr m) where in
+  let sets = List.map (fun (c, e) -> (c, m.Rewrite.expr m e)) sets in
+  let cur =
+    Binop (Le, Col (Some t, Names.begin_col), current_date)
+    &&& Binop (Lt, current_date, Col (Some t, Names.end_col))
+  in
+  let conj extra = Some (match where with None -> extra | Some w -> w &&& extra) in
+  let snapshot = "taupsm_cur_upd" in
+  let data_cols = data_column_names cat t in
+  let new_version_proj =
+    List.map
+      (fun c ->
+        match List.assoc_opt (String.lowercase_ascii c)
+                (List.map (fun (n, e) -> (String.lowercase_ascii n, e)) sets)
+        with
+        | Some e -> Proj_expr (e, Some c)
+        | None -> Proj_expr (Col (None, c), Some c))
+      data_cols
+    @ [
+        Proj_expr (current_date, Some Names.begin_col);
+        Proj_expr (Col (None, Names.end_col), Some Names.end_col);
+      ]
+  in
+  let delete_where = current_delete m t where in
+  Sbegin
+    [
+      Screate_table
+        {
+          ct_name = snapshot;
+          ct_cols = [];
+          ct_temporal = false; ct_transaction = false;
+          ct_temp = true;
+          ct_as =
+            Some
+              (Select
+                 {
+                   select_default with
+                   proj = [ Star ];
+                   from = [ Tref (t, None) ];
+                   where = conj cur;
+                 });
+        };
+      delete_where;
+      Sinsert
+        ( t,
+          None,
+          Iquery
+            (Select
+               {
+                 select_default with
+                 proj = new_version_proj;
+                 from = [ Tref (snapshot, None) ];
+               }) );
+    ]

@@ -1,0 +1,23 @@
+(** Current-semantics transformation (paper §IV-C, Figures 5/6).
+
+    A current statement on a temporal database behaves exactly like the
+    conventional statement on the current timeslice: one predicate
+
+    {v t.begin_time <= CURRENT_DATE AND CURRENT_DATE < t.end_time v}
+
+    per temporal table in every WHERE clause, in the statement and in
+    every transitively reachable routine (cloned as [curr_<name>]).
+    Current modifications implement temporal upward compatibility:
+    INSERT opens a version valid [now, forever); UPDATE/DELETE close the
+    current version at now (UPDATE also opening the modified one).
+
+    DDL passes through verbatim: a routine's temporal semantics comes
+    from its invocation context, never its definition (§IV-A). *)
+
+type plan = { routines : Sqlast.Ast.stmt list; main : Sqlast.Ast.stmt }
+
+val plan_statements : plan -> Sqlast.Ast.stmt list
+
+val transform : Sqleval.Catalog.t -> Sqlast.Ast.stmt -> plan
+(** Raises {!Transform_util.Semantic_error} when a reachable routine
+    contains an inner temporal modifier. *)

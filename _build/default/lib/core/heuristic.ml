@@ -1,0 +1,76 @@
+(* The slicing-strategy heuristic of §VII-F.
+
+   Of the 160 measured data points, PERST was faster in ~70%; the paper
+   recommends PERST unless:
+
+   (a) the PERST transformation does not apply (e.g. non-nested FETCH,
+       benchmark q17b);
+   (b) PERST needs cursors on a per-period basis AND the data set is
+       large (q7/q7b on LARGE: auxiliary-table traffic dominates);
+   (c) the database is small AND the temporal context is short (the
+       constant-period setup is cheap and MAX's simple statements win).
+
+   The feature vector is extracted by compile-time analysis; the size
+   class and context length come from the caller. *)
+
+type size_class = Small | Medium | Large
+
+let size_class_to_string = function
+  | Small -> "SMALL"
+  | Medium -> "MEDIUM"
+  | Large -> "LARGE"
+
+type features = {
+  perst_applicable : bool;
+  per_period_cursors : bool;
+      (* some reachable routine iterates a cursor or FOR loop over
+         temporal data *)
+  db_size : size_class;
+  context_days : int;
+}
+
+(* The paper's notion of "short": at most a week of temporal context
+   (the observed class-B break-even lies between one week and one
+   month, Figure 12). *)
+let short_context_days = 7
+
+let choose (f : features) : Stratum.strategy =
+  if not f.perst_applicable then Stratum.Max
+  else if f.per_period_cursors && f.db_size = Large then Stratum.Max
+  else if f.db_size = Small && f.context_days <= short_context_days then
+    Stratum.Max
+  else Stratum.Perst
+
+(* Extract the analysis-driven features of a sequenced statement.  The
+   context length is measured from the modifier (the whole time line
+   counts as unbounded). *)
+let features_of (e : Sqleval.Engine.t) ~db_size
+    (ts : Sqlast.Ast.temporal_stmt) : features =
+  let cat = Sqleval.Engine.catalog e in
+  let a = Analysis.of_stmt cat ts.Sqlast.Ast.t_stmt in
+  let perst_applicable =
+    match ts.Sqlast.Ast.t_modifier with
+    | Sqlast.Ast.Mod_sequenced ctx -> (
+        match Perst_slicing.transform cat ~context:ctx ts.Sqlast.Ast.t_stmt with
+        | _ -> true
+        | exception Perst_slicing.Perst_unsupported _ -> false)
+    | _ -> true
+  in
+  let context_days =
+    match ts.Sqlast.Ast.t_modifier with
+    | Sqlast.Ast.Mod_sequenced
+        (Some (Sqlast.Ast.Lit (Sqldb.Value.Date b), Sqlast.Ast.Lit (Sqldb.Value.Date e)))
+      ->
+        e - b
+    | _ -> max_int
+  in
+  {
+    perst_applicable;
+    per_period_cursors = a.Analysis.has_cursor_over_temporal;
+    db_size;
+    context_days;
+  }
+
+let choose_for (e : Sqleval.Engine.t) ~db_size (ts : Sqlast.Ast.temporal_stmt) :
+    Stratum.strategy =
+  choose (features_of e ~db_size ts)

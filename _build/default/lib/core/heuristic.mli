@@ -1,0 +1,33 @@
+(** The slicing-strategy heuristic of the paper's §VII-F.
+
+    PERST is faster on ~70% of the measured points; choose it unless
+    (a) the PERST transformation does not apply, (b) cursors must be
+    processed per period AND the data set is large, or (c) the database
+    is small AND the temporal context is short. *)
+
+type size_class = Small | Medium | Large
+
+val size_class_to_string : size_class -> string
+
+type features = {
+  perst_applicable : bool;
+  per_period_cursors : bool;
+  db_size : size_class;
+  context_days : int;
+}
+
+val short_context_days : int
+(** What counts as a "short" temporal context (clause (c)): one week,
+    matching the observed class-B break-even of Figure 12. *)
+
+val choose : features -> Stratum.strategy
+
+val features_of :
+  Sqleval.Engine.t -> db_size:size_class -> Sqlast.Ast.temporal_stmt -> features
+(** Extract the compile-time features of a sequenced statement: PERST
+    applicability (by attempting the transformation), per-period cursor
+    use (from {!Analysis}), and the context length from the modifier. *)
+
+val choose_for :
+  Sqleval.Engine.t -> db_size:size_class -> Sqlast.Ast.temporal_stmt ->
+  Stratum.strategy

@@ -1,0 +1,39 @@
+(** Maximally-fragmented slicing (paper §V, Figures 8–10).
+
+    A sequenced statement is evaluated once per {e constant period} — a
+    maximal period during which none of the transitively reachable
+    temporal tables changes.  The transformation materializes the
+    constant periods up front, cross-joins them into the outer query,
+    and clones each reachable temporal routine with one extra parameter,
+    the constant period's begin time.
+
+    MAX always applies — it accommodates the full PSM language — but
+    invokes routines once per (constant period × candidate row), so its
+    cost grows with the temporal context (Figures 12/13). *)
+
+exception Max_unsupported of string
+
+type plan = {
+  prep : Sqlast.Ast.stmt list;
+      (** materialize taupsm_ts (Figure 8's UNION of event points) and
+          taupsm_cp (the constant periods, via the engine-level native —
+          see DESIGN.md's substitution table) *)
+  routines : Sqlast.Ast.stmt list;  (** max_<name> routine definitions *)
+  main : Sqlast.Ast.stmt;
+}
+
+val plan_statements : plan -> Sqlast.Ast.stmt list
+
+val transform :
+  Sqleval.Catalog.t ->
+  context:(Sqlast.Ast.expr * Sqlast.Ast.expr) option ->
+  Sqlast.Ast.stmt -> plan
+(** Transform a sequenced statement (a query or a CALL).  Raises
+    {!Max_unsupported} on shapes outside sequenced semantics (e.g.
+    temporal derived tables, which would need LATERAL correlation to
+    cp), and {!Transform_util.Semantic_error} when a reachable routine
+    contains an inner temporal modifier. *)
+
+val figure8_sql : string list -> string
+(** The paper's literal Figure-8 [ts]/[cp] derivation as SQL text, for
+    display; the executable plan uses the engine native instead. *)

@@ -1,0 +1,45 @@
+(* Naming conventions for generated code.  Everything the stratum
+   synthesizes is prefixed "taupsm_" so generated names cannot collide
+   with user schema objects. *)
+
+let curr_prefix = "curr_"
+let max_prefix = "max_"
+let ps_prefix = "ps_"
+
+let curr name = curr_prefix ^ name
+let max name = max_prefix ^ name
+let ps name = ps_prefix ^ name
+
+(* MAX: the constant-period parameter added to transformed routines. *)
+let max_bt_param = "taupsm_bt"
+
+(* PERST: the evaluation-period parameters added to transformed routines. *)
+let ps_bt_param = "taupsm_bt"
+let ps_et_param = "taupsm_et"
+
+(* PERST: the result column of a transformed scalar function. *)
+let ps_result_col = "taupsm_result"
+
+(* The temp table holding the query-level constant periods (MAX). *)
+let cp_table = "taupsm_cp"
+let ts_table = "taupsm_ts"
+
+(* The native table function computing constant periods at runtime. *)
+let constant_periods_fun = "taupsm_constant_periods"
+
+(* PERST: per-routine generated temp tables. *)
+let var_table routine var =
+  Printf.sprintf "taupsm_v_%s_%s"
+    (String.lowercase_ascii routine)
+    (String.lowercase_ascii var)
+
+let ret_table routine = "taupsm_ret_" ^ String.lowercase_ascii routine
+let out_table routine param =
+  Printf.sprintf "taupsm_out_%s_%s"
+    (String.lowercase_ascii routine)
+    (String.lowercase_ascii param)
+
+let aux_table routine n = Printf.sprintf "taupsm_aux_%s_%d" (String.lowercase_ascii routine) n
+
+let begin_col = Sqldb.Schema.begin_time_col
+let end_col = Sqldb.Schema.end_time_col

@@ -1,0 +1,96 @@
+(* Nonsequenced transformation (paper §IV-B).
+
+   Under nonsequenced semantics the user manipulates timestamps
+   explicitly, and in the stratum's data model the timestamps already
+   *are* ordinary columns — so the statement itself runs conventionally
+   (the paper's "only renaming of timestamp columns" is the identity
+   here, since we expose the stratum names begin_time/end_time directly).
+
+   The interesting case is a temporal statement modifier *inside* a
+   routine body (§IV-A): legal only in a nonsequenced context.  An inner
+   [VALIDTIME s] expands in place into the MAX plan for [s] (prep +
+   transformed routines + main, as one block); an inner
+   [NONSEQUENCED VALIDTIME s] is stripped.  Routines containing inner
+   modifiers are cloned as ns_<name> so their conventional originals
+   remain untouched. *)
+
+open Sqlast.Ast
+module Catalog = Sqleval.Catalog
+module Rewrite = Sqlast.Rewrite
+
+type plan = { routines : stmt list; main : stmt }
+
+let plan_statements p = p.routines @ [ p.main ]
+
+let ns_name name = "ns_" ^ name
+
+let rec stmt_has_inner_modifier (s : stmt) =
+  match s with
+  | Stemporal _ -> true
+  | Sif (branches, els) ->
+      List.exists (fun (_, body) -> List.exists stmt_has_inner_modifier body) branches
+      || Option.fold ~none:false
+           ~some:(List.exists stmt_has_inner_modifier)
+           els
+  | Scase_stmt (_, branches, els) ->
+      List.exists (fun (_, body) -> List.exists stmt_has_inner_modifier body) branches
+      || Option.fold ~none:false
+           ~some:(List.exists stmt_has_inner_modifier)
+           els
+  | Swhile (_, _, body) | Sloop (_, body) | Sbegin body ->
+      List.exists stmt_has_inner_modifier body
+  | Srepeat (_, body, _) -> List.exists stmt_has_inner_modifier body
+  | Sfor f -> List.exists stmt_has_inner_modifier f.for_body
+  | Sdeclare_handler h -> stmt_has_inner_modifier h
+  | _ -> false
+
+let routine_has_inner_modifier (r : routine) =
+  List.exists stmt_has_inner_modifier r.r_body
+
+let transform cat (s : stmt) : plan =
+  let analysis = Analysis.of_stmt cat s in
+  let needs_clone name =
+    match Catalog.find_routine cat name with
+    | Some (_, r) -> routine_has_inner_modifier r
+    | None -> false
+  in
+  let expand_inner m (st : stmt) =
+    match st with
+    | Stemporal (Min_nonsequenced, inner) -> m.Rewrite.stmt m inner
+    | Stemporal (Min_sequenced ctx, inner) ->
+        let inner = m.Rewrite.stmt m inner in
+        let plan = Max_slicing.transform cat ~context:ctx inner in
+        Sbegin (Max_slicing.plan_statements plan)
+    | Scall (name, args) when needs_clone name ->
+        Scall (ns_name name, List.map (m.Rewrite.expr m) args)
+    | _ -> Rewrite.default_stmt m st
+  in
+  let expand_calls m e =
+    let e = Rewrite.default_expr m e in
+    match e with
+    | Fun_call (name, args) when needs_clone name -> Fun_call (ns_name name, args)
+    | _ -> e
+  in
+  let m = { Rewrite.default with stmt = expand_inner; expr = expand_calls } in
+  let routines =
+    List.filter_map
+      (fun rname ->
+        if not (needs_clone rname) then None
+        else
+          match Catalog.find_routine cat rname with
+          | Some (kind, r) ->
+              let r' =
+                {
+                  r with
+                  r_name = ns_name r.r_name;
+                  r_body = List.map (m.Rewrite.stmt m) r.r_body;
+                }
+              in
+              Some
+                (match kind with
+                | Catalog.Rfunction -> Screate_function r'
+                | Catalog.Rprocedure -> Screate_procedure r')
+          | None -> None)
+      (Analysis.routines_list analysis)
+  in
+  { routines; main = m.Rewrite.stmt m s }

@@ -1,0 +1,14 @@
+(** Nonsequenced transformation (paper §IV-B).
+
+    Under nonsequenced semantics the timestamps are ordinary columns
+    under the user's control, so statements run conventionally.  The
+    interesting case is a temporal statement modifier {e inside} a
+    routine body (§IV-A), legal only in this context: an inner
+    [VALIDTIME s] expands in place into the MAX plan for [s]; an inner
+    [NONSEQUENCED VALIDTIME s] is stripped.  Routines containing inner
+    modifiers are cloned as [ns_<name>]. *)
+
+type plan = { routines : Sqlast.Ast.stmt list; main : Sqlast.Ast.stmt }
+
+val plan_statements : plan -> Sqlast.Ast.stmt list
+val transform : Sqleval.Catalog.t -> Sqlast.Ast.stmt -> plan

@@ -1,0 +1,37 @@
+(** Per-statement slicing (paper §VI, Figure 11).
+
+    Each sequenced routine becomes a conventional routine
+    [ps_<name>(…, taupsm_bt, taupsm_et)] operating over temporal tables
+    for a whole evaluation period: time-varying variables become
+    temporary variable tables, SET becomes a sequenced splice, RETURN
+    accumulates a temporal result table, and control flow over
+    time-varying state is sliced locally over runtime constant periods.
+    In the invoking query a call becomes a lateral join with
+    [TABLE(ps_f(args, bt, et))], the result period being the
+    intersection (LAST_INSTANCE/FIRST_INSTANCE) of all temporal
+    participants.
+
+    PERST invokes each routine once per distinct argument tuple — flat
+    in the context length — but its per-period cursor processing
+    (auxiliary tables, OFFSET-based FETCH) is expensive, and the mapping
+    is {e incomplete}: a non-nested FETCH (benchmark q17b) raises
+    {!Perst_unsupported}, exactly as in the paper. *)
+
+exception Perst_unsupported of string
+
+type plan = {
+  prep : Sqlast.Ast.stmt list;
+  routines : Sqlast.Ast.stmt list;  (** ps_<name> routine definitions *)
+  main : Sqlast.Ast.stmt;
+}
+
+val plan_statements : plan -> Sqlast.Ast.stmt list
+
+val transform :
+  Sqleval.Catalog.t ->
+  context:(Sqlast.Ast.expr * Sqlast.Ast.expr) option ->
+  Sqlast.Ast.stmt -> plan
+(** Transform a sequenced statement.  Raises {!Perst_unsupported} for
+    the shapes the per-statement mapping cannot express (non-nested
+    FETCH, recursive temporal routines, time-varying procedure
+    arguments, ...). *)

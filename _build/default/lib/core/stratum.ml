@@ -1,0 +1,518 @@
+(* The stratum (paper §III): the layer above the conventional SQL/PSM
+   engine that accepts Temporal SQL/PSM, transforms it source-to-source
+   per its statement modifier, and executes the conventional result.
+
+   - current (no modifier): {!Current}, preserving TUC;
+   - VALIDTIME [bt, et): sequenced, via {!Max_slicing} or
+     {!Perst_slicing} — choose explicitly or let {!Heuristic} decide;
+   - NONSEQUENCED VALIDTIME: {!Nonseq}.
+
+   Sequenced modifications (VALIDTIME INSERT/DELETE/UPDATE) are handled
+   by dedicated splicing entry points below. *)
+
+open Sqlast.Ast
+module Engine = Sqleval.Engine
+module Catalog = Sqleval.Catalog
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Period = Sqldb.Period
+module Table = Sqldb.Table
+module Schema = Sqldb.Schema
+module Database = Sqldb.Database
+
+type strategy = Max | Perst
+
+let strategy_to_string = function Max -> "MAX" | Perst -> "PERST"
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level natives                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* taupsm_constant_periods(points_table, bt, et): adjacent pairs of the
+   sorted distinct values of the named table's first column, clipped to
+   [bt, et).  The engine-level equivalent of the paper's Figure-8
+   ts/cp anti-join (DESIGN.md, substitution table). *)
+let constant_periods_native : Catalog.native_table_fun =
+  {
+    Catalog.ntf_cols = [ Names.begin_col; Names.end_col ];
+    ntf_fn =
+      (fun cat args ->
+        match args with
+        | [ Value.Str tname; bt; et ] ->
+            let bt = Value.to_date_exn bt and et = Value.to_date_exn et in
+            if bt >= et then { RS.cols = [ Names.begin_col; Names.end_col ]; rows = [] }
+            else begin
+              let t = Database.find_table_exn cat.Catalog.db tname in
+              let points = ref [] in
+              Table.iter
+                (fun row ->
+                  match row.(0) with
+                  | Value.Date d -> points := d :: !points
+                  | Value.Null -> ()
+                  | v ->
+                      raise
+                        (Eval.Sql_error
+                           (Printf.sprintf
+                              "taupsm_constant_periods: non-date point %s"
+                              (Value.to_string v))))
+                t;
+              let inside = List.filter (fun d -> d > bt && d < et) !points in
+              let pts = List.sort_uniq Date.compare (bt :: et :: inside) in
+              let rec pairs = function
+                | a :: (b :: _ as rest) ->
+                    [| Value.Date a; Value.Date b |] :: pairs rest
+                | [ _ ] | [] -> []
+              in
+              { RS.cols = [ Names.begin_col; Names.end_col ]; rows = pairs pts }
+            end
+        | _ ->
+            raise
+              (Eval.Sql_error
+                 "taupsm_constant_periods expects (table_name, bt, et)"))
+  }
+
+(* Install the stratum's natives into an engine.  Idempotent. *)
+let install (e : Engine.t) =
+  Catalog.add_native_table_fun (Engine.catalog e) Names.constant_periods_fun
+    constant_periods_native
+
+(* ------------------------------------------------------------------ *)
+(* Transformation dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsupported = Max_slicing.Max_unsupported
+
+(* The conventional statements a temporal statement transforms into.
+   Pure (no execution): usable for display, testing, and execution. *)
+let transform ?(strategy = Max) (e : Engine.t) (ts : temporal_stmt) : stmt list =
+  let cat = Engine.catalog e in
+  match ts.t_modifier with
+  | Mod_current -> Current.plan_statements (Current.transform cat ts.t_stmt)
+  | Mod_nonsequenced -> Nonseq.plan_statements (Nonseq.transform cat ts.t_stmt)
+  | Mod_sequenced ctx -> (
+      match strategy with
+      | Max ->
+          Max_slicing.plan_statements
+            (Max_slicing.transform cat ~context:ctx ts.t_stmt)
+      | Perst ->
+          Perst_slicing.plan_statements
+            (Perst_slicing.transform cat ~context:ctx ts.t_stmt))
+
+(* Render the transformed conventional SQL/PSM as text (the paper's
+   Figures 5/6, 9/10, 11). *)
+let transform_to_sql ?strategy e ts : string =
+  transform ?strategy e ts
+  |> List.map Sqlast.Pretty.stmt_to_string
+  |> String.concat ";\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_plan ?tt_mode (e : Engine.t) (stmts : stmt list) : Eval.exec_result =
+  install e;
+  let rec go = function
+    | [] -> Eval.Unit
+    | [ last ] -> Engine.exec_stmt ?tt_mode e last
+    | s :: rest ->
+        ignore (Engine.exec_stmt ?tt_mode e s);
+        go rest
+  in
+  go stmts
+
+(* The transaction-time reading mode of a statement.  Transaction time
+   is system-maintained, so this is enforced by the engine's scans
+   rather than by source rewriting. *)
+let tt_mode_of (e : Engine.t) (ts : temporal_stmt) : Eval.tt_mode =
+  match ts.t_tt with
+  | Tt_current -> `Current
+  | Tt_nonsequenced -> `All
+  | Tt_asof expr ->
+      let env = Eval.create_env ~now:(Engine.now e) (Engine.catalog e) in
+      `Asof (Value.to_date_exn (Eval.eval_expr env expr))
+
+(* ------------------------------------------------------------------ *)
+(* Sequenced modifications (valid-time splicing)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* VALIDTIME [bt,et) INSERT: the inserted rows are valid over the
+   context period. *)
+let sequenced_insert (e : Engine.t) ~context tname cols src : Eval.exec_result =
+  let bt, et = Transform_util.context_exprs context in
+  let stmt =
+    match src with
+    | Ivalues rows ->
+        Sinsert
+          ( tname,
+            Option.map (fun cs -> cs @ [ Names.begin_col; Names.end_col ]) cols,
+            Ivalues (List.map (fun vs -> vs @ [ bt; et ]) rows) )
+    | Iquery q ->
+        let cols =
+          match cols with
+          | Some cs -> cs
+          | None -> Transform_util.data_column_names (Engine.catalog e) tname
+        in
+        Sinsert
+          ( tname,
+            Some (cols @ [ Names.begin_col; Names.end_col ]),
+            Iquery
+              (Select
+                 {
+                   select_default with
+                   proj =
+                     [ Star; Proj_expr (bt, Some Names.begin_col);
+                       Proj_expr (et, Some Names.end_col) ];
+                   from = [ Tsub (q, "taupsm_src") ];
+                 }) )
+  in
+  Engine.exec_stmt e stmt
+
+(* VALIDTIME [bt,et) DELETE: remove the row's validity within the
+   context; the parts outside the context survive as split rows.  This
+   is classic period splicing, done natively on the storage.  On a table
+   with transaction-time support the splice is append-only: affected
+   tt-current rows are closed at now and the surviving pieces re-enter
+   with a fresh transaction stamp. *)
+let sequenced_delete (e : Engine.t) ~context tname where : Eval.exec_result =
+  install e;
+  let cat = Engine.catalog e in
+  let bt_e, et_e = Transform_util.context_exprs context in
+  let env0 = Eval.create_env ~now:(Engine.now e) cat in
+  let ctx_b = Value.to_date_exn (Eval.eval_expr env0 bt_e) in
+  let ctx_e = Value.to_date_exn (Eval.eval_expr env0 et_e) in
+  let ctx = Period.make ~begin_:ctx_b ~end_:ctx_e in
+  let t = Database.find_table_exn cat.Catalog.db tname in
+  let schema = Table.schema t in
+  if not schema.Schema.temporal then
+    raise (Eval.Sql_error "sequenced DELETE requires a temporal table");
+  let bi = Schema.begin_index schema and ei = Schema.end_index schema in
+  let transactional = schema.Schema.transaction in
+  let now = Engine.now e in
+  let tt_current (row : Value.t array) =
+    (not transactional)
+    || Value.to_date_exn row.(Schema.tt_end_index schema) = Date.forever
+  in
+  let stamp (row : Value.t array) =
+    if transactional then begin
+      row.(Schema.tt_begin_index schema) <- Value.Date now;
+      row.(Schema.tt_end_index schema) <- Value.Date Date.forever
+    end;
+    row
+  in
+  (* Evaluate the predicate per row with the table bound, as DML does. *)
+  let env = Eval.create_env ~now cat in
+  let matches row =
+    let b =
+      {
+        Eval.b_alias = String.lowercase_ascii tname;
+        b_cols =
+          Array.of_list
+            (List.map
+               (fun c -> String.lowercase_ascii c.Schema.col_name)
+               schema.Schema.columns);
+        b_row = row;
+      }
+    in
+    env.Eval.frames <- [ [ b ] ];
+    let r =
+      match where with
+      | None -> true
+      | Some w -> Eval.truthy (Eval.eval_expr env w)
+    in
+    env.Eval.frames <- [];
+    r
+  in
+  let to_split = ref [] in
+  let affected row =
+    let p =
+      Period.make
+        ~begin_:(Value.to_date_exn row.(bi))
+        ~end_:(Value.to_date_exn row.(ei))
+    in
+    if tt_current row && Period.overlaps p ctx && matches row then Some p
+    else None
+  in
+  let n = ref 0 in
+  if transactional then begin
+    (* Close affected versions (removing same-day ones outright). *)
+    ignore
+      (Table.delete_where
+         (fun row ->
+           match affected row with
+           | Some p
+             when Value.to_date_exn row.(Schema.tt_begin_index schema) = now ->
+               incr n;
+               to_split := (row, p) :: !to_split;
+               true
+           | _ -> false)
+         t);
+    ignore
+      (Table.update_where
+         (fun row -> affected row <> None)
+         (fun row ->
+           (match affected row with
+           | Some p ->
+               incr n;
+               to_split := (Array.copy row, p) :: !to_split
+           | None -> ());
+           let closed = Array.copy row in
+           closed.(Schema.tt_end_index schema) <- Value.Date now;
+           closed)
+         t)
+  end
+  else
+    ignore
+      (Table.delete_where
+         (fun row ->
+           match affected row with
+           | Some p ->
+               incr n;
+               to_split := (row, p) :: !to_split;
+               true
+           | None -> false)
+         t);
+  List.iter
+    (fun (row, p) ->
+      List.iter
+        (fun (piece : Period.t) ->
+          let row' = Array.copy row in
+          row'.(bi) <- Value.Date piece.Period.begin_;
+          row'.(ei) <- Value.Date piece.Period.end_;
+          Table.insert t (stamp row'))
+        (Period.subtract p ctx))
+    !to_split;
+  Eval.Affected !n
+
+(* VALIDTIME [bt,et) UPDATE: within the context the row takes the new
+   values; outside it the old values survive (split as needed).  Same
+   append-only behaviour as {!sequenced_delete} on transaction-time
+   tables. *)
+let sequenced_update (e : Engine.t) ~context tname sets where : Eval.exec_result =
+  install e;
+  let cat = Engine.catalog e in
+  let bt_e, et_e = Transform_util.context_exprs context in
+  let env0 = Eval.create_env ~now:(Engine.now e) cat in
+  let ctx_b = Value.to_date_exn (Eval.eval_expr env0 bt_e) in
+  let ctx_e = Value.to_date_exn (Eval.eval_expr env0 et_e) in
+  let ctx = Period.make ~begin_:ctx_b ~end_:ctx_e in
+  let t = Database.find_table_exn cat.Catalog.db tname in
+  let schema = Table.schema t in
+  if not schema.Schema.temporal then
+    raise (Eval.Sql_error "sequenced UPDATE requires a temporal table");
+  let bi = Schema.begin_index schema and ei = Schema.end_index schema in
+  let transactional = schema.Schema.transaction in
+  let now = Engine.now e in
+  let tt_current (row : Value.t array) =
+    (not transactional)
+    || Value.to_date_exn row.(Schema.tt_end_index schema) = Date.forever
+  in
+  let stamp (row : Value.t array) =
+    if transactional then begin
+      row.(Schema.tt_begin_index schema) <- Value.Date now;
+      row.(Schema.tt_end_index schema) <- Value.Date Date.forever
+    end;
+    row
+  in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun c -> String.lowercase_ascii c.Schema.col_name)
+         schema.Schema.columns)
+  in
+  let set_idx =
+    List.map
+      (fun (c, ex) ->
+        let i = Schema.column_index_exn schema c in
+        let ty = (List.nth schema.Schema.columns i).Schema.col_ty in
+        (i, ty, ex))
+      sets
+  in
+  let env = Eval.create_env ~now cat in
+  let with_row row f =
+    let b =
+      { Eval.b_alias = String.lowercase_ascii tname; b_cols = cols; b_row = row }
+    in
+    env.Eval.frames <- [ [ b ] ];
+    let r = f () in
+    env.Eval.frames <- [];
+    r
+  in
+  let matches row =
+    with_row row (fun () ->
+        match where with
+        | None -> true
+        | Some w -> Eval.truthy (Eval.eval_expr env w))
+  in
+  let affected row =
+    let p =
+      Period.make
+        ~begin_:(Value.to_date_exn row.(bi))
+        ~end_:(Value.to_date_exn row.(ei))
+    in
+    if tt_current row && Period.overlaps p ctx && matches row then Some p
+    else None
+  in
+  let touched = ref [] in
+  let n = ref 0 in
+  if transactional then begin
+    ignore
+      (Table.delete_where
+         (fun row ->
+           match affected row with
+           | Some p
+             when Value.to_date_exn row.(Schema.tt_begin_index schema) = now ->
+               incr n;
+               touched := (row, p) :: !touched;
+               true
+           | _ -> false)
+         t);
+    ignore
+      (Table.update_where
+         (fun row -> affected row <> None)
+         (fun row ->
+           (match affected row with
+           | Some p ->
+               incr n;
+               touched := (Array.copy row, p) :: !touched
+           | None -> ());
+           let closed = Array.copy row in
+           closed.(Schema.tt_end_index schema) <- Value.Date now;
+           closed)
+         t)
+  end
+  else
+    ignore
+      (Table.delete_where
+         (fun row ->
+           match affected row with
+           | Some p ->
+               incr n;
+               touched := (row, p) :: !touched;
+               true
+           | None -> false)
+         t);
+  List.iter
+    (fun (row, p) ->
+      (* Unchanged parts outside the context. *)
+      List.iter
+        (fun (piece : Period.t) ->
+          let row' = Array.copy row in
+          row'.(bi) <- Value.Date piece.Period.begin_;
+          row'.(ei) <- Value.Date piece.Period.end_;
+          Table.insert t (stamp row'))
+        (Period.subtract p ctx);
+      (* Updated part inside the context. *)
+      match Period.intersect p ctx with
+      | Some piece ->
+          let row' = Array.copy row in
+          with_row row (fun () ->
+              List.iter
+                (fun (i, ty, ex) ->
+                  row'.(i) <- Value.cast ~ty (Eval.eval_expr env ex))
+                set_idx);
+          row'.(bi) <- Value.Date piece.Period.begin_;
+          row'.(ei) <- Value.Date piece.Period.end_;
+          Table.insert t (stamp row')
+      | None -> ())
+    !touched;
+  Eval.Affected !n
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute a temporal statement end to end.  Sequenced modifications
+   (VALIDTIME INSERT/DELETE/UPDATE) bypass the slicing transformations
+   and use valid-time splicing directly. *)
+let exec ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
+  match (ts.t_modifier, ts.t_stmt) with
+  | Mod_sequenced ctx, Sinsert (t, cols, src) ->
+      sequenced_insert e ~context:ctx t cols src
+  | Mod_sequenced ctx, Sdelete (t, where) -> sequenced_delete e ~context:ctx t where
+  | Mod_sequenced ctx, Supdate (t, sets, where) ->
+      sequenced_update e ~context:ctx t sets where
+  | _ -> exec_plan ~tt_mode:(tt_mode_of e ts) e (transform ?strategy e ts)
+
+let exec_sql ?strategy (e : Engine.t) (sql : string) : Eval.exec_result =
+  exec ?strategy e (Sqlparse.Parser.parse_temporal_stmt sql)
+
+let query ?strategy (e : Engine.t) (sql : string) : RS.t =
+  match exec_sql ?strategy e sql with
+  | Eval.Rows rs -> rs
+  | _ -> raise (Eval.Sql_error "temporal statement did not produce rows")
+
+(* Execute a script of temporal statements (data definition + loading +
+   queries); returns the last statement's result. *)
+let exec_script ?strategy (e : Engine.t) (sql : string) : Eval.exec_result =
+  let stmts = Sqlparse.Parser.parse_script sql in
+  List.fold_left (fun _ ts -> exec ?strategy e ts) Eval.Unit stmts
+
+(* Statement execution with the routine-invocation count (the MAX/PERST
+   cost driver the paper plots as asterisks in Figure 7). *)
+let exec_counting_calls ?strategy (e : Engine.t) (ts : temporal_stmt) :
+    Eval.exec_result * int =
+  install e;
+  let tt_mode = tt_mode_of e ts in
+  let stmts = transform ?strategy e ts in
+  let rec go calls = function
+    | [] -> (Eval.Unit, calls)
+    | [ last ] ->
+        let r, c = Engine.exec_counting_calls ~tt_mode e last in
+        (r, calls + c)
+    | s :: rest ->
+        let _, c = Engine.exec_counting_calls ~tt_mode e s in
+        go (calls + c) rest
+  in
+  go 0 stmts
+
+(* ------------------------------------------------------------------ *)
+(* Temporal result utilities                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Timeslice a temporal result set at an instant: rows valid at [d],
+   with the timestamp columns dropped.  Used by the commutativity
+   checker and by clients consuming sequenced results. *)
+let timeslice_result (rs : RS.t) (d : Date.t) : RS.t =
+  let bi = RS.column_index_exn rs Names.begin_col in
+  let ei = RS.column_index_exn rs Names.end_col in
+  let keep l = List.filteri (fun i _ -> i <> bi && i <> ei) l in
+  {
+    RS.cols = keep rs.RS.cols;
+    rows =
+      List.filter_map
+        (fun row ->
+          let b = Value.to_date_exn row.(bi) and e = Value.to_date_exn row.(ei) in
+          if b <= d && d < e then
+            Some
+              (Array.of_list
+                 (keep (Array.to_list row)))
+          else None)
+        rs.RS.rows;
+  }
+
+(* Coalesce a temporal result set: merge value-equivalent rows with
+   adjacent or overlapping periods into maximal periods. *)
+let coalesce_result (rs : RS.t) : RS.t =
+  let bi = RS.column_index_exn rs Names.begin_col in
+  let ei = RS.column_index_exn rs Names.end_col in
+  let keep row = List.filteri (fun i _ -> i <> bi && i <> ei) row in
+  let pairs =
+    List.map
+      (fun row ->
+        let b = Value.to_date_exn row.(bi) and e = Value.to_date_exn row.(ei) in
+        (keep (Array.to_list row), Period.make ~begin_:b ~end_:e))
+      rs.RS.rows
+  in
+  let eqv a b = List.for_all2 Value.equal a b in
+  let coalesced = Period.coalesce ~equal_value:eqv pairs in
+  {
+    RS.cols = keep rs.RS.cols @ [ Names.begin_col; Names.end_col ];
+    rows =
+      List.map
+        (fun (vals, (p : Period.t)) ->
+          Array.of_list
+            (vals @ [ Value.Date p.Period.begin_; Value.Date p.Period.end_ ]))
+        coalesced;
+  }

@@ -1,0 +1,88 @@
+(** The temporal stratum (paper §III): the layer above the conventional
+    SQL/PSM engine that accepts Temporal SQL/PSM, transforms it
+    source-to-source according to its statement modifier, and executes
+    the conventional result.
+
+    - no modifier: {e current} semantics via {!Current} (preserving
+      temporal upward compatibility);
+    - [VALIDTIME [bt, et)]: {e sequenced} semantics via {!Max_slicing}
+      or {!Perst_slicing}, chosen explicitly or by {!Heuristic};
+    - [NONSEQUENCED VALIDTIME]: via {!Nonseq}. *)
+
+type strategy = Max | Perst
+
+val strategy_to_string : strategy -> string
+
+val install : Sqleval.Engine.t -> unit
+(** Install the stratum's engine-level natives (the constant-period
+    table function) into an engine.  Idempotent; performed implicitly by
+    the [exec*] entry points. *)
+
+exception Unsupported of string
+(** Alias of {!Max_slicing.Max_unsupported}. *)
+
+val transform :
+  ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->
+  Sqlast.Ast.stmt list
+(** The conventional statements a temporal statement transforms into,
+    in execution order (preparation, routine definitions, main).  Pure:
+    nothing is executed. *)
+
+val transform_to_sql :
+  ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> string
+(** {!transform}, rendered as SQL/PSM text — the paper's Figures 5/6,
+    9/10 and 11. *)
+
+val exec_plan :
+  ?tt_mode:Sqleval.Eval.tt_mode -> Sqleval.Engine.t -> Sqlast.Ast.stmt list ->
+  Sqleval.Eval.exec_result
+
+val tt_mode_of :
+  Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Sqleval.Eval.tt_mode
+(** The transaction-time reading mode a statement's modifier requests. *)
+
+val exec :
+  ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->
+  Sqleval.Eval.exec_result
+val exec_sql :
+  ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Eval.exec_result
+val query : ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Result_set.t
+val exec_script :
+  ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Eval.exec_result
+
+val exec_counting_calls :
+  ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->
+  Sqleval.Eval.exec_result * int
+(** Execute and report the number of stored-routine invocations (the
+    paper's Figure-7 asterisks). *)
+
+(** {1 Sequenced modifications}
+
+    Valid-time splicing: the statement applies within the context
+    period; validity outside it survives, split as needed. *)
+
+val sequenced_insert :
+  Sqleval.Engine.t ->
+  context:(Sqlast.Ast.expr * Sqlast.Ast.expr) option ->
+  string -> string list option -> Sqlast.Ast.insert_src ->
+  Sqleval.Eval.exec_result
+
+val sequenced_delete :
+  Sqleval.Engine.t ->
+  context:(Sqlast.Ast.expr * Sqlast.Ast.expr) option ->
+  string -> Sqlast.Ast.expr option -> Sqleval.Eval.exec_result
+
+val sequenced_update :
+  Sqleval.Engine.t ->
+  context:(Sqlast.Ast.expr * Sqlast.Ast.expr) option ->
+  string -> (string * Sqlast.Ast.expr) list -> Sqlast.Ast.expr option ->
+  Sqleval.Eval.exec_result
+
+(** {1 Temporal result utilities} *)
+
+val timeslice_result : Sqleval.Result_set.t -> Sqldb.Date.t -> Sqleval.Result_set.t
+(** Rows valid at the instant, timestamp columns dropped. *)
+
+val coalesce_result : Sqleval.Result_set.t -> Sqleval.Result_set.t
+(** Merge value-equivalent rows with adjacent/overlapping periods into
+    maximal periods. *)

@@ -1,0 +1,1 @@
+lib/sqlast/ast.ml: List Sqldb

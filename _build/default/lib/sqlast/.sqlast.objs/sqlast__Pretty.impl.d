@@ -1,0 +1,1 @@
+lib/sqlast/pretty.ml: Ast Format List Sqldb String

@@ -1,0 +1,1 @@
+lib/sqlast/rewrite.ml: Ast List Option

@@ -1,0 +1,430 @@
+(* Pretty printer: AST -> SQL/PSM text.
+
+   Output is valid input for the parser (round-trip tested), so the
+   stratum can both execute transformed ASTs and display them as the
+   conventional SQL/PSM the paper's figures show. *)
+
+open Ast
+module F = Format
+
+let keyword ppf s = F.pp_print_string ppf s
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Concat -> "||"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+(* Precedence levels for parenthesization, higher binds tighter. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge -> 4
+  | Add | Sub | Concat -> 5
+  | Mul | Div | Mod -> 6
+
+let expr_prec = function
+  | Binop (op, _, _) -> binop_prec op
+  | Unop (Not, _) -> 3
+  | In_pred _ | Between _ | Is_null _ | Like _ -> 4
+  | _ -> 10
+
+let agg_name = function
+  | Count_star | Count -> "COUNT"
+  | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+
+let rec pp_expr ?(prec = 0) ppf e =
+  let p = expr_prec e in
+  let atom fmt = F.fprintf ppf fmt in
+  let wrap body =
+    if p < prec then begin
+      F.pp_print_char ppf '(';
+      body ();
+      F.pp_print_char ppf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Lit v -> atom "%s" (Sqldb.Value.to_literal v)
+  | Col (None, c) -> atom "%s" c
+  | Col (Some q, c) -> atom "%s.%s" q c
+  | Binop (((And | Or) as op), a, b) ->
+      wrap (fun () ->
+          F.fprintf ppf "@[<hv>%a@ %s %a@]"
+            (pp_expr ~prec:p) a (binop_str op)
+            (pp_expr ~prec:(p + 1)) b)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      (* Comparisons and predicates are non-associative: equal-precedence
+         operands must be parenthesized to round-trip. *)
+      wrap (fun () ->
+          F.fprintf ppf "%a %s %a"
+            (pp_expr ~prec:(p + 1)) a (binop_str op)
+            (pp_expr ~prec:(p + 1)) b)
+  | Binop (op, a, b) ->
+      wrap (fun () ->
+          F.fprintf ppf "%a %s %a"
+            (pp_expr ~prec:p) a (binop_str op)
+            (pp_expr ~prec:(p + 1)) b)
+  | Unop (Neg, a) ->
+      (* Parenthesize an operand that would itself start with '-': the
+         lexer reads "--" as a line comment. *)
+      let needs_parens =
+        match a with
+        | Unop (Neg, _) -> true
+        | Lit (Sqldb.Value.Int n) -> n < 0
+        | Lit (Sqldb.Value.Float f) -> f < 0.0
+        | _ -> false
+      in
+      wrap (fun () ->
+          if needs_parens then F.fprintf ppf "-(%a)" (pp_expr ~prec:0) a
+          else F.fprintf ppf "-%a" (pp_expr ~prec:9) a)
+  | Unop (Not, a) -> wrap (fun () -> F.fprintf ppf "NOT %a" (pp_expr ~prec:4) a)
+  | Fun_call (name, args) ->
+      if args = [] && String.lowercase_ascii name = "current_date" then
+        atom "CURRENT_DATE"
+      else
+        F.fprintf ppf "%s(%a)" name pp_expr_comma_list args
+  | Agg (Count_star, _, _) -> atom "COUNT(*)"
+  | Agg (a, distinct, Some arg) ->
+      F.fprintf ppf "%s(%s%a)" (agg_name a)
+        (if distinct then "DISTINCT " else "")
+        (pp_expr ~prec:0) arg
+  | Agg (a, _, None) -> F.fprintf ppf "%s(*)" (agg_name a)
+  | Cast (e, ty) ->
+      F.fprintf ppf "CAST(%a AS %s)" (pp_expr ~prec:0) e (Sqldb.Value.ty_to_string ty)
+  | Case c ->
+      F.fprintf ppf "@[<hv 2>CASE";
+      (match c.case_operand with
+      | None -> ()
+      | Some op -> F.fprintf ppf " %a" (pp_expr ~prec:0) op);
+      List.iter
+        (fun (w, t) ->
+          F.fprintf ppf "@ WHEN %a THEN %a" (pp_expr ~prec:0) w (pp_expr ~prec:0) t)
+        c.case_branches;
+      (match c.case_else with
+      | None -> ()
+      | Some e -> F.fprintf ppf "@ ELSE %a" (pp_expr ~prec:0) e);
+      F.fprintf ppf "@ END@]"
+  | Exists q -> F.fprintf ppf "EXISTS (@[<hv>%a@])" pp_query q
+  | In_pred (e, src, neg) ->
+      wrap (fun () ->
+          F.fprintf ppf "%a %sIN " (pp_expr ~prec:5) e (if neg then "NOT " else "");
+          match src with
+          | In_list es -> F.fprintf ppf "(%a)" pp_expr_comma_list es
+          | In_query q -> F.fprintf ppf "(@[<hv>%a@])" pp_query q)
+  | Between (e, lo, hi, neg) ->
+      wrap (fun () ->
+          F.fprintf ppf "%a %sBETWEEN %a AND %a" (pp_expr ~prec:5) e
+            (if neg then "NOT " else "")
+            (pp_expr ~prec:5) lo (pp_expr ~prec:5) hi)
+  | Is_null (e, neg) ->
+      wrap (fun () ->
+          F.fprintf ppf "%a IS %sNULL" (pp_expr ~prec:5) e
+            (if neg then "NOT " else ""))
+  | Like (e, pat, neg) ->
+      wrap (fun () ->
+          F.fprintf ppf "%a %sLIKE %a" (pp_expr ~prec:5) e
+            (if neg then "NOT " else "")
+            (pp_expr ~prec:5) pat)
+  | Scalar_subquery q -> F.fprintf ppf "(@[<hv>%a@])" pp_query q
+
+and pp_expr_comma_list ppf es =
+  F.pp_print_list
+    ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+    (pp_expr ~prec:0) ppf es
+
+and pp_proj ppf = function
+  | Star -> keyword ppf "*"
+  | Qual_star q -> F.fprintf ppf "%s.*" q
+  | Proj_expr (e, None) -> pp_expr ppf e
+  | Proj_expr (e, Some a) -> F.fprintf ppf "%a AS %s" (pp_expr ~prec:0) e a
+
+and pp_table_ref ppf = function
+  | Tref (name, None) -> F.pp_print_string ppf name
+  | Tref (name, Some a) -> F.fprintf ppf "%s %s" name a
+  | Tsub (q, a) -> F.fprintf ppf "(@[<hv>%a@]) %s" pp_query q a
+  | Tfun (f, args, a) ->
+      F.fprintf ppf "TABLE(%s(%a)) %s" f pp_expr_comma_list args a
+  | Tjoin (l, k, r, on) ->
+      F.fprintf ppf "@[<hv>%a@ %s %a ON %a@]" pp_table_ref l
+        (match k with Jinner -> "INNER JOIN" | Jleft -> "LEFT JOIN")
+        pp_table_ref r (pp_expr ~prec:0) on
+
+and pp_select ppf s =
+  F.fprintf ppf "@[<hv 2>SELECT %s@[<hv>%a@]"
+    (if s.distinct then "DISTINCT " else "")
+    (F.pp_print_list ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ") pp_proj)
+    s.proj;
+  if s.from <> [] then
+    F.fprintf ppf "@ FROM @[<hv>%a@]"
+      (F.pp_print_list ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ") pp_table_ref)
+      s.from;
+  (match s.where with
+  | None -> ()
+  | Some w -> F.fprintf ppf "@ WHERE @[<hv>%a@]" (pp_expr ~prec:0) w);
+  if s.group_by <> [] then
+    F.fprintf ppf "@ GROUP BY %a" pp_expr_comma_list s.group_by;
+  (match s.having with
+  | None -> ()
+  | Some h -> F.fprintf ppf "@ HAVING @[<hv>%a@]" (pp_expr ~prec:0) h);
+  if s.order_by <> [] then
+    F.fprintf ppf "@ ORDER BY %a"
+      (F.pp_print_list
+         ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+         (fun ppf (e, d) ->
+           F.fprintf ppf "%a%s" (pp_expr ~prec:0) e
+             (match d with Asc -> "" | Desc -> " DESC")))
+      s.order_by;
+  (match s.offset with
+  | None -> ()
+  | Some n -> F.fprintf ppf "@ OFFSET %a ROWS" (pp_expr ~prec:0) n);
+  (match s.fetch_first with
+  | None -> ()
+  | Some n -> F.fprintf ppf "@ FETCH FIRST %a ROWS ONLY" (pp_expr ~prec:0) n);
+  F.fprintf ppf "@]"
+
+and pp_query ppf q =
+  (* Set operations parse left-associatively, so a set operation on the
+     right must be parenthesized to round-trip. *)
+  let pp_rhs ppf = function
+    | Select _ as r -> pp_query ppf r
+    | r -> F.fprintf ppf "(@[<hv>%a@])" pp_query r
+  in
+  match q with
+  | Select s -> pp_select ppf s
+  | Union (all, a, b) ->
+      F.fprintf ppf "@[<hv>%a@ UNION%s@ %a@]" pp_query a
+        (if all then " ALL" else "")
+        pp_rhs b
+  | Except (all, a, b) ->
+      F.fprintf ppf "@[<hv>%a@ EXCEPT%s@ %a@]" pp_query a
+        (if all then " ALL" else "")
+        pp_rhs b
+  | Intersect (all, a, b) ->
+      F.fprintf ppf "@[<hv>%a@ INTERSECT%s@ %a@]" pp_query a
+        (if all then " ALL" else "")
+        pp_rhs b
+
+let pp_column_def ppf cd =
+  F.fprintf ppf "%s %s" cd.cd_name (Sqldb.Value.ty_to_string cd.cd_ty)
+
+let pp_column_defs ppf cds =
+  F.pp_print_list ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ") pp_column_def ppf cds
+
+let pp_param ppf p =
+  let mode =
+    match p.p_mode with Pin -> "" | Pout -> "OUT " | Pinout -> "INOUT "
+  in
+  F.fprintf ppf "%s%s %s" mode p.p_name (Sqldb.Value.ty_to_string p.p_ty)
+
+let pp_returns ppf = function
+  | Ret_scalar ty -> F.fprintf ppf "RETURNS %s" (Sqldb.Value.ty_to_string ty)
+  | Ret_table cols -> F.fprintf ppf "RETURNS TABLE (@[<hv>%a@])" pp_column_defs cols
+
+let rec pp_stmt ppf (s : stmt) =
+  match s with
+  | Squery q -> pp_query ppf q
+  | Sinsert (t, cols, src) ->
+      F.fprintf ppf "@[<hv 2>INSERT INTO %s" t;
+      (match cols with
+      | None -> ()
+      | Some cs ->
+          F.fprintf ppf " (%a)"
+            (F.pp_print_list
+               ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+               F.pp_print_string)
+            cs);
+      (match src with
+      | Ivalues rows ->
+          F.fprintf ppf "@ VALUES %a"
+            (F.pp_print_list
+               ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+               (fun ppf row -> F.fprintf ppf "(%a)" pp_expr_comma_list row))
+            rows
+      | Iquery q -> F.fprintf ppf "@ %a" pp_query q);
+      F.fprintf ppf "@]"
+  | Supdate (t, sets, where) ->
+      F.fprintf ppf "@[<hv 2>UPDATE %s SET %a" t
+        (F.pp_print_list
+           ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+           (fun ppf (c, e) -> F.fprintf ppf "%s = %a" c (pp_expr ~prec:0) e))
+        sets;
+      (match where with
+      | None -> ()
+      | Some w -> F.fprintf ppf "@ WHERE %a" (pp_expr ~prec:0) w);
+      F.fprintf ppf "@]"
+  | Sdelete (t, where) ->
+      F.fprintf ppf "@[<hv 2>DELETE FROM %s" t;
+      (match where with
+      | None -> ()
+      | Some w -> F.fprintf ppf "@ WHERE %a" (pp_expr ~prec:0) w);
+      F.fprintf ppf "@]"
+  | Screate_table ct ->
+      F.fprintf ppf "@[<hv 2>CREATE %sTABLE %s"
+        (if ct.ct_temp then "TEMPORARY " else "")
+        ct.ct_name;
+      if ct.ct_cols <> [] then F.fprintf ppf " (@[<hv>%a@])" pp_column_defs ct.ct_cols;
+      (match ct.ct_as with
+      | None -> ()
+      | Some q -> F.fprintf ppf "@ AS (@[<hv>%a@])" pp_query q);
+      (match (ct.ct_temporal, ct.ct_transaction) with
+      | true, true -> F.fprintf ppf "@ WITH VALIDTIME AND TRANSACTIONTIME"
+      | true, false -> F.fprintf ppf "@ WITH VALIDTIME"
+      | false, true -> F.fprintf ppf "@ WITH TRANSACTIONTIME"
+      | false, false -> ());
+      F.fprintf ppf "@]"
+  | Sdrop_table t -> F.fprintf ppf "DROP TABLE %s" t
+  | Screate_view (v, q) ->
+      F.fprintf ppf "@[<hv 2>CREATE VIEW %s AS (@[<hv>%a@])@]" v pp_query q
+  | Screate_function r -> pp_routine ppf ~kind:"FUNCTION" r
+  | Screate_procedure r -> pp_routine ppf ~kind:"PROCEDURE" r
+  | Scall (p, args) -> F.fprintf ppf "CALL %s(%a)" p pp_expr_comma_list args
+  | Sdeclare (names, ty, init) ->
+      F.fprintf ppf "DECLARE %a %s"
+        (F.pp_print_list
+           ~pp_sep:(fun ppf () -> F.fprintf ppf ", ")
+           F.pp_print_string)
+        names
+        (Sqldb.Value.ty_to_string ty);
+      (match init with
+      | None -> ()
+      | Some e -> F.fprintf ppf " DEFAULT %a" (pp_expr ~prec:0) e)
+  | Sdeclare_cursor (c, q) ->
+      F.fprintf ppf "@[<hv 2>DECLARE %s CURSOR FOR@ %a@]" c pp_query q
+  | Sdeclare_handler s ->
+      F.fprintf ppf "@[<hv 2>DECLARE CONTINUE HANDLER FOR NOT FOUND@ %a@]"
+        pp_stmt s
+  | Sset (v, e) -> F.fprintf ppf "@[<hv 2>SET %s =@ %a@]" v (pp_expr ~prec:0) e
+  | Sselect_into (sel, vars) ->
+      (* SELECT <proj> INTO <vars> FROM ... *)
+      let proj_part ppf () =
+        F.pp_print_list
+          ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+          pp_proj ppf sel.proj
+      in
+      F.fprintf ppf "@[<hv 2>SELECT %s%a@ INTO %a"
+        (if sel.distinct then "DISTINCT " else "")
+        proj_part ()
+        (F.pp_print_list
+           ~pp_sep:(fun ppf () -> F.fprintf ppf ", ")
+           F.pp_print_string)
+        vars;
+      if sel.from <> [] then
+        F.fprintf ppf "@ FROM @[<hv>%a@]"
+          (F.pp_print_list
+             ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ")
+             pp_table_ref)
+          sel.from;
+      (match sel.where with
+      | None -> ()
+      | Some w -> F.fprintf ppf "@ WHERE @[<hv>%a@]" (pp_expr ~prec:0) w);
+      F.fprintf ppf "@]"
+  | Sif (branches, els) ->
+      let pp_branch first ppf (cond, body) =
+        F.fprintf ppf "@[<v 2>%s %a THEN@ %a@]"
+          (if first then "IF" else "ELSEIF")
+          (pp_expr ~prec:0) cond pp_body body
+      in
+      (match branches with
+      | [] -> ()
+      | b :: rest ->
+          pp_branch true ppf b;
+          List.iter (fun b -> F.fprintf ppf "@ %a" (pp_branch false) b) rest);
+      (match els with
+      | None -> ()
+      | Some body -> F.fprintf ppf "@ @[<v 2>ELSE@ %a@]" pp_body body);
+      F.fprintf ppf "@ END IF"
+  | Scase_stmt (operand, branches, els) ->
+      F.fprintf ppf "@[<v 2>CASE";
+      (match operand with
+      | None -> ()
+      | Some e -> F.fprintf ppf " %a" (pp_expr ~prec:0) e);
+      List.iter
+        (fun (w, body) ->
+          F.fprintf ppf "@ @[<v 2>WHEN %a THEN@ %a@]" (pp_expr ~prec:0) w pp_body
+            body)
+        branches;
+      (match els with
+      | None -> ()
+      | Some body -> F.fprintf ppf "@ @[<v 2>ELSE@ %a@]" pp_body body);
+      F.fprintf ppf "@]@ END CASE"
+  | Swhile (label, cond, body) ->
+      pp_label ppf label;
+      F.fprintf ppf "@[<v 2>WHILE %a DO@ %a@]@ END WHILE" (pp_expr ~prec:0) cond
+        pp_body body
+  | Srepeat (label, body, cond) ->
+      pp_label ppf label;
+      F.fprintf ppf "@[<v 2>REPEAT@ %a@]@ UNTIL %a@ END REPEAT" pp_body body
+        (pp_expr ~prec:0) cond
+  | Sfor f ->
+      pp_label ppf f.for_label;
+      F.fprintf ppf "@[<v 2>FOR %a DO@ %a@]@ END FOR" pp_query f.for_query
+        pp_body f.for_body
+  | Sloop (label, body) ->
+      pp_label ppf label;
+      F.fprintf ppf "@[<v 2>LOOP@ %a@]@ END LOOP" pp_body body
+  | Sleave l -> F.fprintf ppf "LEAVE %s" l
+  | Siterate l -> F.fprintf ppf "ITERATE %s" l
+  | Sopen c -> F.fprintf ppf "OPEN %s" c
+  | Sclose c -> F.fprintf ppf "CLOSE %s" c
+  | Sfetch (c, vars) ->
+      F.fprintf ppf "FETCH %s INTO %a" c
+        (F.pp_print_list
+           ~pp_sep:(fun ppf () -> F.fprintf ppf ", ")
+           F.pp_print_string)
+        vars
+  | Sreturn None -> F.fprintf ppf "RETURN"
+  | Sreturn (Some e) -> F.fprintf ppf "@[<hv 2>RETURN %a@]" (pp_expr ~prec:0) e
+  | Sreturn_query q ->
+      F.fprintf ppf "@[<hv 2>RETURN TABLE (@[<hv>%a@])@]" pp_query q
+  | Sbegin body -> F.fprintf ppf "@[<v 2>BEGIN@ %a@]@ END" pp_body body
+  | Stemporal (m, s) ->
+      (match m with
+      | Min_sequenced None -> F.fprintf ppf "VALIDTIME "
+      | Min_sequenced (Some (bt, et)) ->
+          F.fprintf ppf "VALIDTIME [%a, %a) " (pp_expr ~prec:0) bt
+            (pp_expr ~prec:0) et
+      | Min_nonsequenced -> F.fprintf ppf "NONSEQUENCED VALIDTIME ");
+      pp_stmt ppf s
+
+and pp_label ppf = function
+  | None -> ()
+  | Some l -> F.fprintf ppf "%s: " l
+
+and pp_body ppf stmts =
+  F.pp_print_list
+    ~pp_sep:(fun ppf () -> F.fprintf ppf "@ ")
+    (fun ppf s -> F.fprintf ppf "%a;" pp_stmt s)
+    ppf stmts
+
+and pp_routine ppf ~kind r =
+  F.fprintf ppf "@[<v 2>CREATE %s %s (@[<hv>%a@])" kind r.r_name
+    (F.pp_print_list ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ") pp_param)
+    r.r_params;
+  (match r.r_returns with
+  | None -> ()
+  | Some ret -> F.fprintf ppf "@ %a" pp_returns ret);
+  F.fprintf ppf "@ READS SQL DATA@ LANGUAGE SQL@ @[<v 2>BEGIN@ %a@]@ END@]"
+    pp_body r.r_body
+
+let pp_modifier ppf = function
+  | Mod_current -> ()
+  | Mod_sequenced None -> F.fprintf ppf "VALIDTIME "
+  | Mod_sequenced (Some (bt, et)) ->
+      F.fprintf ppf "VALIDTIME [%a, %a) " (pp_expr ~prec:0) bt (pp_expr ~prec:0) et
+  | Mod_nonsequenced -> F.fprintf ppf "NONSEQUENCED VALIDTIME "
+
+let pp_tt_modifier ppf = function
+  | Tt_current -> ()
+  | Tt_asof e -> F.fprintf ppf "TRANSACTIONTIME AS OF %a " (pp_expr ~prec:0) e
+  | Tt_nonsequenced -> F.fprintf ppf "NONSEQUENCED TRANSACTIONTIME "
+
+let pp_temporal_stmt ppf ts =
+  F.fprintf ppf "%a%a%a" pp_modifier ts.t_modifier pp_tt_modifier ts.t_tt
+    pp_stmt ts.t_stmt
+
+let to_string pp x = Format.asprintf "%a" pp x
+let expr_to_string e = to_string (pp_expr ~prec:0) e
+let query_to_string q = to_string pp_query q
+let stmt_to_string s = to_string pp_stmt s
+let temporal_stmt_to_string ts = to_string pp_temporal_stmt ts

@@ -1,0 +1,154 @@
+(* Generic bottom-up AST rewriting.
+
+   A [mapper] is a record of per-node functions, each receiving the
+   mapper itself so overrides compose: start from [default] (pure
+   structural recursion) and replace the cases you care about.  All
+   three temporal transformations (current, MAX, PERST) are expressed
+   as mappers over this machinery. *)
+
+open Ast
+
+type mapper = {
+  expr : mapper -> expr -> expr;
+  select : mapper -> select -> select;
+  query : mapper -> query -> query;
+  stmt : mapper -> stmt -> stmt;
+  table_ref : mapper -> table_ref -> table_ref;
+}
+
+let default_expr m (e : expr) : expr =
+  match e with
+  | Lit _ | Col _ -> e
+  | Binop (op, a, b) -> Binop (op, m.expr m a, m.expr m b)
+  | Unop (op, a) -> Unop (op, m.expr m a)
+  | Fun_call (name, args) -> Fun_call (name, List.map (m.expr m) args)
+  | Agg (af, d, arg) -> Agg (af, d, Option.map (m.expr m) arg)
+  | Cast (a, ty) -> Cast (m.expr m a, ty)
+  | Case c ->
+      Case
+        {
+          case_operand = Option.map (m.expr m) c.case_operand;
+          case_branches =
+            List.map (fun (w, t) -> (m.expr m w, m.expr m t)) c.case_branches;
+          case_else = Option.map (m.expr m) c.case_else;
+        }
+  | Exists q -> Exists (m.query m q)
+  | In_pred (a, In_list es, neg) ->
+      In_pred (m.expr m a, In_list (List.map (m.expr m) es), neg)
+  | In_pred (a, In_query q, neg) -> In_pred (m.expr m a, In_query (m.query m q), neg)
+  | Between (a, lo, hi, neg) -> Between (m.expr m a, m.expr m lo, m.expr m hi, neg)
+  | Is_null (a, neg) -> Is_null (m.expr m a, neg)
+  | Like (a, p, neg) -> Like (m.expr m a, m.expr m p, neg)
+  | Scalar_subquery q -> Scalar_subquery (m.query m q)
+
+let default_select m (s : select) : select =
+  {
+    distinct = s.distinct;
+    proj =
+      List.map
+        (function
+          | Proj_expr (e, a) -> Proj_expr (m.expr m e, a)
+          | (Star | Qual_star _) as p -> p)
+        s.proj;
+    from = List.map (m.table_ref m) s.from;
+    where = Option.map (m.expr m) s.where;
+    group_by = List.map (m.expr m) s.group_by;
+    having = Option.map (m.expr m) s.having;
+    order_by = List.map (fun (e, d) -> (m.expr m e, d)) s.order_by;
+    offset = Option.map (m.expr m) s.offset;
+    fetch_first = Option.map (m.expr m) s.fetch_first;
+  }
+
+let rec default_table_ref m (tr : table_ref) : table_ref =
+  match tr with
+  | Tref _ -> tr
+  | Tsub (q, a) -> Tsub (m.query m q, a)
+  | Tfun (f, args, a) -> Tfun (f, List.map (m.expr m) args, a)
+  | Tjoin (l, k, r, on) ->
+      Tjoin (default_table_ref m l, k, default_table_ref m r, m.expr m on)
+
+let default_query m (q : query) : query =
+  match q with
+  | Select s -> Select (m.select m s)
+  | Union (all, a, b) -> Union (all, m.query m a, m.query m b)
+  | Except (all, a, b) -> Except (all, m.query m a, m.query m b)
+  | Intersect (all, a, b) -> Intersect (all, m.query m a, m.query m b)
+
+let default_stmt m (s : stmt) : stmt =
+  match s with
+  | Squery q -> Squery (m.query m q)
+  | Sinsert (t, cols, Ivalues rows) ->
+      Sinsert (t, cols, Ivalues (List.map (List.map (m.expr m)) rows))
+  | Sinsert (t, cols, Iquery q) -> Sinsert (t, cols, Iquery (m.query m q))
+  | Supdate (t, sets, where) ->
+      Supdate
+        ( t,
+          List.map (fun (c, e) -> (c, m.expr m e)) sets,
+          Option.map (m.expr m) where )
+  | Sdelete (t, where) -> Sdelete (t, Option.map (m.expr m) where)
+  | Screate_table ct ->
+      Screate_table { ct with ct_as = Option.map (m.query m) ct.ct_as }
+  | Sdrop_table _ -> s
+  | Screate_view (v, q) -> Screate_view (v, m.query m q)
+  | Screate_function r ->
+      Screate_function { r with r_body = List.map (m.stmt m) r.r_body }
+  | Screate_procedure r ->
+      Screate_procedure { r with r_body = List.map (m.stmt m) r.r_body }
+  | Scall (p, args) -> Scall (p, List.map (m.expr m) args)
+  | Sdeclare (ns, ty, init) -> Sdeclare (ns, ty, Option.map (m.expr m) init)
+  | Sdeclare_cursor (c, q) -> Sdeclare_cursor (c, m.query m q)
+  | Sdeclare_handler h -> Sdeclare_handler (m.stmt m h)
+  | Sset (v, e) -> Sset (v, m.expr m e)
+  | Sselect_into (sel, vars) -> Sselect_into (m.select m sel, vars)
+  | Sif (branches, els) ->
+      Sif
+        ( List.map (fun (c, body) -> (m.expr m c, List.map (m.stmt m) body)) branches,
+          Option.map (List.map (m.stmt m)) els )
+  | Scase_stmt (op, branches, els) ->
+      Scase_stmt
+        ( Option.map (m.expr m) op,
+          List.map (fun (c, body) -> (m.expr m c, List.map (m.stmt m) body)) branches,
+          Option.map (List.map (m.stmt m)) els )
+  | Swhile (l, c, body) -> Swhile (l, m.expr m c, List.map (m.stmt m) body)
+  | Srepeat (l, body, c) -> Srepeat (l, List.map (m.stmt m) body, m.expr m c)
+  | Sfor f ->
+      Sfor
+        {
+          f with
+          for_query = m.query m f.for_query;
+          for_body = List.map (m.stmt m) f.for_body;
+        }
+  | Sloop (l, body) -> Sloop (l, List.map (m.stmt m) body)
+  | Sleave _ | Siterate _ | Sopen _ | Sclose _ | Sfetch _ -> s
+  | Sreturn e -> Sreturn (Option.map (m.expr m) e)
+  | Sreturn_query q -> Sreturn_query (m.query m q)
+  | Sbegin body -> Sbegin (List.map (m.stmt m) body)
+  | Stemporal (mi, s') -> Stemporal (mi, m.stmt m s')
+
+let default : mapper =
+  {
+    expr = default_expr;
+    select = default_select;
+    query = default_query;
+    stmt = default_stmt;
+    table_ref = default_table_ref;
+  }
+
+(* Convenience: rewrite every stored-function call (name, args) in an
+   expression tree, descending into subqueries as well. *)
+let map_fun_calls ~(f : string -> expr list -> expr option) (e : expr) : expr =
+  let m =
+    {
+      default with
+      expr =
+        (fun m e ->
+          match e with
+          | Fun_call (name, args) -> (
+              let args = List.map (m.expr m) args in
+              match f name args with
+              | Some e' -> e'
+              | None -> Fun_call (name, args))
+          | _ -> default_expr m e);
+    }
+  in
+  m.expr m e

@@ -1,0 +1,1 @@
+lib/sqldb/database.ml: Hashtbl List String Table

@@ -1,0 +1,1 @@
+lib/sqldb/date.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/sqldb/date.mli: Format

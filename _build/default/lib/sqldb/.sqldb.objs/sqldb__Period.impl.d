@@ -1,0 +1,1 @@
+lib/sqldb/period.ml: Date Format Fun List Printf

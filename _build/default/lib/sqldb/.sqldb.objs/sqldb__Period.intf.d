@@ -1,0 +1,1 @@
+lib/sqldb/period.mli: Date Format

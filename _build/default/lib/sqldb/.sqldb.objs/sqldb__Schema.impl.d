@@ -1,0 +1,1 @@
+lib/sqldb/schema.ml: Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/sqldb/table.ml: Array Format List Period Printf Schema Value Vec

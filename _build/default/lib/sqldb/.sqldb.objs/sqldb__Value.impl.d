@@ -1,0 +1,1 @@
+lib/sqldb/value.ml: Bool Buffer Date Float Format Int Printf String

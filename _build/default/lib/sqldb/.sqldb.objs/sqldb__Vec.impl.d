@@ -1,0 +1,1 @@
+lib/sqldb/vec.ml: Array

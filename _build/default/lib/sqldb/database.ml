@@ -1,0 +1,57 @@
+(* The storage-level catalog: named base tables and temporary tables.
+   Views and stored routines carry SQL ASTs, so their registries live one
+   layer up, in the engine (lib/sqleval).  Names are case-insensitive. *)
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  temp_tables : (string, Table.t) Hashtbl.t;
+}
+
+let create () = { tables = Hashtbl.create 16; temp_tables = Hashtbl.create 16 }
+
+let key = String.lowercase_ascii
+
+exception No_such_table of string
+exception Duplicate_table of string
+
+let find_table db name =
+  let k = key name in
+  match Hashtbl.find_opt db.temp_tables k with
+  | Some t -> Some t
+  | None -> Hashtbl.find_opt db.tables k
+
+let find_table_exn db name =
+  match find_table db name with Some t -> t | None -> raise (No_such_table name)
+
+let mem db name = find_table db name <> None
+
+let add_table db table =
+  let k = key (Table.name table) in
+  if Hashtbl.mem db.tables k then raise (Duplicate_table (Table.name table));
+  Hashtbl.replace db.tables k table
+
+(* Temporary tables shadow base tables and may be re-created freely. *)
+let add_temp_table db table =
+  Hashtbl.replace db.temp_tables (key (Table.name table)) table
+
+let drop_table db name =
+  let k = key name in
+  if Hashtbl.mem db.temp_tables k then Hashtbl.remove db.temp_tables k
+  else if Hashtbl.mem db.tables k then Hashtbl.remove db.tables k
+  else raise (No_such_table name)
+
+let drop_temp_tables db = Hashtbl.reset db.temp_tables
+
+let table_names db =
+  Hashtbl.fold (fun _ t acc -> Table.name t :: acc) db.tables []
+  |> List.sort String.compare
+
+(* A deep copy, used by tests and by the commutativity checker to evaluate
+   the same workload against multiple strategies without interference. *)
+let copy db =
+  let db' = create () in
+  Hashtbl.iter (fun k t -> Hashtbl.replace db'.tables k (Table.copy t)) db.tables;
+  Hashtbl.iter
+    (fun k t -> Hashtbl.replace db'.temp_tables k (Table.copy t))
+    db.temp_tables;
+  db'

@@ -1,0 +1,60 @@
+(* Calendar dates at DATE granularity, the paper's timestamp domain.
+
+   A date is an [int]: the number of days since 1970-01-01 (negative before).
+   Conversion uses the standard civil-calendar algorithm (proleptic
+   Gregorian).  [forever] is the distinguished "until changed" instant,
+   printed as 9999-12-31, used as the open end of current rows. *)
+
+type t = int
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+
+(* Days since epoch for year/month/day; months 1..12, days 1..31. *)
+let of_ymd ~y ~m ~d : t =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd (z : t) =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let forever : t = of_ymd ~y:9999 ~m:12 ~d:31
+let min_date : t = of_ymd ~y:1 ~m:1 ~d:1
+
+let to_string (t : t) =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ ys; ms; ds ] -> (
+      match (int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds) with
+      | Some y, Some m, Some d
+        when m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+          Some (of_ymd ~y ~m ~d)
+      | _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Date.of_string_exn: %S" s)
+
+let add_days (t : t) n : t = t + n
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

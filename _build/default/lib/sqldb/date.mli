@@ -1,0 +1,30 @@
+(** Calendar dates at DATE granularity (days since 1970-01-01, proleptic
+    Gregorian).  This is the valid-time domain of the stratum: temporal
+    tables carry [begin_time]/[end_time] columns of this type. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_ymd : y:int -> m:int -> d:int -> t
+(** [of_ymd ~y ~m ~d] is the day number of the given civil date. *)
+
+val to_ymd : t -> int * int * int
+(** Inverse of {!of_ymd}. *)
+
+val forever : t
+(** The distinguished "until changed" instant (9999-12-31), used as the
+    open end of rows that are currently valid. *)
+
+val min_date : t
+(** 0001-01-01, the least representable date. *)
+
+val to_string : t -> string
+(** ISO-8601 [YYYY-MM-DD]. *)
+
+val of_string : string -> t option
+val of_string_exn : string -> t
+
+val add_days : t -> int -> t
+val pp : Format.formatter -> t -> unit

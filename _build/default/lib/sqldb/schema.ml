@@ -1,0 +1,103 @@
+(* Table schemas.
+
+   Per the stratum data model, a temporal table is a conventional table
+   whose two trailing columns are [begin_time]/[end_time] of type DATE;
+   the catalog records valid-time support in [temporal].  A table with
+   transaction-time support additionally carries system-maintained
+   [tt_begin]/[tt_end] columns (after the valid-time pair, when both). *)
+
+type column = { col_name : string; col_ty : Value.ty }
+
+type t = {
+  name : string;
+  columns : column list;
+  temporal : bool;  (** true iff the table has valid-time support *)
+  transaction : bool;  (** true iff the table has transaction-time support *)
+}
+
+let begin_time_col = "begin_time"
+let end_time_col = "end_time"
+let tt_begin_col = "tt_begin"
+let tt_end_col = "tt_end"
+
+let column ~name ~ty = { col_name = name; col_ty = ty }
+
+let make ?(transaction = false) ~name ~columns ~temporal () =
+  let columns =
+    if temporal then
+      columns
+      @ [
+          { col_name = begin_time_col; col_ty = Value.Tdate };
+          { col_name = end_time_col; col_ty = Value.Tdate };
+        ]
+    else columns
+  in
+  let columns =
+    if transaction then
+      columns
+      @ [
+          { col_name = tt_begin_col; col_ty = Value.Tdate };
+          { col_name = tt_end_col; col_ty = Value.Tdate };
+        ]
+    else columns
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let key = String.lowercase_ascii c.col_name in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %s in %s" c.col_name name);
+      Hashtbl.add seen key ())
+    columns;
+  { name; columns; temporal; transaction }
+
+let arity s = List.length s.columns
+let column_names s = List.map (fun c -> c.col_name) s.columns
+
+let find_column s cname =
+  let cname = String.lowercase_ascii cname in
+  let rec go i = function
+    | [] -> None
+    | c :: rest ->
+        if String.lowercase_ascii c.col_name = cname then Some (i, c) else go (i + 1) rest
+  in
+  go 0 s.columns
+
+let column_index s cname =
+  match find_column s cname with Some (i, _) -> Some i | None -> None
+
+let column_index_exn s cname =
+  match column_index s cname with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Schema: no column %s in table %s" cname s.name)
+
+(* Index of the valid-time columns; only meaningful when [temporal]. *)
+let begin_index s = column_index_exn s begin_time_col
+let end_index s = column_index_exn s end_time_col
+
+(* Index of the transaction-time columns; only meaningful when
+   [transaction]. *)
+let tt_begin_index s = column_index_exn s tt_begin_col
+let tt_end_index s = column_index_exn s tt_end_col
+
+let is_timestamp_col s cname =
+  let c = String.lowercase_ascii cname in
+  (s.temporal && (c = begin_time_col || c = end_time_col))
+  || (s.transaction && (c = tt_begin_col || c = tt_end_col))
+
+(* The schema without the trailing timestamp columns. *)
+let data_columns s =
+  List.filter (fun c -> not (is_timestamp_col s c.col_name)) s.columns
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hv 2>%s(%a)%s@]" s.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf c -> Format.fprintf ppf "%s %s" c.col_name (Value.ty_to_string c.col_ty)))
+    s.columns
+    (match (s.temporal, s.transaction) with
+    | true, true -> " WITH VALIDTIME AND TRANSACTIONTIME"
+    | true, false -> " WITH VALIDTIME"
+    | false, true -> " WITH TRANSACTIONTIME"
+    | false, false -> "")

@@ -1,0 +1,72 @@
+(* In-memory table storage: a schema plus a growable vector of rows.
+   A row is a [Value.t array] positionally matching the schema. *)
+
+type row = Value.t array
+
+type t = { schema : Schema.t; rows : row Vec.t }
+
+let create schema = { schema; rows = Vec.create () }
+
+let of_rows schema rows =
+  let t = create schema in
+  List.iter (fun r -> Vec.push t.rows r) rows;
+  t
+
+let schema t = t.schema
+let name t = t.schema.Schema.name
+let row_count t = Vec.length t.rows
+
+let check_row t (r : row) =
+  let expected = Schema.arity t.schema in
+  if Array.length r <> expected then
+    invalid_arg
+      (Printf.sprintf "Table %s: row arity %d, expected %d" (name t)
+         (Array.length r) expected)
+
+let insert t r =
+  check_row t r;
+  Vec.push t.rows r
+
+let iter f t = Vec.iter f t.rows
+let fold f init t = Vec.fold_left f init t.rows
+let to_list t = Vec.to_list t.rows
+
+(* Delete rows satisfying [p]; returns the number deleted. *)
+let delete_where p t =
+  let before = Vec.length t.rows in
+  Vec.filter_in_place (fun r -> not (p r)) t.rows;
+  before - Vec.length t.rows
+
+(* Update rows satisfying [p] with [f]; returns the number updated. *)
+let update_where p f t =
+  let n = ref 0 in
+  Vec.map_in_place
+    (fun r ->
+      if p r then begin
+        incr n;
+        f r
+      end
+      else r)
+    t.rows;
+  !n
+
+let clear t = Vec.clear t.rows
+
+let get_value t r cname = r.(Schema.column_index_exn t.schema cname)
+
+(* The valid-time period of a row in a temporal table. *)
+let row_period t (r : row) =
+  let b = Value.to_date_exn r.(Schema.begin_index t.schema) in
+  let e = Value.to_date_exn r.(Schema.end_index t.schema) in
+  Period.make ~begin_:b ~end_:e
+
+(* All valid-time periods in a temporal table. *)
+let periods t = fold (fun acc r -> row_period t r :: acc) [] t
+
+let copy t =
+  let t' = create t.schema in
+  iter (fun r -> Vec.push t'.rows (Array.copy r)) t;
+  t'
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@ %d row(s)@]" Schema.pp t.schema (row_count t)

@@ -1,0 +1,1 @@
+lib/sqleval/builtins.ml: Date Float Hashtbl List Sqldb String Value

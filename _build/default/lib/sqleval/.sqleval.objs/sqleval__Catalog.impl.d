@@ -1,0 +1,1 @@
+lib/sqleval/catalog.ml: Hashtbl List Result_set Sqlast Sqldb String

@@ -1,0 +1,1 @@
+lib/sqleval/engine.ml: Catalog Eval List Result_set Sqlast Sqldb Sqlparse

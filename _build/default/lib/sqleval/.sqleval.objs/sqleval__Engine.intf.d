@@ -1,0 +1,1 @@
+lib/sqleval/engine.mli: Catalog Eval Result_set Sqlast Sqldb

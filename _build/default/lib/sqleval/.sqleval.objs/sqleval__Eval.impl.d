@@ -1,0 +1,1 @@
+lib/sqleval/eval.ml: Array Builtins Catalog Float Fun Hashtbl List Option Printf Result_set Sqlast Sqldb String

@@ -1,0 +1,1 @@
+lib/sqleval/result_set.ml: Array Format List Printf Sqldb String

@@ -1,0 +1,1 @@
+lib/sqleval/result_set.mli: Format Sqldb

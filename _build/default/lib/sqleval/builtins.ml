@@ -1,0 +1,144 @@
+(* Builtin scalar functions, including the paper's FIRST_INSTANCE /
+   LAST_INSTANCE period-manipulation helpers (Figure 4).
+
+   Each builtin takes the evaluated argument values; NULL propagation is
+   the SQL convention (NULL in, NULL out) except for COALESCE. *)
+
+open Sqldb
+
+exception Unknown_builtin of string
+
+let null_in args = List.exists Value.is_null args
+
+let wrong_arity name =
+  Value.type_error "wrong number of arguments to %s" name
+
+(* SQL LIKE pattern matching: '%' = any sequence, '_' = any character. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Memoized recursion over (pattern index, string index). *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi = np then si = ns
+          else
+            match pattern.[pi] with
+            | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+            | '_' -> si < ns && go (pi + 1) (si + 1)
+            | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+        in
+        Hashtbl.add memo (pi, si) r;
+        r
+  in
+  go 0 0
+
+let two name args f =
+  match args with [ a; b ] -> f a b | _ -> wrong_arity name
+
+let one name args f = match args with [ a ] -> f a | _ -> wrong_arity name
+
+(* [now] is the session's CURRENT_DATE. *)
+let call ~(now : Date.t) name args : Value.t =
+  let lname = String.lowercase_ascii name in
+  match lname with
+  | "current_date" -> Value.Date now
+  | "coalesce" -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) args with
+      | Some v -> v
+      | None -> Value.Null)
+  | _ when null_in args -> Value.Null
+  | "first_instance" ->
+      (* The earlier of two times (paper, Figure 4). *)
+      two name args (fun a b ->
+          if Value.compare_total a b <= 0 then a else b)
+  | "last_instance" ->
+      (* The later of two times (paper, Figure 4). *)
+      two name args (fun a b ->
+          if Value.compare_total a b >= 0 then a else b)
+  | "least" -> (
+      match args with
+      | [] -> wrong_arity name
+      | v :: vs ->
+          List.fold_left
+            (fun acc v -> if Value.compare_total v acc < 0 then v else acc)
+            v vs)
+  | "greatest" -> (
+      match args with
+      | [] -> wrong_arity name
+      | v :: vs ->
+          List.fold_left
+            (fun acc v -> if Value.compare_total v acc > 0 then v else acc)
+            v vs)
+  | "nullif" ->
+      two name args (fun a b -> if Value.equal a b then Value.Null else a)
+  | "abs" ->
+      one name args (function
+        | Value.Int i -> Value.Int (abs i)
+        | Value.Float f -> Value.Float (Float.abs f)
+        | v -> Value.type_error "ABS of %s" (Value.to_string v))
+  | "mod" ->
+      two name args (fun a b ->
+          Value.Int (Value.to_int_exn a mod Value.to_int_exn b))
+  | "char_length" | "length" ->
+      one name args (fun v -> Value.Int (String.length (Value.to_str_exn v)))
+  | "upper" ->
+      one name args (fun v ->
+          Value.Str (String.uppercase_ascii (Value.to_str_exn v)))
+  | "lower" ->
+      one name args (fun v ->
+          Value.Str (String.lowercase_ascii (Value.to_str_exn v)))
+  | "substr" | "substring" -> (
+      match args with
+      | [ s; start ] ->
+          let s = Value.to_str_exn s and start = Value.to_int_exn start in
+          let pos = max 0 (start - 1) in
+          let len = max 0 (String.length s - pos) in
+          Value.Str (String.sub s pos len)
+      | [ s; start; len ] ->
+          let s = Value.to_str_exn s
+          and start = Value.to_int_exn start
+          and len = Value.to_int_exn len in
+          let pos = max 0 (start - 1) in
+          let len = max 0 (min len (String.length s - pos)) in
+          Value.Str (String.sub s pos len)
+      | _ -> wrong_arity name)
+  | "trim" -> one name args (fun v -> Value.Str (String.trim (Value.to_str_exn v)))
+  | "year" ->
+      one name args (fun v ->
+          let y, _, _ = Date.to_ymd (Value.to_date_exn v) in
+          Value.Int y)
+  | "month" ->
+      one name args (fun v ->
+          let _, m, _ = Date.to_ymd (Value.to_date_exn v) in
+          Value.Int m)
+  | "day" ->
+      one name args (fun v ->
+          let _, _, d = Date.to_ymd (Value.to_date_exn v) in
+          Value.Int d)
+  | "date_add_days" ->
+      two name args (fun d n ->
+          Value.Date (Date.add_days (Value.to_date_exn d) (Value.to_int_exn n)))
+  | "days_between" ->
+      two name args (fun a b ->
+          Value.Int (Value.to_date_exn a - Value.to_date_exn b))
+  | "round" -> (
+      match args with
+      | [ v ] -> Value.Float (Float.round (Value.to_float_exn v))
+      | [ v; digits ] ->
+          let scale = 10. ** float_of_int (Value.to_int_exn digits) in
+          Value.Float (Float.round (Value.to_float_exn v *. scale) /. scale)
+      | _ -> wrong_arity name)
+  | _ -> raise (Unknown_builtin name)
+
+let names =
+  [
+    "current_date"; "coalesce"; "first_instance"; "last_instance"; "least";
+    "greatest"; "nullif"; "abs"; "mod"; "char_length"; "length"; "upper";
+    "lower"; "substr"; "substring"; "trim"; "year"; "month"; "day";
+    "date_add_days"; "days_between"; "round";
+  ]
+
+let is_builtin name = List.mem (String.lowercase_ascii name) names

@@ -1,0 +1,92 @@
+(* The engine-level catalog: storage tables plus views and stored
+   routines (which carry ASTs, so they live above lib/sqldb). *)
+
+type routine_kind = Rfunction | Rprocedure
+
+(* A native (OCaml-implemented) table function, installable by upper
+   layers such as the temporal stratum.  [ntf_fn] receives the calling
+   catalog and the evaluated argument values and produces rows matching
+   [ntf_cols].  Taking the catalog as an argument (rather than closing
+   over it) keeps natives valid across {!copy}. *)
+type native_table_fun = {
+  ntf_cols : string list;
+  ntf_fn : t -> Sqldb.Value.t list -> Result_set.t;
+}
+
+and t = {
+  db : Sqldb.Database.t;
+  views : (string, Sqlast.Ast.query) Hashtbl.t;
+  routines : (string, routine_kind * Sqlast.Ast.routine) Hashtbl.t;
+  native_table_funs : (string, native_table_fun) Hashtbl.t;
+  options : options;
+}
+
+(* Evaluator switches, exposed for ablation experiments. *)
+and options = {
+  mutable hash_joins : bool;  (* opportunistic equi-join hash indexes *)
+  mutable memoize_table_functions : bool;
+      (* per-statement memoization of table-function results — the
+         mechanism behind PERST's one-call-per-distinct-argument cost *)
+}
+
+exception No_such_routine of string
+exception Duplicate_routine of string
+
+let default_options () = { hash_joins = true; memoize_table_functions = true }
+
+let create () =
+  {
+    db = Sqldb.Database.create ();
+    views = Hashtbl.create 16;
+    routines = Hashtbl.create 16;
+    native_table_funs = Hashtbl.create 4;
+    options = default_options ();
+  }
+
+let key = String.lowercase_ascii
+
+let add_view cat name q = Hashtbl.replace cat.views (key name) q
+let find_view cat name = Hashtbl.find_opt cat.views (key name)
+
+let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
+  let k = key r.Sqlast.Ast.r_name in
+  if (not replace) && Hashtbl.mem cat.routines k then
+    raise (Duplicate_routine r.Sqlast.Ast.r_name);
+  Hashtbl.replace cat.routines k (kind, r)
+
+let find_routine cat name = Hashtbl.find_opt cat.routines (key name)
+
+let find_function cat name =
+  match find_routine cat name with
+  | Some (Rfunction, r) -> Some r
+  | _ -> None
+
+let find_procedure cat name =
+  match find_routine cat name with
+  | Some (Rprocedure, r) -> Some r
+  | _ -> None
+
+let find_routine_exn cat name =
+  match find_routine cat name with
+  | Some x -> x
+  | None -> raise (No_such_routine name)
+
+let routine_names cat =
+  Hashtbl.fold (fun k _ acc -> k :: acc) cat.routines [] |> List.sort compare
+
+let add_native_table_fun cat name ntf =
+  Hashtbl.replace cat.native_table_funs (key name) ntf
+
+let find_native_table_fun cat name =
+  Hashtbl.find_opt cat.native_table_funs (key name)
+
+(* Deep copy: storage is copied; views/routines (immutable ASTs) and
+   natives (parameterized over the catalog) are shared. *)
+let copy cat =
+  {
+    db = Sqldb.Database.copy cat.db;
+    views = Hashtbl.copy cat.views;
+    routines = Hashtbl.copy cat.routines;
+    native_table_funs = Hashtbl.copy cat.native_table_funs;
+    options = { cat.options with hash_joins = cat.options.hash_joins };
+  }

@@ -1,0 +1,61 @@
+(* The engine facade: a conventional SQL/PSM engine over an in-memory
+   catalog.  This is the layer *below* the stratum: it knows nothing of
+   temporal semantics; temporal tables are just tables whose trailing
+   columns happen to be begin_time/end_time (flagged in the schema).
+
+   [now] is the session's CURRENT_DATE, settable for reproducible tests
+   of current semantics. *)
+
+type t = { cat : Catalog.t; mutable now : Sqldb.Date.t }
+
+let default_now = Sqldb.Date.of_ymd ~y:2011 ~m:1 ~d:1
+
+let create ?(now = default_now) () = { cat = Catalog.create (); now }
+
+let catalog t = t.cat
+let database t = t.cat.Catalog.db
+let set_now t d = t.now <- d
+let now t = t.now
+
+(* A deep copy (storage copied, ASTs shared). *)
+let copy t = { cat = Catalog.copy t.cat; now = t.now }
+
+(* Execute one conventional statement (AST form).  [tt_mode] selects the
+   transaction-time reading mode (current state by default). *)
+let exec_stmt ?tt_mode t (s : Sqlast.Ast.stmt) : Eval.exec_result =
+  Eval.exec_toplevel ~now:t.now ?tt_mode t.cat s
+
+(* Execute one conventional statement (SQL text). *)
+let exec t (sql : string) : Eval.exec_result =
+  exec_stmt t (Sqlparse.Parser.parse_stmt_string sql)
+
+(* Execute a script of ';'-separated conventional statements. *)
+let exec_script t (sql : string) : unit =
+  List.iter
+    (fun (ts : Sqlast.Ast.temporal_stmt) ->
+      match ts.Sqlast.Ast.t_modifier with
+      | Sqlast.Ast.Mod_current -> ignore (exec_stmt t ts.Sqlast.Ast.t_stmt)
+      | _ ->
+          raise
+            (Eval.Sql_error
+               "temporal modifier in a conventional script; use the stratum"))
+    (Sqlparse.Parser.parse_script sql)
+
+(* Evaluate a query and return its result set. *)
+let query t (sql : string) : Result_set.t =
+  match exec t sql with
+  | Eval.Rows rs -> rs
+  | _ -> raise (Eval.Sql_error "statement did not produce rows")
+
+let query_stmt t (q : Sqlast.Ast.query) : Result_set.t =
+  match exec_stmt t (Sqlast.Ast.Squery q) with
+  | Eval.Rows rs -> rs
+  | _ -> assert false
+
+(* Number of stored-routine invocations performed by one statement:
+   the paper's key cost driver for MAX vs PERST (Figure 7). *)
+let exec_counting_calls ?tt_mode t (s : Sqlast.Ast.stmt) : Eval.exec_result * int =
+  let env = Eval.create_env ~now:t.now ?tt_mode t.cat in
+  env.Eval.scopes <- [ Eval.new_scope () ];
+  let r = Eval.exec_stmt env s in
+  (r, env.Eval.calls)

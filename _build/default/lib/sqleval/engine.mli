@@ -1,0 +1,51 @@
+(** The conventional SQL/PSM engine facade.
+
+    This is the layer {e below} the temporal stratum: it evaluates
+    conventional SQL and PSM over an in-memory catalog and knows nothing
+    of temporal semantics.  Temporal tables are ordinary tables whose
+    trailing columns are [begin_time]/[end_time] (flagged in the
+    schema); the stratum (lib/core) transforms temporal statements into
+    the conventional ones this engine runs. *)
+
+type t
+
+val default_now : Sqldb.Date.t
+
+val create : ?now:Sqldb.Date.t -> unit -> t
+(** A fresh engine.  [now] is the session's CURRENT_DATE (default
+    2011-01-01), settable for reproducible current-semantics tests. *)
+
+val catalog : t -> Catalog.t
+val database : t -> Sqldb.Database.t
+
+val set_now : t -> Sqldb.Date.t -> unit
+val now : t -> Sqldb.Date.t
+
+val copy : t -> t
+(** Deep copy: storage duplicated, ASTs shared.  Used to evaluate the
+    same workload under several strategies without interference. *)
+
+val exec_stmt :
+  ?tt_mode:Eval.tt_mode -> t -> Sqlast.Ast.stmt -> Eval.exec_result
+(** Execute one conventional statement (AST form).  [tt_mode] selects
+    the transaction-time reading mode: the current state (default), the
+    state AS OF an instant, or all recorded rows. *)
+
+val exec : t -> string -> Eval.exec_result
+(** Parse and execute one conventional statement. *)
+
+val exec_script : t -> string -> unit
+(** Execute a ';'-separated script of conventional statements.  Raises
+    {!Eval.Sql_error} if a statement carries a temporal modifier — those
+    belong to the stratum. *)
+
+val query : t -> string -> Result_set.t
+(** Evaluate a query and return its rows; raises {!Eval.Sql_error} on a
+    non-query statement. *)
+
+val query_stmt : t -> Sqlast.Ast.query -> Result_set.t
+
+val exec_counting_calls :
+  ?tt_mode:Eval.tt_mode -> t -> Sqlast.Ast.stmt -> Eval.exec_result * int
+(** Execute and report the number of stored-routine invocations — the
+    cost driver the paper's Figure 7 visualizes as asterisks. *)

@@ -1,0 +1,1778 @@
+(* The evaluator: expressions (SQL three-valued logic), queries (nested-
+   loop join with predicate pushdown and opportunistic hash joins),
+   DML, and the PSM interpreter (control statements, cursors, stored
+   functions and procedures, table-valued functions).
+
+   Everything is mutually recursive by nature (expressions contain
+   subqueries, queries call functions, functions contain statements), so
+   it lives in one module. *)
+
+open Sqlast.Ast
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Schema = Sqldb.Schema
+module Table = Sqldb.Table
+module Database = Sqldb.Database
+
+exception Sql_error of string
+
+let sql_error fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One FROM item bound to its current row during join iteration. *)
+type binding = {
+  b_alias : string;  (* lowercase *)
+  b_cols : string array;  (* lowercase column names *)
+  mutable b_row : Value.t array;
+}
+
+type cursor_state = {
+  c_query : query;
+  mutable c_rows : Result_set.t option;  (* Some once opened *)
+  mutable c_pos : int;
+}
+
+type scope = {
+  vars : (string, Value.t ref) Hashtbl.t;
+  cursors : (string, cursor_state) Hashtbl.t;
+  mutable handler : stmt option;  (* NOT FOUND continue handler *)
+}
+
+(* The transaction-time reading mode of a statement: the current
+   database state (default), the state AS OF a past instant, or the raw
+   timestamped rows (nonsequenced).  Transaction time is system-
+   maintained, so this is an execution-environment concern rather than
+   a source-to-source one. *)
+type tt_mode = [ `Current | `Asof of Date.t | `All ]
+
+type env = {
+  cat : Catalog.t;
+  now : Date.t;
+  tt_mode : tt_mode;
+  mutable frames : binding list list;  (* innermost query first *)
+  mutable scopes : scope list;  (* innermost block first; [] at top level *)
+  depth : int ref;  (* shared routine-recursion guard *)
+  (* Per-statement memo cache for table-valued function invocations:
+     key = (function name, argument values). *)
+  tf_cache : (string * Value.t list, Result_set.t) Hashtbl.t;
+  mutable calls : int;  (* statistics: routine invocations *)
+}
+
+let new_scope () =
+  { vars = Hashtbl.create 8; cursors = Hashtbl.create 4; handler = None }
+
+let create_env ?(now = Date.of_ymd ~y:2011 ~m:1 ~d:1) ?(tt_mode = `Current) cat
+    =
+  {
+    cat;
+    now;
+    tt_mode;
+    frames = [];
+    scopes = [];
+    depth = ref 0;
+    tf_cache = Hashtbl.create 64;
+    calls = 0;
+  }
+
+(* A child environment for a routine body: fresh frames and scopes so the
+   routine cannot see the caller's columns or variables. *)
+let routine_env env =
+  { env with frames = []; scopes = [ new_scope () ] }
+
+let max_depth = 200
+
+let find_var env name =
+  let name = String.lowercase_ascii name in
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s.vars name with
+        | Some r -> Some r
+        | None -> go rest)
+  in
+  go env.scopes
+
+let declare_var env name v =
+  match env.scopes with
+  | [] -> sql_error "DECLARE outside of a routine body"
+  | s :: _ -> Hashtbl.replace s.vars (String.lowercase_ascii name) (ref v)
+
+let find_cursor env name =
+  let name = String.lowercase_ascii name in
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s.cursors name with
+        | Some c -> Some c
+        | None -> go rest)
+  in
+  go env.scopes
+
+let find_handler env =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> ( match s.handler with Some h -> Some h | None -> go rest)
+  in
+  go env.scopes
+
+(* Column lookup across the frame stack: innermost frame first; within a
+   frame an unqualified name must be unambiguous.  Falls back to PSM
+   variables, so a query inside a routine can reference its parameters. *)
+let lookup_col env qualifier name =
+  let lname = String.lowercase_ascii name in
+  let in_binding (b : binding) =
+    let n = Array.length b.b_cols in
+    let rec go i =
+      if i >= n then None else if b.b_cols.(i) = lname then Some i else go (i + 1)
+    in
+    go 0
+  in
+  match qualifier with
+  | Some q ->
+      let lq = String.lowercase_ascii q in
+      let rec search = function
+        | [] -> None
+        | frame :: rest -> (
+            match List.find_opt (fun b -> b.b_alias = lq) frame with
+            | Some b -> (
+                match in_binding b with
+                | Some i -> Some b.b_row.(i)
+                | None -> sql_error "no column %s in %s" name q)
+            | None -> search rest)
+      in
+      search env.frames
+  | None ->
+      let rec search = function
+        | [] -> None
+        | frame :: rest -> (
+            let hits =
+              List.filter_map
+                (fun b -> Option.map (fun i -> (b, i)) (in_binding b))
+                frame
+            in
+            match hits with
+            | [ (b, i) ] -> Some b.b_row.(i)
+            | [] -> search rest
+            | _ -> sql_error "ambiguous column reference %s" name)
+      in
+      search env.frames
+
+(* ------------------------------------------------------------------ *)
+(* Three-valued logic helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let truthy = function Value.Bool true -> true | _ -> false
+
+let v_and a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool x, Value.Bool y -> Value.Bool (x && y)
+  | _ -> sql_error "AND applied to non-boolean"
+
+let v_or a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool x, Value.Bool y -> Value.Bool (x || y)
+  | _ -> sql_error "OR applied to non-boolean"
+
+let v_not = function
+  | Value.Null -> Value.Null
+  | Value.Bool b -> Value.Bool (not b)
+  | _ -> sql_error "NOT applied to non-boolean"
+
+let v_compare op a b =
+  match Value.compare_sql a b with
+  | None -> Value.Null
+  | Some c ->
+      let r =
+        match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | _ -> assert false
+      in
+      Value.Bool r
+
+let v_arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Date d, Value.Int n -> (
+      match op with
+      | Add -> Value.Date (Date.add_days d n)
+      | Sub -> Value.Date (Date.add_days d (-n))
+      | _ -> sql_error "unsupported arithmetic on dates")
+  | Value.Int n, Value.Date d when op = Add -> Value.Date (Date.add_days d n)
+  | Value.Date d1, Value.Date d2 when op = Sub -> Value.Int (d1 - d2)
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div ->
+          if y = 0 then sql_error "division by zero" else Value.Int (x / y)
+      | Mod ->
+          if y = 0 then sql_error "division by zero" else Value.Int (x mod y)
+      | _ -> assert false)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> (
+      let x = Value.to_float_exn a and y = Value.to_float_exn b in
+      match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div ->
+          if y = 0. then sql_error "division by zero" else Value.Float (x /. y)
+      | Mod -> Value.Float (Float.rem x y)
+      | _ -> assert false)
+  | _ ->
+      sql_error "arithmetic on non-numeric values %s, %s" (Value.to_string a)
+        (Value.to_string b)
+
+let v_concat a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> Value.Str (Value.to_string a ^ Value.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Group context for aggregate evaluation                              *)
+(* ------------------------------------------------------------------ *)
+
+type group_ctx = {
+  g_bindings : binding list;
+  g_rows : Value.t array array list;  (* member rows: one sub-array per binding *)
+}
+
+let set_bindings bindings snapshot =
+  List.iteri (fun i b -> b.b_row <- snapshot.(i)) bindings
+
+(* ------------------------------------------------------------------ *)
+(* Control-flow exceptions for PSM                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Return_value of Value.t
+exception Return_table of Result_set.t
+exception Leave_loop of string
+exception Iterate_loop of string
+exception Not_found_condition
+
+type exec_result = Rows of Result_set.t | Affected of int | Unit
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr env ?group (e : expr) : Value.t =
+  match e with
+  | Lit v -> v
+  | Col (q, name) -> (
+      match lookup_col env q name with
+      | Some v -> v
+      | None -> (
+          match (q, find_var env name) with
+          | None, Some r -> !r
+          | _ ->
+              sql_error "unknown column or variable %s%s"
+                (match q with Some q -> q ^ "." | None -> "")
+                name))
+  | Binop (And, a, b) -> v_and (eval_expr env ?group a) (eval_expr env ?group b)
+  | Binop (Or, a, b) -> v_or (eval_expr env ?group a) (eval_expr env ?group b)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      v_compare op (eval_expr env ?group a) (eval_expr env ?group b)
+  | Binop (Concat, a, b) ->
+      v_concat (eval_expr env ?group a) (eval_expr env ?group b)
+  | Binop (op, a, b) ->
+      v_arith op (eval_expr env ?group a) (eval_expr env ?group b)
+  | Unop (Not, a) -> v_not (eval_expr env ?group a)
+  | Unop (Neg, a) -> (
+      match eval_expr env ?group a with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> sql_error "cannot negate %s" (Value.to_string v))
+  | Fun_call (name, args) ->
+      let argv = List.map (eval_expr env ?group) args in
+      eval_fun_call env name argv
+  | Agg (af, distinct, operand) -> (
+      match group with
+      | None -> sql_error "aggregate outside of a grouped query"
+      | Some g -> eval_aggregate env g af distinct operand)
+  | Cast (e, ty) -> Value.cast ~ty (eval_expr env ?group e)
+  | Case c -> eval_case env ?group c
+  | Exists q ->
+      let rs = eval_query env q in
+      Value.Bool (rs.Result_set.rows <> [])
+  | In_pred (e, src, neg) -> (
+      let v = eval_expr env ?group e in
+      let members =
+        match src with
+        | In_list es -> List.map (eval_expr env ?group) es
+        | In_query q ->
+            let rs = eval_query env q in
+            if Result_set.arity rs <> 1 then
+              sql_error "IN subquery must return one column";
+            List.map (fun r -> r.(0)) rs.Result_set.rows
+      in
+      let result =
+        if Value.is_null v then Value.Null
+        else
+          let any_null = List.exists Value.is_null members in
+          if List.exists (fun m -> (not (Value.is_null m)) && Value.equal m v) members
+          then Value.Bool true
+          else if any_null then Value.Null
+          else Value.Bool false
+      in
+      if neg then v_not result else result)
+  | Between (e, lo, hi, neg) ->
+      let v = eval_expr env ?group e in
+      let l = eval_expr env ?group lo and h = eval_expr env ?group hi in
+      let r = v_and (v_compare Le l v) (v_compare Le v h) in
+      if neg then v_not r else r
+  | Is_null (e, neg) ->
+      let isnull = Value.is_null (eval_expr env ?group e) in
+      Value.Bool (if neg then not isnull else isnull)
+  | Like (e, pat, neg) -> (
+      let v = eval_expr env ?group e and p = eval_expr env ?group pat in
+      match (v, p) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | _ ->
+          let m =
+            Builtins.like_match ~pattern:(Value.to_str_exn p) (Value.to_str_exn v)
+          in
+          Value.Bool (if neg then not m else m))
+  | Scalar_subquery q -> (
+      let rs = eval_query env q in
+      if Result_set.arity rs <> 1 then
+        sql_error "scalar subquery must return one column";
+      match rs.Result_set.rows with
+      | [] -> Value.Null
+      | [ r ] -> r.(0)
+      | _ -> sql_error "scalar subquery returned more than one row")
+
+and eval_case env ?group c =
+  match c.case_operand with
+  | Some op ->
+      let v = eval_expr env ?group op in
+      let rec go = function
+        | [] -> (
+            match c.case_else with
+            | Some e -> eval_expr env ?group e
+            | None -> Value.Null)
+        | (w, t) :: rest ->
+            if truthy (v_compare Eq v (eval_expr env ?group w)) then
+              eval_expr env ?group t
+            else go rest
+      in
+      go c.case_branches
+  | None ->
+      let rec go = function
+        | [] -> (
+            match c.case_else with
+            | Some e -> eval_expr env ?group e
+            | None -> Value.Null)
+        | (w, t) :: rest ->
+            if truthy (eval_expr env ?group w) then eval_expr env ?group t
+            else go rest
+      in
+      go c.case_branches
+
+and eval_aggregate env g af distinct operand =
+  match af with
+  | Count_star -> Value.Int (List.length g.g_rows)
+  | _ ->
+      let operand =
+        match operand with
+        | Some e -> e
+        | None -> sql_error "aggregate needs an operand"
+      in
+      (* Evaluate the operand for each member row; NULLs are skipped. *)
+      let saved = List.map (fun b -> b.b_row) g.g_bindings in
+      let values = ref [] in
+      List.iter
+        (fun snapshot ->
+          set_bindings g.g_bindings snapshot;
+          let v = eval_expr env operand in
+          if not (Value.is_null v) then values := v :: !values)
+        g.g_rows;
+      List.iteri (fun i b -> b.b_row <- List.nth saved i) g.g_bindings;
+      let values =
+        if distinct then List.sort_uniq Value.compare_total !values
+        else List.rev !values
+      in
+      if values = [] then
+        match af with Count -> Value.Int 0 | _ -> Value.Null
+      else begin
+        match af with
+        | Count -> Value.Int (List.length values)
+        | Min ->
+            List.fold_left
+              (fun acc v -> if Value.compare_total v acc < 0 then v else acc)
+              (List.hd values) values
+        | Max ->
+            List.fold_left
+              (fun acc v -> if Value.compare_total v acc > 0 then v else acc)
+              (List.hd values) values
+        | Sum | Avg -> (
+            let all_int =
+              List.for_all (function Value.Int _ -> true | _ -> false) values
+            in
+            if all_int && af = Sum then
+              Value.Int
+                (List.fold_left (fun acc v -> acc + Value.to_int_exn v) 0 values)
+            else
+              let total =
+                List.fold_left (fun acc v -> acc +. Value.to_float_exn v) 0. values
+              in
+              match af with
+              | Sum -> Value.Float total
+              | _ -> Value.Float (total /. float_of_int (List.length values)))
+        | Count_star -> assert false
+      end
+
+and eval_fun_call env name argv : Value.t =
+  if Builtins.is_builtin name then Builtins.call ~now:env.now name argv
+  else
+    match Catalog.find_function env.cat name with
+    | Some r -> (
+        match r.r_returns with
+        | Some (Ret_scalar _) -> invoke_scalar_function env r argv
+        | Some (Ret_table _) ->
+            sql_error "table function %s used in a scalar context" name
+        | None -> assert false)
+    | None -> sql_error "unknown function %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+and eval_query env (q : query) : Result_set.t =
+  match q with
+  | Select s -> eval_select env s
+  | Union (all, a, b) ->
+      let ra = eval_query env a and rb = eval_query env b in
+      let rows = ra.Result_set.rows @ rb.Result_set.rows in
+      let rows = if all then rows else dedupe_rows rows in
+      { Result_set.cols = ra.Result_set.cols; rows }
+  | Except (all, a, b) ->
+      let ra = eval_query env a and rb = eval_query env b in
+      let rows =
+        if all then
+          (* Bag difference. *)
+          let remaining = ref rb.Result_set.rows in
+          List.filter
+            (fun r ->
+              match
+                List.partition (fun r' -> row_equal r r') !remaining
+              with
+              | [], _ -> true
+              | _ :: dropped_rest, others ->
+                  remaining := dropped_rest @ others;
+                  false)
+            ra.Result_set.rows
+        else
+          dedupe_rows
+            (List.filter
+               (fun r ->
+                 not (List.exists (fun r' -> row_equal r r') rb.Result_set.rows))
+               ra.Result_set.rows)
+      in
+      { Result_set.cols = ra.Result_set.cols; rows }
+  | Intersect (all, a, b) ->
+      let ra = eval_query env a and rb = eval_query env b in
+      let rows =
+        if all then begin
+          let remaining = ref rb.Result_set.rows in
+          List.filter
+            (fun r ->
+              match List.partition (fun r' -> row_equal r r') !remaining with
+              | [], _ -> false
+              | _ :: kept_rest, others ->
+                  remaining := kept_rest @ others;
+                  true)
+            ra.Result_set.rows
+        end
+        else
+          dedupe_rows
+            (List.filter
+               (fun r -> List.exists (fun r' -> row_equal r r') rb.Result_set.rows)
+               ra.Result_set.rows)
+      in
+      { Result_set.cols = ra.Result_set.cols; rows }
+
+and row_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Value.equal a b
+
+and dedupe_rows rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let key = Array.to_list r in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    rows
+
+(* Resolve a FROM item into (alias, columns, row source).
+
+   A derived table (or view) whose query references a sibling FROM item
+   cannot be materialized up front; when its evaluation fails on an
+   unknown column we defer it to join time (`Lateral_sub`), giving it
+   quasi-LATERAL semantics.  Genuine unknown-column errors re-raise
+   identically during the join. *)
+and eval_table_ref env (tr : table_ref) :
+    string
+    * string array
+    * [ `Rows of Value.t array list
+      | `Lateral of expr list * string
+      | `Lateral_sub of query ]
+    =
+  let try_materialize alias q =
+    match eval_query env q with
+    | rs ->
+        ( alias,
+          Array.of_list (List.map String.lowercase_ascii rs.Result_set.cols),
+          `Rows rs.Result_set.rows )
+    | exception Sql_error msg
+      when String.length msg >= 14 && String.sub msg 0 14 = "unknown column" ->
+        (* Column names must still be known up front: take them from a
+           probe evaluation against empty bindings is impossible, so
+           derive them from the query's projection. *)
+        ( alias,
+          Array.of_list (List.map String.lowercase_ascii (query_columns env q)),
+          `Lateral_sub q )
+  in
+  match tr with
+  | Tref (name, alias) -> (
+      let alias = Option.value alias ~default:name in
+      match Database.find_table env.cat.Catalog.db name with
+      | Some t ->
+          let schema = Table.schema t in
+          let cols =
+            Array.of_list
+              (List.map
+                 (fun c -> String.lowercase_ascii c.Schema.col_name)
+                 schema.Schema.columns)
+          in
+          let rows = Table.to_list t in
+          (* Transaction-time filtering is system-enforced at the scan. *)
+          let rows =
+            if not schema.Schema.transaction then rows
+            else
+              let bi = Schema.tt_begin_index schema
+              and ei = Schema.tt_end_index schema in
+              match env.tt_mode with
+              | `All -> rows
+              | `Current ->
+                  List.filter
+                    (fun (r : Value.t array) ->
+                      Value.to_date_exn r.(ei) = Date.forever)
+                    rows
+              | `Asof d ->
+                  List.filter
+                    (fun (r : Value.t array) ->
+                      Value.to_date_exn r.(bi) <= d
+                      && d < Value.to_date_exn r.(ei))
+                    rows
+          in
+          (alias, cols, `Rows rows)
+      | None -> (
+          match Catalog.find_view env.cat name with
+          | Some q -> try_materialize alias q
+          | None -> sql_error "unknown table or view %s" name))
+  | Tsub (q, alias) -> try_materialize alias q
+  | Tjoin _ ->
+      (* Joins are flattened by eval_select before sources are resolved. *)
+      assert false
+  | Tfun (fname, args, alias) ->
+      let cols =
+        match Catalog.find_native_table_fun env.cat fname with
+        | Some ntf ->
+            Array.of_list (List.map String.lowercase_ascii ntf.Catalog.ntf_cols)
+        | None -> (
+            match Catalog.find_function env.cat fname with
+            | Some { r_returns = Some (Ret_table cds); _ } ->
+                Array.of_list
+                  (List.map (fun cd -> String.lowercase_ascii cd.cd_name) cds)
+            | Some _ -> sql_error "%s is not a table function" fname
+            | None -> sql_error "unknown table function %s" fname)
+      in
+      (alias, cols, `Lateral (args, fname))
+
+(* The output column names of a query, statically (used when a lateral
+   derived table cannot be materialized up front).  Star projections of
+   base tables are resolvable; anything else must use explicit names. *)
+and query_columns env (q : query) : string list =
+  match q with
+  | Select s ->
+      List.concat_map
+        (function
+          | Proj_expr (_, Some a) -> [ a ]
+          | Proj_expr (Col (_, c), None) -> [ c ]
+          | Proj_expr (_, None) -> [ "?column?" ]
+          | Star ->
+              let rec cols_of = function
+                | Tref (name, _) -> (
+                    match Database.find_table env.cat.Catalog.db name with
+                    | Some t ->
+                        List.map
+                          (fun c -> c.Schema.col_name)
+                          (Table.schema t).Schema.columns
+                    | None -> sql_error "cannot infer columns of %s" name)
+                | Tjoin (l, _, r, _) -> cols_of l @ cols_of r
+                | _ ->
+                    sql_error
+                      "cannot infer the columns of a lateral derived table \
+                       with SELECT *"
+              in
+              List.concat_map cols_of s.from
+          | Qual_star _ ->
+              sql_error
+                "cannot infer the columns of a lateral derived table with \
+                 qualified *")
+        s.proj
+  | Union (_, a, _) | Except (_, a, _) | Intersect (_, a, _) ->
+      query_columns env a
+
+(* Invoke a table function, memoizing on argument values for the duration
+   of the enclosing top-level statement.  Native table functions are not
+   memoized: they may read mutable temporary state (e.g. the stratum's
+   runtime constant-period computation over variable tables). *)
+and invoke_table_function env fname argv : Result_set.t =
+  match Catalog.find_native_table_fun env.cat fname with
+  | Some ntf -> ntf.Catalog.ntf_fn env.cat argv
+  | None -> (
+      let memoize = env.cat.Catalog.options.Catalog.memoize_table_functions in
+      let key = (String.lowercase_ascii fname, argv) in
+      match if memoize then Hashtbl.find_opt env.tf_cache key else None with
+      | Some rs -> rs
+      | None ->
+          let r =
+            match Catalog.find_function env.cat fname with
+            | Some r -> r
+            | None -> sql_error "unknown table function %s" fname
+          in
+          let rs = invoke_routine_table env r argv in
+          if memoize then Hashtbl.add env.tf_cache key rs;
+          rs)
+
+and eval_select env (s : select) : Result_set.t =
+  (* Flatten explicit joins: inner-join ON conditions become ordinary
+     conjuncts; a left join marks its right side with the ON condition
+     so the join loop can null-extend unmatched combinations. *)
+  let rec flatten_from (tr : table_ref) :
+      (table_ref * expr option (* left-join ON *)) list * expr list =
+    match tr with
+    | Tjoin (l, Jinner, r, on) ->
+        let ul, cl = flatten_from l in
+        let ur, cr = flatten_from r in
+        (ul @ ur, cl @ cr @ [ on ])
+    | Tjoin (l, Jleft, r, on) ->
+        let ul, cl = flatten_from l in
+        (match r with
+        | Tjoin _ ->
+            sql_error "a nested join on the right of a LEFT JOIN is not supported"
+        | _ -> ());
+        (ul @ [ (r, Some on) ], cl)
+    | _ -> ([ (tr, None) ], [])
+  in
+  let flat_from, join_conjuncts =
+    List.fold_left
+      (fun (us, cs) tr ->
+        let u, c = flatten_from tr in
+        (us @ u, cs @ c))
+      ([], []) s.from
+  in
+  let sources =
+    List.map (fun (tr, on) -> (eval_table_ref env tr, on)) flat_from
+  in
+  let bindings =
+    List.map
+      (fun (((alias, cols, _), _) : _ * expr option) ->
+        { b_alias = String.lowercase_ascii alias; b_cols = cols; b_row = [||] })
+      sources
+  in
+  let n = List.length sources in
+  let bindings_arr = Array.of_list bindings in
+  let sources_arr = Array.of_list sources in
+  let local_aliases = List.map (fun b -> b.b_alias) bindings in
+  (* Split WHERE into conjuncts and assign each to the earliest join level
+     at which all its locally-referenced aliases are bound. *)
+  let conjuncts =
+    let rec split = function
+      | Binop (And, a, b) -> split a @ split b
+      | e -> [ e ]
+    in
+    join_conjuncts
+    @ (match s.where with None -> [] | Some w -> split w)
+  in
+  let alias_level =
+    List.mapi (fun i a -> (a, i)) local_aliases
+  in
+  (* Which local aliases does an expression reference?  An unqualified
+     column counts for the first local source that has the column. *)
+  let rec expr_aliases acc (e : expr) =
+    match e with
+    | Col (Some q, _) -> (
+        let lq = String.lowercase_ascii q in
+        match List.assoc_opt lq alias_level with
+        | Some lvl -> lvl :: acc
+        | None -> acc)
+    | Col (None, c) -> (
+        let lc = String.lowercase_ascii c in
+        let found =
+          List.find_opt
+            (fun b -> Array.exists (fun col -> col = lc) b.b_cols)
+            bindings
+        in
+        match found with
+        | Some b -> (List.assoc b.b_alias alias_level) :: acc
+        | None -> acc)
+    | _ ->
+        let acc =
+          fold_expr_queries
+            (fun acc q ->
+              (* Subqueries may correlate with local aliases. *)
+              List.fold_left
+                (fun acc sel ->
+                  let refs = collect_col_refs sel in
+                  List.fold_left
+                    (fun acc r ->
+                      match r with
+                      | Some q, _ -> (
+                          match
+                            List.assoc_opt (String.lowercase_ascii q) alias_level
+                          with
+                          | Some lvl -> lvl :: acc
+                          | None -> acc)
+                      | None, _ -> acc)
+                    acc refs)
+                acc (query_selects q))
+            acc e
+        in
+        shallow_fold_expr expr_aliases acc e
+  and shallow_fold_expr f acc e =
+    match e with
+    | Lit _ | Col _ -> acc
+    | Binop (_, a, b) -> f (f acc a) b
+    | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> f acc a
+    | Fun_call (_, args) -> List.fold_left f acc args
+    | Agg (_, _, Some a) -> f acc a
+    | Agg (_, _, None) -> acc
+    | Case c ->
+        let acc = match c.case_operand with Some e -> f acc e | None -> acc in
+        let acc =
+          List.fold_left (fun acc (w, t) -> f (f acc w) t) acc c.case_branches
+        in
+        (match c.case_else with Some e -> f acc e | None -> acc)
+    | Exists _ | Scalar_subquery _ -> acc
+    | In_pred (e, In_list es, _) -> List.fold_left f (f acc e) es
+    | In_pred (e, In_query _, _) -> f acc e
+    | Between (a, b, c, _) -> f (f (f acc a) b) c
+    | Like (a, b, _) -> f (f acc a) b
+  in
+  let conjunct_level e =
+    match expr_aliases [] e with [] -> 0 | ls -> List.fold_left max 0 ls
+  in
+  let has_fun_call e =
+    fold_expr_funcalls
+      (fun acc name _ -> acc || not (Builtins.is_builtin name))
+      false e
+  in
+  let level_conjuncts =
+    Array.make (max n 1) ([] : expr list)
+  in
+  List.iter
+    (fun c ->
+      let lvl = conjunct_level c in
+      level_conjuncts.(lvl) <- c :: level_conjuncts.(lvl))
+    conjuncts;
+  (* Cheap conjuncts (no stored-function calls) run first at each level. *)
+  Array.iteri
+    (fun i cs ->
+      let cheap, costly = List.partition (fun c -> not (has_fun_call c)) cs in
+      level_conjuncts.(i) <- cheap @ costly)
+    level_conjuncts;
+  (* Hash-join detection: at level i, a conjunct of the form
+     col_of_source_i = expr_bound_earlier lets us index source i. *)
+  let find_hash_key i =
+    let b = bindings_arr.(i) in
+    let col_of_i = function
+      | Col (Some q, c) when String.lowercase_ascii q = b.b_alias ->
+          let lc = String.lowercase_ascii c in
+          if Array.exists (fun col -> col = lc) b.b_cols then Some lc else None
+      | Col (None, c) ->
+          let lc = String.lowercase_ascii c in
+          (* Unqualified: must belong to source i and no earlier source. *)
+          if
+            Array.exists (fun col -> col = lc) b.b_cols
+            && not
+                 (List.exists
+                    (fun b' ->
+                      b'.b_alias <> b.b_alias
+                      && Array.exists (fun col -> col = lc) b'.b_cols)
+                    bindings)
+          then Some lc
+          else None
+      | _ -> None
+    in
+    let bound_elsewhere e =
+      List.for_all (fun lvl -> lvl < i) (expr_aliases [] e)
+    in
+    let rec scan = function
+      | [] -> None
+      | c :: rest -> (
+          match c with
+          | Binop (Eq, a, bb) -> (
+              match (col_of_i a, bound_elsewhere bb) with
+              | Some col, true -> Some (col, bb, c)
+              | _ -> (
+                  match (col_of_i bb, bound_elsewhere a) with
+                  | Some col, true -> Some (col, a, c)
+                  | _ -> scan rest))
+          | _ -> scan rest)
+    in
+    scan level_conjuncts.(i)
+  in
+  let hash_plans = Array.init (max n 1) (fun i -> if i < n then find_hash_key i else None) in
+  (* Build the hash index lazily per source. *)
+  let hash_indexes :
+      (Value.t, Value.t array list) Hashtbl.t option array =
+    Array.make (max n 1) None
+  in
+  let get_index i col rows =
+    match hash_indexes.(i) with
+    | Some h -> h
+    | None ->
+        let b = bindings_arr.(i) in
+        let ci =
+          let rec go j = if b.b_cols.(j) = col then j else go (j + 1) in
+          go 0
+        in
+        let h = Hashtbl.create 256 in
+        List.iter
+          (fun (r : Value.t array) ->
+            let k = r.(ci) in
+            if not (Value.is_null k) then
+              Hashtbl.replace h k
+                (r :: (Option.value (Hashtbl.find_opt h k) ~default:[])))
+          rows;
+        hash_indexes.(i) <- Some h;
+        h
+  in
+  (* Push the new frame for this SELECT. *)
+  let saved_frames = env.frames in
+  env.frames <- bindings :: env.frames;
+  Fun.protect
+    ~finally:(fun () -> env.frames <- saved_frames)
+    (fun () ->
+      let grouped =
+        s.group_by <> [] || s.having <> None
+        || List.exists
+             (function
+               | Proj_expr (e, _) ->
+                   fold_has_agg e
+               | _ -> false)
+             s.proj
+      in
+      let snapshots = ref [] in
+      let flat_rows = ref [] in
+      let emit () =
+        if grouped then
+          (* Snapshot the joined row for later grouping. *)
+          snapshots := Array.map (fun b -> b.b_row) bindings_arr :: !snapshots
+        else begin
+          let out = eval_projection env s bindings in
+          let keys =
+            List.map (fun (e, _) -> eval_order_key env s bindings e) s.order_by
+          in
+          flat_rows := Array.of_list (out @ keys) :: !flat_rows
+        end
+      in
+      let rec extend i =
+        if i = n then begin
+          (* Constant conjuncts at level 0 were already checked when n>0;
+             when n=0 check them here. *)
+          if n = 0 then begin
+            if List.for_all (fun c -> truthy (eval_expr env c)) level_conjuncts.(0)
+            then emit ()
+          end
+          else emit ()
+        end
+        else begin
+          let (_, _, src), left_on = sources_arr.(i) in
+          let b = bindings_arr.(i) in
+          let all_rows () =
+            match src with
+            | `Rows rows -> rows
+            | `Lateral (args, fname) ->
+                let argv = List.map (eval_expr env) args in
+                if List.exists Value.is_null argv then []
+                else (invoke_table_function env fname argv).Result_set.rows
+            | `Lateral_sub q -> (eval_query env q).Result_set.rows
+          in
+          match left_on with
+          | Some on ->
+              (* LEFT JOIN: the ON condition selects matches; when none
+                 match, the right side is null-extended (WHERE-level
+                 conjuncts then apply to the extended row). *)
+              let matched = ref false in
+              List.iter
+                (fun row ->
+                  b.b_row <- row;
+                  if truthy (eval_expr env on) then begin
+                    matched := true;
+                    if
+                      List.for_all
+                        (fun c -> truthy (eval_expr env c))
+                        level_conjuncts.(i)
+                    then extend (i + 1)
+                  end)
+                (all_rows ());
+              if not !matched then begin
+                b.b_row <- Array.make (Array.length b.b_cols) Value.Null;
+                if
+                  List.for_all
+                    (fun c -> truthy (eval_expr env c))
+                    level_conjuncts.(i)
+                then extend (i + 1)
+              end
+          | None ->
+              (* [satisfied] is the conjunct already enforced by a hash
+                 lookup; lateral sources never use the hash path. *)
+              let candidate_rows, satisfied =
+                match src with
+                | `Rows rows when not env.cat.Catalog.options.Catalog.hash_joins
+                  ->
+                    (rows, None)
+                | `Rows rows -> (
+                    match hash_plans.(i) with
+                    | Some (col, probe, used) -> (
+                        let k = eval_expr env probe in
+                        if Value.is_null k then ([], Some used)
+                        else
+                          ( (match Hashtbl.find_opt (get_index i col rows) k with
+                            | Some rs -> rs
+                            | None -> []),
+                            Some used ))
+                    | None -> (rows, None))
+                | `Lateral _ | `Lateral_sub _ -> (all_rows (), None)
+              in
+              let checks =
+                match satisfied with
+                | Some used -> List.filter (fun c -> c != used) level_conjuncts.(i)
+                | None -> level_conjuncts.(i)
+              in
+              List.iter
+                (fun row ->
+                  b.b_row <- row;
+                  if List.for_all (fun c -> truthy (eval_expr env c)) checks then
+                    extend (i + 1))
+                candidate_rows
+        end
+      in
+      extend 0;
+      if grouped then finish_grouped env s bindings (List.rev !snapshots)
+      else finish_flat env s (List.rev !flat_rows))
+
+and fold_has_agg e =
+  let rec go = function
+    | Agg _ -> true
+    | Lit _ | Col _ -> false
+    | Binop (_, a, b) -> go a || go b
+    | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> go a
+    | Fun_call (_, args) -> List.exists go args
+    | Case c ->
+        (match c.case_operand with Some e -> go e | None -> false)
+        || List.exists (fun (w, t) -> go w || go t) c.case_branches
+        || (match c.case_else with Some e -> go e | None -> false)
+    | Exists _ | Scalar_subquery _ -> false
+    | In_pred (e, In_list es, _) -> go e || List.exists go es
+    | In_pred (e, In_query _, _) -> go e
+    | Between (a, b, c, _) -> go a || go b || go c
+    | Like (a, b, _) -> go a || go b
+  in
+  go e
+
+(* Output column names for a projection. *)
+and projection_columns env s (bindings : binding list) =
+  List.concat_map
+    (function
+      | Star ->
+          List.concat_map (fun b -> Array.to_list b.b_cols) bindings
+      | Qual_star q -> (
+          let lq = String.lowercase_ascii q in
+          match List.find_opt (fun b -> b.b_alias = lq) bindings with
+          | Some b -> Array.to_list b.b_cols
+          | None -> sql_error "unknown alias %s.*" q)
+      | Proj_expr (_, Some a) -> [ a ]
+      | Proj_expr (Col (_, c), None) -> [ c ]
+      | Proj_expr (Agg (af, _, _), None) ->
+          [ String.lowercase_ascii (match af with
+              | Count_star | Count -> "count" | Sum -> "sum" | Avg -> "avg"
+              | Min -> "min" | Max -> "max") ]
+      | Proj_expr (_, None) -> [ "?column?" ])
+    s.proj
+  |> fun cols ->
+  ignore env;
+  cols
+
+(* Evaluate the projection against the currently-bound rows. *)
+and eval_projection env s (bindings : binding list) : Value.t list =
+  List.concat_map
+    (function
+      | Star -> List.concat_map (fun b -> Array.to_list b.b_row) bindings
+      | Qual_star q -> (
+          let lq = String.lowercase_ascii q in
+          match List.find_opt (fun b -> b.b_alias = lq) bindings with
+          | Some b -> Array.to_list b.b_row
+          | None -> sql_error "unknown alias %s.*" q)
+      | Proj_expr (e, _) -> [ eval_expr env e ])
+    s.proj
+
+and eval_order_key env s bindings e =
+  (* An ORDER BY item that names a projection alias refers to the output;
+     anything else is evaluated in the row context. *)
+  ignore s;
+  ignore bindings;
+  eval_expr env e
+
+and finish_flat env (s : select) rows_with_keys : Result_set.t =
+  let nkeys = List.length s.order_by in
+  let cols =
+    (* Column names need bindings; recompute from a representative.  The
+       projection columns don't depend on row values. *)
+    match env.frames with
+    | frame :: _ -> projection_columns env s frame
+    | [] -> assert false
+  in
+  let nout = List.length cols in
+  let rows_with_keys =
+    if s.distinct then
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun (r : Value.t array) ->
+          let key = Array.to_list (Array.sub r 0 nout) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        rows_with_keys
+    else rows_with_keys
+  in
+  let rows_with_keys =
+    if nkeys = 0 then rows_with_keys
+    else
+      let dirs = Array.of_list (List.map snd s.order_by) in
+      List.stable_sort
+        (fun (a : Value.t array) b ->
+          let rec go i =
+            if i >= nkeys then 0
+            else
+              let c = Value.compare_total a.(nout + i) b.(nout + i) in
+              let c = match dirs.(i) with Asc -> c | Desc -> -c in
+              if c <> 0 then c else go (i + 1)
+          in
+          go 0)
+        rows_with_keys
+  in
+  let rows = List.map (fun r -> Array.sub r 0 nout) rows_with_keys in
+  let count_of e = Value.to_int_exn (eval_expr env e) in
+  let rows =
+    match s.offset with
+    | None -> rows
+    | Some k ->
+        let k = count_of k in
+        List.filteri (fun i _ -> i >= k) rows
+  in
+  let rows =
+    match s.fetch_first with
+    | None -> rows
+    | Some k ->
+        let k = count_of k in
+        List.filteri (fun i _ -> i < k) rows
+  in
+  { Result_set.cols; rows }
+
+and finish_grouped env (s : select) bindings snapshots : Result_set.t =
+  let cols = projection_columns env s bindings in
+  (* Group snapshots by the GROUP BY key. *)
+  let groups : (Value.t list, Value.t array array list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun snap ->
+      set_bindings bindings snap;
+      let key = List.map (eval_expr env) s.group_by in
+      (match Hashtbl.find_opt groups key with
+      | Some members -> Hashtbl.replace groups key (snap :: members)
+      | None ->
+          order := key :: !order;
+          Hashtbl.replace groups key [ snap ]))
+    snapshots;
+  let keys_in_order = List.rev !order in
+  let keys_in_order =
+    (* No GROUP BY but aggregates: a single group over all rows, present
+       even when the input is empty. *)
+    if s.group_by = [] then [ [] ] else keys_in_order
+  in
+  let out_rows = ref [] in
+  List.iter
+    (fun key ->
+      let members =
+        match Hashtbl.find_opt groups key with
+        | Some ms -> List.rev ms
+        | None -> []
+      in
+      let g = { g_bindings = bindings; g_rows = members } in
+      (match members with
+      | snap :: _ -> set_bindings bindings snap
+      | [] -> ());
+      let ok =
+        match s.having with
+        | None -> true
+        | Some h ->
+            if members = [] && s.group_by = [] then
+              truthy (eval_expr env ~group:g h)
+            else truthy (eval_expr env ~group:g h)
+      in
+      if ok then begin
+        let row =
+          List.concat_map
+            (function
+              | Star | Qual_star _ ->
+                  sql_error "SELECT * is not allowed in a grouped query"
+              | Proj_expr (e, _) -> [ eval_expr env ~group:g e ])
+            s.proj
+        in
+        let keys =
+          List.map (fun (e, _) -> eval_expr env ~group:g e) s.order_by
+        in
+        out_rows := Array.of_list (row @ keys) :: !out_rows
+      end)
+    keys_in_order;
+  finish_flat env { s with distinct = s.distinct } (List.rev !out_rows)
+  |> fun rs -> { rs with Result_set.cols = cols }
+
+(* Collect (qualifier, column) references of a select block, shallowly. *)
+and collect_col_refs (sel : select) : (string option * string) list =
+  let acc = ref [] in
+  let rec walk (e : expr) =
+    match e with
+    | Col (q, c) -> acc := (q, c) :: !acc
+    | Lit _ -> ()
+    | Binop (_, a, b) -> walk a; walk b
+    | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> walk a
+    | Fun_call (_, args) -> List.iter walk args
+    | Agg (_, _, Some a) -> walk a
+    | Agg (_, _, None) -> ()
+    | Case c ->
+        Option.iter walk c.case_operand;
+        List.iter (fun (w, t) -> walk w; walk t) c.case_branches;
+        Option.iter walk c.case_else
+    | Exists _ | Scalar_subquery _ -> ()
+    | In_pred (e, In_list es, _) -> walk e; List.iter walk es
+    | In_pred (e, In_query _, _) -> walk e
+    | Between (a, b, c, _) -> walk a; walk b; walk c
+    | Like (a, b, _) -> walk a; walk b
+  in
+  List.iter (function Proj_expr (e, _) -> walk e | _ -> ()) sel.proj;
+  Option.iter walk sel.where;
+  List.iter walk sel.group_by;
+  Option.iter walk sel.having;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Routine invocation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+and bind_params env (r : routine) argv =
+  if List.length r.r_params <> List.length argv then
+    sql_error "%s expects %d argument(s), got %d" r.r_name
+      (List.length r.r_params) (List.length argv);
+  List.iter2 (fun p v -> declare_var env p.p_name v) r.r_params argv
+
+and invoke_scalar_function env (r : routine) argv : Value.t =
+  incr env.depth;
+  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Fun.protect
+    ~finally:(fun () -> decr env.depth)
+    (fun () ->
+      env.calls <- env.calls + 1;
+      let renv = routine_env env in
+      bind_params renv r argv;
+      match exec_stmts renv r.r_body with
+      | () -> sql_error "function %s ended without RETURN" r.r_name
+      | exception Return_value v -> v)
+
+and invoke_routine_table env (r : routine) argv : Result_set.t =
+  incr env.depth;
+  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Fun.protect
+    ~finally:(fun () -> decr env.depth)
+    (fun () ->
+      env.calls <- env.calls + 1;
+      let renv = routine_env env in
+      bind_params renv r argv;
+      match exec_stmts renv r.r_body with
+      | () -> sql_error "table function %s ended without RETURN" r.r_name
+      | exception Return_table rs -> rs
+      | exception Return_value _ ->
+          sql_error "table function %s returned a scalar" r.r_name)
+
+and invoke_procedure env (r : routine) (args : expr list) : unit =
+  incr env.depth;
+  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Fun.protect
+    ~finally:(fun () -> decr env.depth)
+    (fun () ->
+      env.calls <- env.calls + 1;
+      if List.length r.r_params <> List.length args then
+        sql_error "%s expects %d argument(s), got %d" r.r_name
+          (List.length r.r_params) (List.length args);
+      let renv = routine_env env in
+      (* IN params: by value.  OUT/INOUT: the argument must be a variable
+         of the caller; copy back after the body runs. *)
+      let copy_backs = ref [] in
+      List.iter2
+        (fun p arg ->
+          match p.p_mode with
+          | Pin -> declare_var renv p.p_name (eval_expr env arg)
+          | Pout | Pinout ->
+              let var_name =
+                match arg with
+                | Col (None, v) -> v
+                | _ ->
+                    sql_error "OUT argument of %s must be a variable" r.r_name
+              in
+              let caller_ref =
+                match find_var env var_name with
+                | Some rf -> rf
+                | None -> sql_error "unknown variable %s" var_name
+              in
+              let init = if p.p_mode = Pinout then !caller_ref else Value.Null in
+              declare_var renv p.p_name init;
+              copy_backs := (p.p_name, caller_ref) :: !copy_backs)
+        r.r_params args;
+      (match exec_stmts renv r.r_body with
+      | () -> ()
+      | exception Return_value _ -> ());
+      List.iter
+        (fun (pname, caller_ref) ->
+          match find_var renv pname with
+          | Some rf -> caller_ref := !rf
+          | None -> ())
+        !copy_backs)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and exec_stmts env (stmts : stmt list) : unit =
+  List.iter (fun s -> ignore (exec_stmt env s)) stmts
+
+and not_found env vars =
+  (* NOT FOUND condition: run the CONTINUE handler if one is declared,
+     otherwise set the target variables to NULL. *)
+  match find_handler env with
+  | Some h -> ignore (exec_stmt env h)
+  | None ->
+      List.iter
+        (fun v ->
+          match find_var env v with
+          | Some r -> r := Value.Null
+          | None -> ())
+        vars
+
+and exec_stmt env (s : stmt) : exec_result =
+  match s with
+  | Squery q -> Rows (eval_query env q)
+  | Sinsert (tname, cols, src) -> exec_insert env tname cols src
+  | Supdate (tname, sets, where) -> exec_update env tname sets where
+  | Sdelete (tname, where) -> exec_delete env tname where
+  | Screate_table ct -> exec_create_table env ct
+  | Sdrop_table name ->
+      Database.drop_table env.cat.Catalog.db name;
+      Unit
+  | Screate_view (name, q) ->
+      Catalog.add_view env.cat name q;
+      Unit
+  | Screate_function r ->
+      Catalog.add_routine ~replace:true env.cat Catalog.Rfunction r;
+      Unit
+  | Screate_procedure r ->
+      Catalog.add_routine ~replace:true env.cat Catalog.Rprocedure r;
+      Unit
+  | Scall (name, args) -> (
+      match Catalog.find_procedure env.cat name with
+      | Some r ->
+          invoke_procedure env r args;
+          Unit
+      | None -> sql_error "unknown procedure %s" name)
+  | Sdeclare (names, ty, init) ->
+      let v =
+        match init with
+        | Some e -> Value.cast ~ty (eval_expr env e)
+        | None -> Value.Null
+      in
+      List.iter (fun n -> declare_var env n v) names;
+      Unit
+  | Sdeclare_cursor (name, q) ->
+      (match env.scopes with
+      | [] -> sql_error "DECLARE CURSOR outside of a routine body"
+      | sc :: _ ->
+          Hashtbl.replace sc.cursors
+            (String.lowercase_ascii name)
+            { c_query = q; c_rows = None; c_pos = 0 });
+      Unit
+  | Sdeclare_handler h ->
+      (match env.scopes with
+      | [] -> sql_error "DECLARE HANDLER outside of a routine body"
+      | sc :: _ -> sc.handler <- Some h);
+      Unit
+  | Sset (v, e) -> (
+      match find_var env v with
+      | Some r ->
+          r := eval_expr env e;
+          Unit
+      | None -> sql_error "unknown variable %s" v)
+  | Sselect_into (sel, vars) -> (
+      let rs = eval_select env sel in
+      match rs.Result_set.rows with
+      | [] ->
+          not_found env vars;
+          Unit
+      | row :: _ ->
+          if List.length vars <> Array.length row then
+            sql_error "SELECT INTO: %d variable(s) for %d column(s)"
+              (List.length vars) (Array.length row);
+          List.iteri
+            (fun i v ->
+              match find_var env v with
+              | Some r -> r := row.(i)
+              | None -> sql_error "unknown variable %s" v)
+            vars;
+          Unit)
+  | Sif (branches, els) -> (
+      let rec go = function
+        | [] -> ( match els with Some body -> exec_stmts env body | None -> ())
+        | (cond, body) :: rest ->
+            if truthy (eval_expr env cond) then exec_stmts env body else go rest
+      in
+      go branches;
+      Unit)
+  | Scase_stmt (operand, branches, els) -> (
+      let test =
+        match operand with
+        | Some op ->
+            let v = eval_expr env op in
+            fun w -> truthy (v_compare Eq v (eval_expr env w))
+        | None -> fun w -> truthy (eval_expr env w)
+      in
+      let rec go = function
+        | [] -> ( match els with Some body -> exec_stmts env body | None -> ())
+        | (w, body) :: rest -> if test w then exec_stmts env body else go rest
+      in
+      go branches;
+      Unit)
+  | Swhile (label, cond, body) ->
+      exec_loop env label (fun () ->
+          if truthy (eval_expr env cond) then begin
+            exec_stmts env body;
+            true
+          end
+          else false);
+      Unit
+  | Srepeat (label, body, until) ->
+      exec_loop env label (fun () ->
+          exec_stmts env body;
+          not (truthy (eval_expr env until)));
+      Unit
+  | Sloop (label, body) ->
+      exec_loop env label (fun () ->
+          exec_stmts env body;
+          true);
+      Unit
+  | Sfor f ->
+      let rs = eval_query env f.for_query in
+      let cols =
+        Array.of_list (List.map String.lowercase_ascii rs.Result_set.cols)
+      in
+      let b = { b_alias = "#for"; b_cols = cols; b_row = [||] } in
+      let saved = env.frames in
+      env.frames <- [ b ] :: env.frames;
+      Fun.protect
+        ~finally:(fun () -> env.frames <- saved)
+        (fun () ->
+          (try
+             List.iter
+               (fun row ->
+                 b.b_row <- row;
+                 try exec_stmts env f.for_body
+                 with Iterate_loop l
+                 when Some (String.lowercase_ascii l)
+                      = Option.map String.lowercase_ascii f.for_label ->
+                   ())
+               rs.Result_set.rows
+           with Leave_loop l
+           when Some (String.lowercase_ascii l)
+                = Option.map String.lowercase_ascii f.for_label ->
+             ());
+          Unit)
+  | Sleave l -> raise (Leave_loop l)
+  | Siterate l -> raise (Iterate_loop l)
+  | Sopen name -> (
+      match find_cursor env name with
+      | Some c ->
+          c.c_rows <- Some (eval_query env c.c_query);
+          c.c_pos <- 0;
+          Unit
+      | None -> sql_error "unknown cursor %s" name)
+  | Sclose name -> (
+      match find_cursor env name with
+      | Some c ->
+          c.c_rows <- None;
+          c.c_pos <- 0;
+          Unit
+      | None -> sql_error "unknown cursor %s" name)
+  | Sfetch (name, vars) -> (
+      match find_cursor env name with
+      | Some c -> (
+          match c.c_rows with
+          | None -> sql_error "cursor %s is not open" name
+          | Some rs ->
+              (match List.nth_opt rs.Result_set.rows c.c_pos with
+              | None -> not_found env vars
+              | Some row ->
+                  c.c_pos <- c.c_pos + 1;
+                  if List.length vars <> Array.length row then
+                    sql_error "FETCH: %d variable(s) for %d column(s)"
+                      (List.length vars) (Array.length row);
+                  List.iteri
+                    (fun i v ->
+                      match find_var env v with
+                      | Some r -> r := row.(i)
+                      | None -> sql_error "unknown variable %s" v)
+                    vars);
+              Unit)
+      | None -> sql_error "unknown cursor %s" name)
+  | Sreturn None -> raise (Return_value Value.Null)
+  | Sreturn (Some e) -> raise (Return_value (eval_expr env e))
+  | Sreturn_query q -> raise (Return_table (eval_query env q))
+  | Sbegin body ->
+      let saved = env.scopes in
+      env.scopes <- new_scope () :: env.scopes;
+      Fun.protect
+        ~finally:(fun () -> env.scopes <- saved)
+        (fun () ->
+          exec_stmts env body;
+          Unit)
+  | Stemporal _ ->
+      sql_error
+        "temporal statement modifier reached the conventional engine; \
+         routines containing VALIDTIME are only invocable from a \
+         nonsequenced context (the stratum rejects or rewrites them)"
+
+and exec_loop _env label step =
+  let matches l =
+    match label with
+    | Some l' -> String.lowercase_ascii l = String.lowercase_ascii l'
+    | None -> false
+  in
+  let rec go () =
+    let continue_ =
+      try step () with
+      | Iterate_loop l when matches l -> true
+      | Leave_loop l when matches l -> false
+    in
+    if continue_ then go ()
+  in
+  go ()
+
+and exec_insert env tname cols src : exec_result =
+  let t = Database.find_table_exn env.cat.Catalog.db tname in
+  let schema = Table.schema t in
+  let arity = Schema.arity schema in
+  let transactional = schema.Schema.transaction in
+  (* Transaction time is system-maintained: users may not write it, and
+     every inserted row is stamped [now, forever). *)
+  (if transactional then
+     match cols with
+     | Some cs ->
+         List.iter
+           (fun c ->
+             let k = String.lowercase_ascii c in
+             if k = Schema.tt_begin_col || k = Schema.tt_end_col then
+               sql_error
+                 "column %s is system-maintained (transaction time)" c)
+           cs
+     | None -> ());
+  let positions =
+    match cols with
+    | None ->
+        if transactional then Array.init (arity - 2) Fun.id
+        else Array.init arity Fun.id
+    | Some cs ->
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun c ->
+            let k = String.lowercase_ascii c in
+            if Hashtbl.mem seen k then
+              sql_error "INSERT names column %s twice" c;
+            Hashtbl.add seen k ())
+          cs;
+        Array.of_list (List.map (Schema.column_index_exn schema) cs)
+  in
+  let tys =
+    Array.of_list (List.map (fun c -> c.Schema.col_ty) schema.Schema.columns)
+  in
+  let insert_values vs =
+    if List.length vs <> Array.length positions then
+      sql_error "INSERT: %d value(s) for %d column(s)" (List.length vs)
+        (Array.length positions);
+    let row = Array.make arity Value.Null in
+    List.iteri
+      (fun i v ->
+        let pos = positions.(i) in
+        row.(pos) <- Value.cast ~ty:tys.(pos) v)
+      vs;
+    if transactional then begin
+      row.(Schema.tt_begin_index schema) <- Value.Date env.now;
+      row.(Schema.tt_end_index schema) <- Value.Date Date.forever
+    end;
+    Table.insert t row
+  in
+  match src with
+  | Ivalues rows ->
+      List.iter (fun es -> insert_values (List.map (eval_expr env) es)) rows;
+      Affected (List.length rows)
+  | Iquery q ->
+      let rs = eval_query env q in
+      List.iter (fun r -> insert_values (Array.to_list r)) rs.Result_set.rows;
+      Affected (List.length rs.Result_set.rows)
+
+and with_table_binding env t f =
+  let schema = Table.schema t in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun c -> String.lowercase_ascii c.Schema.col_name)
+         schema.Schema.columns)
+  in
+  let b =
+    {
+      b_alias = String.lowercase_ascii (Table.name t);
+      b_cols = cols;
+      b_row = [||];
+    }
+  in
+  let saved = env.frames in
+  env.frames <- [ b ] :: env.frames;
+  Fun.protect ~finally:(fun () -> env.frames <- saved) (fun () -> f b)
+
+and exec_update env tname sets where : exec_result =
+  let t = Database.find_table_exn env.cat.Catalog.db tname in
+  let schema = Table.schema t in
+  (List.iter
+     (fun (c, _) ->
+       if
+         schema.Schema.transaction
+         &&
+         let k = String.lowercase_ascii c in
+         k = Schema.tt_begin_col || k = Schema.tt_end_col
+       then sql_error "column %s is system-maintained (transaction time)" c)
+     sets);
+  let set_idx =
+    List.map
+      (fun (c, e) ->
+        let i = Schema.column_index_exn schema c in
+        let ty = (List.nth schema.Schema.columns i).Schema.col_ty in
+        (i, ty, e))
+      sets
+  in
+  if not schema.Schema.transaction then
+    with_table_binding env t (fun b ->
+        let n =
+          Table.update_where
+            (fun row ->
+              b.b_row <- row;
+              match where with
+              | None -> true
+              | Some w -> truthy (eval_expr env w))
+            (fun row ->
+              b.b_row <- row;
+              let row' = Array.copy row in
+              List.iter
+                (fun (i, ty, e) -> row'.(i) <- Value.cast ~ty (eval_expr env e))
+                set_idx;
+              row')
+            t
+        in
+        Affected n)
+  else begin
+    (* Transaction-time table: the update is append-only.  The matching
+       current rows are closed at [now] and re-inserted with the new
+       values, stamped [now, forever); rows opened today are rewritten
+       in place (a zero-length transaction period would be invalid). *)
+    let bi = Schema.tt_begin_index schema and ei = Schema.tt_end_index schema in
+    let is_current (row : Value.t array) =
+      Value.to_date_exn row.(ei) = Date.forever
+    in
+    with_table_binding env t (fun b ->
+        let matches row =
+          b.b_row <- row;
+          is_current row
+          && match where with
+             | None -> true
+             | Some w -> truthy (eval_expr env w)
+        in
+        let modified row =
+          b.b_row <- row;
+          let row' = Array.copy row in
+          List.iter
+            (fun (i, ty, e) -> row'.(i) <- Value.cast ~ty (eval_expr env e))
+            set_idx;
+          row'
+        in
+        let to_reopen = ref [] in
+        let n =
+          Table.update_where matches
+            (fun row ->
+              if Value.to_date_exn row.(bi) = env.now then modified row
+              else begin
+                let fresh = modified row in
+                fresh.(bi) <- Value.Date env.now;
+                fresh.(ei) <- Value.Date Date.forever;
+                to_reopen := fresh :: !to_reopen;
+                let closed = Array.copy row in
+                closed.(ei) <- Value.Date env.now;
+                closed
+              end)
+            t
+        in
+        List.iter (Table.insert t) !to_reopen;
+        Affected n)
+  end
+
+and exec_delete env tname where : exec_result =
+  let t = Database.find_table_exn env.cat.Catalog.db tname in
+  let schema = Table.schema t in
+  if not schema.Schema.transaction then
+    with_table_binding env t (fun b ->
+        let n =
+          Table.delete_where
+            (fun row ->
+              b.b_row <- row;
+              match where with
+              | None -> true
+              | Some w -> truthy (eval_expr env w))
+            t
+        in
+        Affected n)
+  else begin
+    (* Transaction-time table: a delete closes the current version at
+       [now]; versions opened today are removed outright. *)
+    let bi = Schema.tt_begin_index schema and ei = Schema.tt_end_index schema in
+    with_table_binding env t (fun b ->
+        let matches row =
+          b.b_row <- row;
+          Value.to_date_exn row.(ei) = Date.forever
+          && match where with
+             | None -> true
+             | Some w -> truthy (eval_expr env w)
+        in
+        let removed =
+          Table.delete_where
+            (fun row -> matches row && Value.to_date_exn row.(bi) = env.now)
+            t
+        in
+        let closed =
+          Table.update_where matches
+            (fun row ->
+              let row' = Array.copy row in
+              row'.(ei) <- Value.Date env.now;
+              row')
+            t
+        in
+        Affected (removed + closed))
+  end
+
+and exec_create_table env ct : exec_result =
+  let from_result rs =
+    (* Infer column types from the first row with a non-NULL value. *)
+    List.mapi
+      (fun i cname ->
+        let ty =
+          let rec scan = function
+            | [] -> Value.Tstring
+            | (r : Value.t array) :: rest -> (
+                match Value.type_of r.(i) with
+                | Some ty -> ty
+                | None -> scan rest)
+          in
+          scan rs.Result_set.rows
+        in
+        Schema.column ~name:cname ~ty)
+      rs.Result_set.cols
+  in
+  let rs = Option.map (eval_query env) ct.ct_as in
+  let columns =
+    if ct.ct_cols <> [] then
+      List.map (fun cd -> Schema.column ~name:cd.cd_name ~ty:cd.cd_ty) ct.ct_cols
+    else
+      match rs with
+      | Some rs -> from_result rs
+      | None -> sql_error "CREATE TABLE %s lacks both columns and AS query" ct.ct_name
+  in
+  (* For a temporal table defined AS a query, the query's own trailing
+     begin_time/end_time columns serve as the timestamps. *)
+  let temporal_cols_from_query =
+    ct.ct_temporal && ct.ct_cols = []
+    && List.exists
+         (fun (c : Schema.column) ->
+           String.lowercase_ascii c.Schema.col_name = Schema.begin_time_col)
+         columns
+  in
+  let schema =
+    Schema.make ~name:ct.ct_name ~columns ~transaction:ct.ct_transaction
+      ~temporal:(ct.ct_temporal && not temporal_cols_from_query) ()
+  in
+  let schema =
+    if temporal_cols_from_query then { schema with Schema.temporal = true }
+    else schema
+  in
+  let table = Table.create schema in
+  (match rs with
+  | Some rs ->
+      List.iter
+        (fun r ->
+          if Array.length r <> Schema.arity schema then
+            sql_error "CREATE TABLE AS: arity mismatch for %s" ct.ct_name;
+          Table.insert table (Array.copy r))
+        rs.Result_set.rows
+  | None -> ());
+  if ct.ct_temp then Database.add_temp_table env.cat.Catalog.db table
+  else Database.add_table env.cat.Catalog.db table;
+  Unit
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute a conventional (already transformed) statement. *)
+let exec_toplevel ?now ?tt_mode cat (s : stmt) : exec_result =
+  let env = create_env ?now ?tt_mode cat in
+  (* A top-level statement may be a bare PSM block (used by generated
+     code); give it a scope. *)
+  env.scopes <- [ new_scope () ];
+  exec_stmt env s

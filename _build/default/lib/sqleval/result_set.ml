@@ -1,0 +1,71 @@
+(* Query results: a column-name header plus rows of values. *)
+
+type t = { cols : string list; rows : Sqldb.Value.t array list }
+
+let empty cols = { cols; rows = [] }
+let row_count rs = List.length rs.rows
+let arity rs = List.length rs.cols
+
+(* Column index by (case-insensitive) name. *)
+let column_index rs name =
+  let name = String.lowercase_ascii name in
+  let rec go i = function
+    | [] -> None
+    | c :: rest ->
+        if String.lowercase_ascii c = name then Some i else go (i + 1) rest
+  in
+  go 0 rs.cols
+
+let column_index_exn rs name =
+  match column_index rs name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Result_set: no column %s" name)
+
+(* Order-insensitive bag equality, for result comparison in tests and in
+   the commutativity checker. *)
+let sorted_rows rs =
+  List.sort
+    (fun a b ->
+      let rec go i =
+        if i >= Array.length a then 0
+        else
+          match Sqldb.Value.compare_total a.(i) b.(i) with
+          | 0 -> go (i + 1)
+          | c -> c
+      in
+      go 0)
+    rs.rows
+
+let equal_bag a b =
+  List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun r1 r2 -> Array.for_all2 Sqldb.Value.equal r1 r2)
+       (sorted_rows a) (sorted_rows b)
+
+let pp ppf rs =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w r -> max w (String.length (Sqldb.Value.to_string r.(i))))
+          (String.length c) rs.rows)
+      rs.cols
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf ppf "| %s |@."
+      (String.concat " | " (List.map2 pad cells widths))
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Format.fprintf ppf "%s@." sep;
+  print_row rs.cols;
+  Format.fprintf ppf "%s@." sep;
+  List.iter
+    (fun r -> print_row (List.map Sqldb.Value.to_string (Array.to_list r)))
+    rs.rows;
+  Format.fprintf ppf "%s@." sep;
+  Format.fprintf ppf "%d row(s)@." (row_count rs)
+
+let to_string rs = Format.asprintf "%a" pp rs

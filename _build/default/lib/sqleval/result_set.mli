@@ -1,0 +1,24 @@
+(** Query results: a column-name header plus rows of values. *)
+
+type t = { cols : string list; rows : Sqldb.Value.t array list }
+
+val empty : string list -> t
+val row_count : t -> int
+val arity : t -> int
+
+val column_index : t -> string -> int option
+(** Case-insensitive column lookup. *)
+
+val column_index_exn : t -> string -> int
+
+val sorted_rows : t -> Sqldb.Value.t array list
+(** Rows under a total lexicographic order (for stable comparison). *)
+
+val equal_bag : t -> t -> bool
+(** Order-insensitive multiset equality of the rows; used by the
+    commutativity checker and by tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** An ASCII table. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/sqlparse/parser.ml: Array Lexer List Printf Sqlast Sqldb String

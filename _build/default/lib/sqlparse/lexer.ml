@@ -1,0 +1,134 @@
+(* Hand-written SQL lexer.
+
+   Keywords are not distinguished from identifiers here; the parser
+   matches identifier tokens case-insensitively.  Strings use SQL single
+   quotes with '' as the escape.  Comments: [-- ...] to end of line and
+   bracketed [/* ... */]. *)
+
+type token =
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tident of string
+  | Tsym of string  (* punctuation / operator *)
+  | Teof
+
+type lexed = { tok : token; pos : int; line : int }
+
+exception Lex_error of string * int  (* message, line *)
+
+let token_to_string = function
+  | Tint i -> string_of_int i
+  | Tfloat f -> string_of_float f
+  | Tstring s -> Printf.sprintf "'%s'" s
+  | Tident s -> s
+  | Tsym s -> s
+  | Teof -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok pos = out := { tok; pos; line = !line } :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", start_line))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (Tident (String.sub src start (!i - start))) start
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if
+        !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+      then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (Tfloat (float_of_string (String.sub src start (!i - start)))) start
+      end
+      else emit (Tint (int_of_string (String.sub src start (!i - start)))) start
+    end
+    else if c = '\'' then begin
+      let start_line = !line in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start_line));
+      emit (Tstring (Buffer.contents buf)) (!i - 1)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "<>" | "!=" | "||") as s) ->
+          emit (Tsym (if s = "!=" then "<>" else s)) !i;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | ';' | '.' | '=' | '<' | '>' | '+' | '-' | '*'
+          | '/' | '%' | '[' | ']' | ':' ->
+              emit (Tsym (String.make 1 c)) !i;
+              incr i
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  emit Teof n;
+  List.rev !out

@@ -1,0 +1,1121 @@
+(* Recursive-descent parser for the SQL/PSM subset plus the SQL/Temporal
+   statement modifiers (VALIDTIME / NONSEQUENCED VALIDTIME).
+
+   Entry points: {!parse_temporal_stmt}, {!parse_script}, {!parse_query},
+   {!parse_expr}.  The grammar is the one the pretty printer emits, so
+   parse/pretty round-trips are stable (tested in test/test_parser.ml). *)
+
+open Sqlast.Ast
+module L = Lexer
+
+exception Parse_error of string * int  (* message, line *)
+
+type state = { toks : L.lexed array; mutable cur : int }
+
+let error st fmt =
+  let line = if st.cur < Array.length st.toks then st.toks.(st.cur).L.line else 0 in
+  Printf.ksprintf (fun msg -> raise (Parse_error (msg, line))) fmt
+
+let peek st = st.toks.(st.cur).L.tok
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1).L.tok else L.Teof
+
+let advance st = st.cur <- st.cur + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+(* Case-insensitive keyword matching over identifier tokens. *)
+let is_kw st kw =
+  match peek st with
+  | L.Tident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let is_kw2 st kw =
+  match peek2 st with
+  | L.Tident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let accept_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    error st "expected %s, found %s" (String.uppercase_ascii kw)
+      (L.token_to_string (peek st))
+
+let is_sym st s = match peek st with L.Tsym s' -> s = s' | _ -> false
+
+let accept_sym st s =
+  if is_sym st s then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_sym st s =
+  if not (accept_sym st s) then
+    error st "expected %s, found %s" s (L.token_to_string (peek st))
+
+let expect_ident st =
+  match next st with
+  | L.Tident s -> s
+  | t -> error st "expected an identifier, found %s" (L.token_to_string t)
+
+(* Identifiers that may not be used as implicit aliases or column names in
+   positions where a keyword is expected next. *)
+let reserved =
+  [
+    "select"; "from"; "where"; "group"; "having"; "order"; "union"; "except";
+    "intersect"; "and"; "or"; "not"; "as"; "on"; "set"; "into"; "values";
+    "when"; "then"; "else"; "end"; "case"; "if"; "elseif"; "while"; "repeat";
+    "until"; "for"; "loop"; "do"; "begin"; "declare"; "return"; "returns";
+    "call"; "open"; "close"; "fetch"; "leave"; "iterate"; "insert"; "update";
+    "delete"; "create"; "drop"; "table"; "view"; "function"; "procedure";
+    "validtime"; "nonsequenced"; "distinct"; "exists"; "between"; "in";
+    "like"; "is"; "null"; "cast"; "with"; "asc"; "desc"; "by"; "inner";
+    "join"; "left"; "right"; "outer"; "limit"; "offset";
+  ]
+
+let is_reserved s = List.mem (String.lowercase_ascii s) reserved
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_type st : ty =
+  let name = String.lowercase_ascii (expect_ident st) in
+  let skip_parens () =
+    if accept_sym st "(" then begin
+      let depth = ref 1 in
+      while !depth > 0 do
+        match next st with
+        | L.Tsym "(" -> incr depth
+        | L.Tsym ")" -> decr depth
+        | L.Teof -> error st "unterminated type parameter list"
+        | _ -> ()
+      done
+    end
+  in
+  match name with
+  | "int" | "integer" | "smallint" | "bigint" -> Sqldb.Value.Tint
+  | "double" ->
+      ignore (accept_kw st "precision");
+      Sqldb.Value.Tfloat
+  | "float" | "real" -> Sqldb.Value.Tfloat
+  | "decimal" | "numeric" ->
+      skip_parens ();
+      Sqldb.Value.Tfloat
+  | "char" | "varchar" | "character" | "text" | "clob" ->
+      ignore (accept_kw st "varying");
+      skip_parens ();
+      Sqldb.Value.Tstring
+  | "boolean" | "bool" -> Sqldb.Value.Tbool
+  | "date" -> Sqldb.Value.Tdate
+  | other -> error st "unknown type %s" other
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of_name = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let rec parse_expr st : expr = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while is_kw st "or" do
+    advance st;
+    lhs := Binop (Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while is_kw st "and" do
+    advance st;
+    lhs := Binop (And, !lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept_kw st "not" then Unop (Not, parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_summand st in
+  match peek st with
+  | L.Tsym (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+      advance st;
+      let rhs = parse_summand st in
+      let bop =
+        match op with
+        | "=" -> Eq | "<>" -> Neq | "<" -> Lt | "<=" -> Le | ">" -> Gt
+        | _ -> Ge
+      in
+      Binop (bop, lhs, rhs)
+  | L.Tident kw -> (
+      match String.lowercase_ascii kw with
+      | "is" ->
+          advance st;
+          let neg = accept_kw st "not" in
+          expect_kw st "null";
+          Is_null (lhs, neg)
+      | "between" ->
+          advance st;
+          let lo = parse_summand st in
+          expect_kw st "and";
+          let hi = parse_summand st in
+          Between (lhs, lo, hi, false)
+      | "in" ->
+          advance st;
+          In_pred (lhs, parse_in_source st, false)
+      | "like" ->
+          advance st;
+          Like (lhs, parse_summand st, false)
+      | "not" -> (
+          advance st;
+          match String.lowercase_ascii (expect_ident st) with
+          | "between" ->
+              let lo = parse_summand st in
+              expect_kw st "and";
+              let hi = parse_summand st in
+              Between (lhs, lo, hi, true)
+          | "in" -> In_pred (lhs, parse_in_source st, true)
+          | "like" -> Like (lhs, parse_summand st, true)
+          | other -> error st "expected BETWEEN, IN or LIKE after NOT, found %s" other)
+      | _ -> lhs)
+  | _ -> lhs
+
+and parse_in_source st =
+  expect_sym st "(";
+  if is_kw st "select" then begin
+    let q = parse_query_body st in
+    expect_sym st ")";
+    In_query q
+  end
+  else begin
+    let es = parse_expr_list st in
+    expect_sym st ")";
+    In_list es
+  end
+
+and parse_summand st =
+  let lhs = ref (parse_factor st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.Tsym "+" ->
+        advance st;
+        lhs := Binop (Add, !lhs, parse_factor st)
+    | L.Tsym "-" ->
+        advance st;
+        lhs := Binop (Sub, !lhs, parse_factor st)
+    | L.Tsym "||" ->
+        advance st;
+        lhs := Binop (Concat, !lhs, parse_factor st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_factor st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.Tsym "*" ->
+        advance st;
+        lhs := Binop (Mul, !lhs, parse_unary st)
+    | L.Tsym "/" ->
+        advance st;
+        lhs := Binop (Div, !lhs, parse_unary st)
+    | L.Tsym "%" ->
+        advance st;
+        lhs := Binop (Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept_sym st "-" then
+    (* Fold negated numeric literals so "-93" round-trips as a literal. *)
+    match parse_unary st with
+    | Lit (Sqldb.Value.Int n) -> Lit (Sqldb.Value.Int (-n))
+    | Lit (Sqldb.Value.Float f) -> Lit (Sqldb.Value.Float (-.f))
+    | e -> Unop (Neg, e)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | L.Tint i ->
+      advance st;
+      Lit (Sqldb.Value.Int i)
+  | L.Tfloat f ->
+      advance st;
+      Lit (Sqldb.Value.Float f)
+  | L.Tstring s ->
+      advance st;
+      Lit (Sqldb.Value.Str s)
+  | L.Tsym "(" ->
+      advance st;
+      if is_kw st "select" then begin
+        let q = parse_query_body st in
+        expect_sym st ")";
+        Scalar_subquery q
+      end
+      else begin
+        let e = parse_expr st in
+        expect_sym st ")";
+        e
+      end
+  | L.Tident name -> parse_ident_expr st name
+  | t -> error st "unexpected token %s in expression" (L.token_to_string t)
+
+and parse_ident_expr st name =
+  let lname = String.lowercase_ascii name in
+  match lname with
+  | "null" ->
+      advance st;
+      Lit Sqldb.Value.Null
+  | "true" ->
+      advance st;
+      Lit (Sqldb.Value.Bool true)
+  | "false" ->
+      advance st;
+      Lit (Sqldb.Value.Bool false)
+  | "date" when (match peek2 st with L.Tstring _ -> true | _ -> false) ->
+      advance st;
+      (match next st with
+      | L.Tstring s -> (
+          match Sqldb.Date.of_string s with
+          | Some d -> Lit (Sqldb.Value.Date d)
+          | None -> error st "invalid date literal %S" s)
+      | _ -> assert false)
+  | "current_date" | "current_time" | "current_timestamp" ->
+      advance st;
+      Fun_call ("current_date", [])
+  | "cast" ->
+      advance st;
+      expect_sym st "(";
+      let e = parse_expr st in
+      expect_kw st "as";
+      let ty = parse_type st in
+      expect_sym st ")";
+      Cast (e, ty)
+  | "case" ->
+      advance st;
+      parse_case_expr st
+  | "exists" ->
+      advance st;
+      expect_sym st "(";
+      let q = parse_query_body st in
+      expect_sym st ")";
+      Exists q
+  | _ -> (
+      match (agg_of_name lname, peek2 st) with
+      | Some agg, L.Tsym "(" ->
+          advance st;
+          advance st;
+          if accept_sym st "*" then begin
+            expect_sym st ")";
+            if agg <> Count then error st "only COUNT(*) is allowed";
+            Agg (Count_star, false, None)
+          end
+          else begin
+            let distinct = accept_kw st "distinct" in
+            let e = parse_expr st in
+            expect_sym st ")";
+            Agg (agg, distinct, Some e)
+          end
+      | _, L.Tsym "(" ->
+          advance st;
+          advance st;
+          let args = if is_sym st ")" then [] else parse_expr_list st in
+          expect_sym st ")";
+          Fun_call (name, args)
+      | _, L.Tsym "." ->
+          advance st;
+          advance st;
+          let field = expect_ident st in
+          Col (Some name, field)
+      | _ ->
+          advance st;
+          Col (None, name))
+
+and parse_case_expr st =
+  let operand = if is_kw st "when" then None else Some (parse_expr st) in
+  let branches = ref [] in
+  while accept_kw st "when" do
+    let w = parse_expr st in
+    expect_kw st "then";
+    let t = parse_expr st in
+    branches := (w, t) :: !branches
+  done;
+  let els = if accept_kw st "else" then Some (parse_expr st) else None in
+  expect_kw st "end";
+  Case { case_operand = operand; case_branches = List.rev !branches; case_else = els }
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if accept_sym st "," then e :: parse_expr_list st else [ e ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_query_body st : query =
+  let lhs = ref (parse_query_atom st) in
+  let continue = ref true in
+  while !continue do
+    if is_kw st "union" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Union (all, !lhs, parse_query_atom st)
+    end
+    else if is_kw st "except" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Except (all, !lhs, parse_query_atom st)
+    end
+    else if is_kw st "intersect" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Intersect (all, !lhs, parse_query_atom st)
+    end
+    else continue := false
+  done;
+  !lhs
+
+and parse_query_atom st : query =
+  if accept_sym st "(" then begin
+    let q = parse_query_body st in
+    expect_sym st ")";
+    q
+  end
+  else Select (parse_select ~allow_into:false st |> fst)
+
+(* Parses a SELECT block.  When [allow_into], a PSM [SELECT ... INTO vars]
+   is recognized and the variable list is returned. *)
+and parse_select ~allow_into st : select * string list option =
+  expect_kw st "select";
+  let distinct = accept_kw st "distinct" in
+  let proj = parse_proj_list st in
+  let into =
+    if allow_into && accept_kw st "into" then Some (parse_ident_list st) else None
+  in
+  let from =
+    if accept_kw st "from" then parse_table_refs st else []
+  in
+  let where = if accept_kw st "where" then Some (parse_expr st) else None in
+  let group_by =
+    if is_kw st "group" then begin
+      advance st;
+      expect_kw st "by";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "having" then Some (parse_expr st) else None in
+  let order_by =
+    if is_kw st "order" then begin
+      advance st;
+      expect_kw st "by";
+      parse_order_list st
+    end
+    else []
+  in
+  let offset = ref None in
+  let fetch_first = ref None in
+  if is_kw st "limit" then begin
+    advance st;
+    fetch_first := Some (parse_expr st);
+    if accept_kw st "offset" then offset := Some (parse_expr st)
+  end
+  else begin
+    if is_kw st "offset" then begin
+      advance st;
+      offset := Some (parse_expr st);
+      ignore (accept_kw st "rows" || accept_kw st "row")
+    end;
+    if is_kw st "fetch" then begin
+      advance st;
+      expect_kw st "first";
+      fetch_first := Some (parse_expr st);
+      ignore (accept_kw st "rows" || accept_kw st "row");
+      expect_kw st "only"
+    end
+  end;
+  ( { distinct; proj; from; where; group_by; having; order_by;
+      offset = !offset; fetch_first = !fetch_first },
+    into )
+
+and parse_proj_list st =
+  let parse_one () =
+    if accept_sym st "*" then Star
+    else
+      match (peek st, peek2 st) with
+      | L.Tident q, L.Tsym "."
+        when st.cur + 2 < Array.length st.toks
+             && st.toks.(st.cur + 2).L.tok = L.Tsym "*" ->
+          advance st;
+          advance st;
+          advance st;
+          Qual_star q
+      | _ ->
+          let e = parse_expr st in
+          let alias =
+            if accept_kw st "as" then Some (expect_ident st)
+            else
+              match peek st with
+              | L.Tident a when not (is_reserved a) ->
+                  advance st;
+                  Some a
+              | _ -> None
+          in
+          Proj_expr (e, alias)
+  in
+  let p = parse_one () in
+  if accept_sym st "," then p :: parse_proj_list st else [ p ]
+
+and parse_table_refs st =
+  let parse_one () =
+    if accept_sym st "(" then begin
+      let q = parse_query_body st in
+      expect_sym st ")";
+      ignore (accept_kw st "as");
+      let alias = expect_ident st in
+      Tsub (q, alias)
+    end
+    else if is_kw st "table" && peek2 st = L.Tsym "(" then begin
+      advance st;
+      advance st;
+      let fname = expect_ident st in
+      expect_sym st "(";
+      let args = if is_sym st ")" then [] else parse_expr_list st in
+      expect_sym st ")";
+      expect_sym st ")";
+      ignore (accept_kw st "as");
+      let alias = expect_ident st in
+      Tfun (fname, args, alias)
+    end
+    else begin
+      let name = expect_ident st in
+      ignore (accept_kw st "as");
+      let alias =
+        match peek st with
+        | L.Tident a when not (is_reserved a) ->
+            advance st;
+            Some a
+        | _ -> None
+      in
+      Tref (name, alias)
+    end
+  in
+  (* Explicit join chains: t [INNER] JOIN u ON e, t LEFT [OUTER] JOIN u ON e. *)
+  let rec parse_joins lhs =
+    if is_kw st "join" || (is_kw st "inner" && is_kw2 st "join") then begin
+      ignore (accept_kw st "inner");
+      expect_kw st "join";
+      let rhs = parse_one () in
+      expect_kw st "on";
+      let on = parse_expr st in
+      parse_joins (Tjoin (lhs, Jinner, rhs, on))
+    end
+    else if is_kw st "left" then begin
+      advance st;
+      ignore (accept_kw st "outer");
+      expect_kw st "join";
+      let rhs = parse_one () in
+      expect_kw st "on";
+      let on = parse_expr st in
+      parse_joins (Tjoin (lhs, Jleft, rhs, on))
+    end
+    else lhs
+  in
+  let t = parse_joins (parse_one ()) in
+  if accept_sym st "," then t :: parse_table_refs st else [ t ]
+
+and parse_order_list st =
+  let e = parse_expr st in
+  let dir =
+    if accept_kw st "desc" then Desc
+    else begin
+      ignore (accept_kw st "asc");
+      Asc
+    end
+  in
+  if accept_sym st "," then (e, dir) :: parse_order_list st else [ (e, dir) ]
+
+and parse_ident_list st =
+  let v = expect_ident st in
+  if accept_sym st "," then v :: parse_ident_list st else [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : stmt =
+  (* Optional loop label: IDENT ':' followed by a loop keyword. *)
+  match (peek st, peek2 st) with
+  | L.Tident l, L.Tsym ":" when not (is_reserved l) ->
+      advance st;
+      advance st;
+      parse_labeled_stmt st (Some l)
+  | _ -> parse_unlabeled_stmt st
+
+and parse_labeled_stmt st label =
+  if is_kw st "while" then parse_while st label
+  else if is_kw st "repeat" then parse_repeat st label
+  else if is_kw st "for" then parse_for st label
+  else if is_kw st "loop" then parse_loop st label
+  else error st "a label must precede WHILE, REPEAT, FOR or LOOP"
+
+and parse_unlabeled_stmt st : stmt =
+  match peek st with
+  | L.Tident kw -> (
+      match String.lowercase_ascii kw with
+      | "select" -> (
+          let sel, into = parse_select ~allow_into:true st in
+          match into with
+          | Some vars -> Sselect_into (sel, vars)
+          | None -> Squery (finish_set_ops st (Select sel)))
+      | "insert" -> parse_insert st
+      | "update" -> parse_update st
+      | "delete" -> parse_delete st
+      | "create" -> parse_create st
+      | "drop" ->
+          advance st;
+          expect_kw st "table";
+          Sdrop_table (expect_ident st)
+      | "call" ->
+          advance st;
+          let name = expect_ident st in
+          expect_sym st "(";
+          let args = if is_sym st ")" then [] else parse_expr_list st in
+          expect_sym st ")";
+          Scall (name, args)
+      | "declare" -> parse_declare st
+      | "set" ->
+          advance st;
+          let v = expect_ident st in
+          expect_sym st "=";
+          Sset (v, parse_expr st)
+      | "if" -> parse_if st
+      | "case" -> parse_case_stmt st
+      | "while" -> parse_while st None
+      | "repeat" -> parse_repeat st None
+      | "for" -> parse_for st None
+      | "loop" -> parse_loop st None
+      | "leave" ->
+          advance st;
+          Sleave (expect_ident st)
+      | "iterate" ->
+          advance st;
+          Siterate (expect_ident st)
+      | "open" ->
+          advance st;
+          Sopen (expect_ident st)
+      | "close" ->
+          advance st;
+          Sclose (expect_ident st)
+      | "fetch" ->
+          advance st;
+          ignore (accept_kw st "from");
+          let c = expect_ident st in
+          expect_kw st "into";
+          Sfetch (c, parse_ident_list st)
+      | "return" ->
+          advance st;
+          if is_kw st "table" then begin
+            advance st;
+            expect_sym st "(";
+            let q = parse_query_body st in
+            expect_sym st ")";
+            Sreturn_query q
+          end
+          else if is_sym st ";" || peek st = L.Teof then Sreturn None
+          else Sreturn (Some (parse_expr st))
+      | "begin" ->
+          advance st;
+          let body = parse_body st in
+          expect_kw st "end";
+          Sbegin body
+      | "validtime" ->
+          advance st;
+          let ctx =
+            if accept_sym st "[" then begin
+              let bt = parse_expr st in
+              expect_sym st ",";
+              let et = parse_expr st in
+              let et =
+                if accept_sym st ")" then et
+                else begin
+                  expect_sym st "]";
+                  Binop (Add, et, Lit (Sqldb.Value.Int 1))
+                end
+              in
+              Some (bt, et)
+            end
+            else None
+          in
+          Stemporal (Min_sequenced ctx, parse_stmt st)
+      | "nonsequenced" ->
+          advance st;
+          expect_kw st "validtime";
+          Stemporal (Min_nonsequenced, parse_stmt st)
+      | "(" -> assert false
+      | _ -> error st "unexpected %s at start of statement" kw)
+  | L.Tsym "(" -> Squery (parse_query_body st)
+  | t -> error st "unexpected token %s at start of statement" (L.token_to_string t)
+
+and finish_set_ops st (q : query) : query =
+  let lhs = ref q in
+  let continue = ref true in
+  while !continue do
+    if is_kw st "union" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Union (all, !lhs, parse_query_atom st)
+    end
+    else if is_kw st "except" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Except (all, !lhs, parse_query_atom st)
+    end
+    else if is_kw st "intersect" then begin
+      advance st;
+      let all = accept_kw st "all" in
+      lhs := Intersect (all, !lhs, parse_query_atom st)
+    end
+    else continue := false
+  done;
+  !lhs
+
+and parse_insert st =
+  expect_kw st "insert";
+  expect_kw st "into";
+  let table = expect_ident st in
+  ignore (accept_kw st "table");
+  let cols =
+    if is_sym st "(" then begin
+      (* Could be a column list or a source query: peek for SELECT. *)
+      if is_kw2 st "select" then None
+      else begin
+        expect_sym st "(";
+        let cs = parse_ident_list st in
+        expect_sym st ")";
+        Some cs
+      end
+    end
+    else None
+  in
+  if accept_kw st "values" then begin
+    let rows = ref [] in
+    let parse_row () =
+      expect_sym st "(";
+      let es = parse_expr_list st in
+      expect_sym st ")";
+      rows := es :: !rows
+    in
+    parse_row ();
+    while accept_sym st "," do
+      parse_row ()
+    done;
+    Sinsert (table, cols, Ivalues (List.rev !rows))
+  end
+  else Sinsert (table, cols, Iquery (parse_query_body st))
+
+and parse_update st =
+  expect_kw st "update";
+  let table = expect_ident st in
+  expect_kw st "set";
+  let parse_assign () =
+    let c = expect_ident st in
+    expect_sym st "=";
+    (c, parse_expr st)
+  in
+  let sets = ref [ parse_assign () ] in
+  while accept_sym st "," do
+    sets := parse_assign () :: !sets
+  done;
+  let where = if accept_kw st "where" then Some (parse_expr st) else None in
+  Supdate (table, List.rev !sets, where)
+
+and parse_delete st =
+  expect_kw st "delete";
+  expect_kw st "from";
+  let table = expect_ident st in
+  ignore (accept_kw st "table");
+  let where = if accept_kw st "where" then Some (parse_expr st) else None in
+  Sdelete (table, where)
+
+and parse_create st =
+  expect_kw st "create";
+  let temp = accept_kw st "temporary" || accept_kw st "temp" in
+  if accept_kw st "table" then begin
+    let name = expect_ident st in
+    let cols =
+      if is_sym st "(" && not (is_kw2 st "select") then begin
+        expect_sym st "(";
+        let parse_col () =
+          let cd_name = expect_ident st in
+          let cd_ty = parse_type st in
+          { cd_name; cd_ty }
+        in
+        let cs = ref [ parse_col () ] in
+        while accept_sym st "," do
+          cs := parse_col () :: !cs
+        done;
+        expect_sym st ")";
+        List.rev !cs
+      end
+      else []
+    in
+    let as_query =
+      if accept_kw st "as" then begin
+        let wrapped = accept_sym st "(" in
+        let q = parse_query_body st in
+        if wrapped then expect_sym st ")";
+        Some q
+      end
+      else None
+    in
+    let temporal, transaction =
+      if accept_kw st "with" then
+        if accept_kw st "validtime" then
+          if accept_kw st "and" then begin
+            expect_kw st "transactiontime";
+            (true, true)
+          end
+          else (true, false)
+        else begin
+          expect_kw st "transactiontime";
+          (false, true)
+        end
+      else (false, false)
+    in
+    Screate_table
+      { ct_name = name; ct_cols = cols; ct_temporal = temporal;
+        ct_transaction = transaction; ct_temp = temp; ct_as = as_query }
+  end
+  else if accept_kw st "view" then begin
+    let name = expect_ident st in
+    expect_kw st "as";
+    let wrapped = accept_sym st "(" in
+    let q = parse_query_body st in
+    if wrapped then expect_sym st ")";
+    Screate_view (name, q)
+  end
+  else if is_kw st "function" || is_kw st "procedure" then begin
+    let is_function = is_kw st "function" in
+    advance st;
+    let r = parse_routine st ~is_function in
+    if is_function then Screate_function r else Screate_procedure r
+  end
+  else error st "expected TABLE, VIEW, FUNCTION or PROCEDURE after CREATE"
+
+and parse_routine st ~is_function =
+  let name = expect_ident st in
+  expect_sym st "(";
+  let parse_param () =
+    let p_mode =
+      if accept_kw st "in" then Pin
+      else if accept_kw st "out" then Pout
+      else if accept_kw st "inout" then Pinout
+      else Pin
+    in
+    let p_name = expect_ident st in
+    let p_ty = parse_type st in
+    { p_name; p_ty; p_mode }
+  in
+  let params =
+    if is_sym st ")" then []
+    else begin
+      let ps = ref [ parse_param () ] in
+      while accept_sym st "," do
+        ps := parse_param () :: !ps
+      done;
+      List.rev !ps
+    end
+  in
+  expect_sym st ")";
+  let returns =
+    if is_kw st "returns" then begin
+      advance st;
+      if accept_kw st "table" then begin
+        expect_sym st "(";
+        let parse_col () =
+          let cd_name = expect_ident st in
+          let cd_ty = parse_type st in
+          { cd_name; cd_ty }
+        in
+        let cs = ref [ parse_col () ] in
+        while accept_sym st "," do
+          cs := parse_col () :: !cs
+        done;
+        expect_sym st ")";
+        Some (Ret_table (List.rev !cs))
+      end
+      else Some (Ret_scalar (parse_type st))
+    end
+    else None
+  in
+  if is_function && returns = None then
+    error st "function %s lacks a RETURNS clause" name;
+  (* Skip standard routine characteristics. *)
+  let continue = ref true in
+  while !continue do
+    if accept_kw st "reads" then begin
+      expect_kw st "sql";
+      expect_kw st "data"
+    end
+    else if accept_kw st "modifies" then begin
+      expect_kw st "sql";
+      expect_kw st "data"
+    end
+    else if accept_kw st "language" then expect_kw st "sql"
+    else if accept_kw st "deterministic" then ()
+    else if is_kw st "not" && is_kw2 st "deterministic" then begin
+      advance st;
+      advance st
+    end
+    else continue := false
+  done;
+  expect_kw st "begin";
+  let body = parse_body st in
+  expect_kw st "end";
+  { r_name = name; r_params = params; r_returns = returns; r_body = body }
+
+(* A statement list terminated by END / ELSEIF / ELSE / WHEN / UNTIL
+   (the terminator is not consumed). *)
+and parse_body st : stmt list =
+  let stmts = ref [] in
+  let at_end () =
+    is_kw st "end" || is_kw st "elseif" || is_kw st "else" || is_kw st "when"
+    || is_kw st "until"
+    || peek st = L.Teof
+  in
+  while not (at_end ()) do
+    let s = parse_stmt st in
+    expect_sym st ";";
+    stmts := s :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_if st =
+  expect_kw st "if";
+  let parse_branch () =
+    let cond = parse_expr st in
+    expect_kw st "then";
+    let body = parse_body st in
+    (cond, body)
+  in
+  let branches = ref [ parse_branch () ] in
+  while accept_kw st "elseif" do
+    branches := parse_branch () :: !branches
+  done;
+  let els = if accept_kw st "else" then Some (parse_body st) else None in
+  expect_kw st "end";
+  expect_kw st "if";
+  Sif (List.rev !branches, els)
+
+and parse_case_stmt st =
+  expect_kw st "case";
+  let operand = if is_kw st "when" then None else Some (parse_expr st) in
+  let branches = ref [] in
+  while accept_kw st "when" do
+    let w = parse_expr st in
+    expect_kw st "then";
+    let body = parse_body st in
+    branches := (w, body) :: !branches
+  done;
+  let els = if accept_kw st "else" then Some (parse_body st) else None in
+  expect_kw st "end";
+  expect_kw st "case";
+  Scase_stmt (operand, List.rev !branches, els)
+
+and parse_while st label =
+  expect_kw st "while";
+  let cond = parse_expr st in
+  expect_kw st "do";
+  let body = parse_body st in
+  expect_kw st "end";
+  expect_kw st "while";
+  ignore (accept_label_end st label);
+  Swhile (label, cond, body)
+
+and parse_repeat st label =
+  expect_kw st "repeat";
+  let body = parse_body st in
+  expect_kw st "until";
+  let cond = parse_expr st in
+  expect_kw st "end";
+  expect_kw st "repeat";
+  ignore (accept_label_end st label);
+  Srepeat (label, body, cond)
+
+and parse_for st label =
+  expect_kw st "for";
+  (* Optional [name AS] before the cursor query (SQL/PSM for-loop name). *)
+  (match (peek st, peek2 st) with
+  | L.Tident n, L.Tident a
+    when (not (is_reserved n)) && String.lowercase_ascii a = "as" ->
+      advance st;
+      advance st
+  | _ -> ());
+  let q = parse_query_body st in
+  expect_kw st "do";
+  let body = parse_body st in
+  expect_kw st "end";
+  expect_kw st "for";
+  ignore (accept_label_end st label);
+  Sfor { for_label = label; for_query = q; for_body = body }
+
+and parse_loop st label =
+  expect_kw st "loop";
+  let body = parse_body st in
+  expect_kw st "end";
+  expect_kw st "loop";
+  ignore (accept_label_end st label);
+  Sloop (label, body)
+
+(* Accept a trailing label after END WHILE etc. (e.g. END WHILE l1). *)
+and accept_label_end st label =
+  match (label, peek st) with
+  | Some l, L.Tident l' when String.lowercase_ascii l = String.lowercase_ascii l' ->
+      advance st;
+      true
+  | _ -> false
+
+and parse_declare st =
+  expect_kw st "declare";
+  if is_kw st "continue" then begin
+    advance st;
+    expect_kw st "handler";
+    expect_kw st "for";
+    expect_kw st "not";
+    expect_kw st "found";
+    Sdeclare_handler (parse_stmt st)
+  end
+  else
+  let first = expect_ident st in
+  if is_kw st "cursor" then begin
+    advance st;
+    expect_kw st "for";
+    Sdeclare_cursor (first, parse_query_body st)
+  end
+  else begin
+    let names = ref [ first ] in
+    while accept_sym st "," do
+      names := expect_ident st :: !names
+    done;
+    let ty = parse_type st in
+    let init =
+      if accept_kw st "default" then Some (parse_expr st) else None
+    in
+    Sdeclare (List.rev !names, ty, init)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Temporal statements and entry points                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The transaction-time part of a statement modifier:
+   [TRANSACTIONTIME AS OF <expr>] or [NONSEQUENCED TRANSACTIONTIME]. *)
+let parse_tt_modifier st : tt_modifier =
+  if is_kw st "transactiontime" then begin
+    advance st;
+    expect_kw st "as";
+    expect_kw st "of";
+    Tt_asof (parse_expr st)
+  end
+  else if is_kw st "nonsequenced" && is_kw2 st "transactiontime" then begin
+    advance st;
+    advance st;
+    Tt_nonsequenced
+  end
+  else Tt_current
+
+let parse_modifier st : modifier =
+  if accept_kw st "validtime" then begin
+    if accept_sym st "[" then begin
+      let bt = parse_expr st in
+      expect_sym st ",";
+      let et = parse_expr st in
+      (* "[bt, et)" is half-open; "[bt, et]" includes the last granule. *)
+      let et =
+        if accept_sym st ")" then et
+        else begin
+          expect_sym st "]";
+          Binop (Add, et, Lit (Sqldb.Value.Int 1))
+        end
+      in
+      Mod_sequenced (Some (bt, et))
+    end
+    else Mod_sequenced None
+  end
+  else if is_kw st "nonsequenced" && is_kw2 st "validtime" then begin
+    advance st;
+    advance st;
+    Mod_nonsequenced
+  end
+  else Mod_current
+
+let parse_temporal_stmt_at st : temporal_stmt =
+  let m = parse_modifier st in
+  let tt = parse_tt_modifier st in
+  let s = parse_stmt st in
+  { t_modifier = m; t_tt = tt; t_stmt = s }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); cur = 0 }
+
+let finish st what =
+  ignore (accept_sym st ";");
+  if peek st <> L.Teof then
+    error st "trailing input after %s: %s" what (L.token_to_string (peek st))
+
+let parse_temporal_stmt src : temporal_stmt =
+  let st = make_state src in
+  let ts = parse_temporal_stmt_at st in
+  finish st "statement";
+  ts
+
+let parse_stmt_string src : stmt =
+  let st = make_state src in
+  let s = parse_stmt st in
+  finish st "statement";
+  s
+
+let parse_query src : query =
+  let st = make_state src in
+  let q = parse_query_body st in
+  finish st "query";
+  q
+
+let parse_expr_string src : expr =
+  let st = make_state src in
+  let e = parse_expr st in
+  finish st "expression";
+  e
+
+(* A script: temporal statements separated by ';'. *)
+let parse_script src : temporal_stmt list =
+  let st = make_state src in
+  let out = ref [] in
+  while peek st <> L.Teof do
+    let ts = parse_temporal_stmt_at st in
+    out := ts :: !out;
+    if peek st <> L.Teof then expect_sym st ";"
+  done;
+  List.rev !out

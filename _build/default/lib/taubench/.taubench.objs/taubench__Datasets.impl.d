@@ -1,0 +1,1 @@
+lib/taubench/datasets.ml: Array Dcsd List Printf Prng Simulate Sqldb Sqleval Taupsm

@@ -1,0 +1,1 @@
+lib/taubench/datasets.mli: Dcsd Simulate Sqldb Sqleval Taupsm

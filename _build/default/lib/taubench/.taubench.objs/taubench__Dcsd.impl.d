@@ -1,0 +1,1 @@
+lib/taubench/dcsd.ml: Array List Printf Prng Sqldb

@@ -1,0 +1,1 @@
+lib/taubench/prng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/taubench/queries.ml: Dcsd List Printf Sqldb Sqleval

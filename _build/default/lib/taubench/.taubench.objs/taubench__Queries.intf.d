@@ -1,0 +1,1 @@
+lib/taubench/queries.mli: Sqldb Sqleval

@@ -1,0 +1,1 @@
+lib/taubench/simulate.ml: Array Dcsd Float List Option Prng Sqldb

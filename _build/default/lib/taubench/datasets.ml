@@ -1,0 +1,101 @@
+(* The τPSM datasets: DS1/DS2/DS3 in SMALL/MEDIUM/LARGE (paper §VII-A1).
+
+   - DS1: weekly changes over two years (104 slices), uniform victims;
+   - DS2: the same slicing, but hot-spot items (Gaussian victims);
+   - DS3: daily changes (693 slices), uniform, with the same *total*
+     number of changes as DS1 ("the number of slices was chosen to
+     render the same number of total changes").
+
+   Sizes are row-count-scaled versions of the paper's 12MB/34MB/260MB
+   datasets (our engine is an interpreter; see DESIGN.md's substitution
+   table) — the size ratios, slicing structure and change totals keep
+   the paper's shape. *)
+
+module Engine = Sqleval.Engine
+module Value = Sqldb.Value
+
+type ds = DS1 | DS2 | DS3
+
+type spec = { ds : ds; size : Taupsm.Heuristic.size_class }
+
+let ds_to_string = function DS1 -> "DS1" | DS2 -> "DS2" | DS3 -> "DS3"
+
+let spec_to_string s =
+  Printf.sprintf "%s-%s" (ds_to_string s.ds)
+    (Taupsm.Heuristic.size_class_to_string s.size)
+
+(* Row counts per size class.  The paper keeps the *change* total fixed
+   (25K) across sizes and varies the base data; we do the same at our
+   scale: 1386 changes (≈ 2/day over the 693 DS3 slices, ≈ 13/week over
+   the 104 DS1 slices). *)
+let total_changes = 1386
+
+let shape (size : Taupsm.Heuristic.size_class) : Dcsd.config * int =
+  match size with
+  | Taupsm.Heuristic.Small ->
+      ({ Dcsd.n_items = 40; n_authors = 20; n_publishers = 8 }, total_changes)
+  | Taupsm.Heuristic.Medium ->
+      ({ Dcsd.n_items = 140; n_authors = 70; n_publishers = 16 }, total_changes)
+  | Taupsm.Heuristic.Large ->
+      ({ Dcsd.n_items = 400; n_authors = 200; n_publishers = 32 }, total_changes)
+
+let sim_config (ds : ds) ~total_changes : Simulate.config =
+  match ds with
+  | DS1 ->
+      { Simulate.n_steps = 104; step_days = 7; dist = Simulate.Uniform;
+        changes_per_step = max 1 (total_changes / 104) }
+  | DS2 ->
+      { Simulate.n_steps = 104; step_days = 7; dist = Simulate.Hotspot;
+        changes_per_step = max 1 (total_changes / 104) }
+  | DS3 ->
+      { Simulate.n_steps = 693; step_days = 1; dist = Simulate.Uniform;
+        changes_per_step = max 1 (total_changes / 693) }
+
+let default_seed = 42
+
+(* The benchmark's "now": after the simulated two years. *)
+let now_date = Sqldb.Date.add_days Dcsd.base_date 800
+
+(* Build a loaded temporal engine for a dataset spec. *)
+let load ?(seed = default_seed) (s : spec) : Engine.t =
+  let rng = Prng.create ~seed in
+  let dcfg, total_changes = shape s.size in
+  let snapshot = Dcsd.generate rng dcfg in
+  let world = Simulate.run rng (sim_config s.ds ~total_changes) snapshot in
+  let e = Engine.create ~now:now_date () in
+  Taupsm.Stratum.install e;
+  List.iter
+    (fun schema ->
+      let table = Sqldb.Table.create schema in
+      List.iter (Sqldb.Table.insert table)
+        (Simulate.rows_of_vtable
+           (Simulate.world_table world schema.Sqldb.Schema.name));
+      Sqldb.Database.add_table (Engine.database e) table)
+    (Dcsd.schemas ~temporal:true);
+  e
+
+(* The matching nontemporal engine: the snapshot only, used for the
+   upward-compatibility checks. *)
+let load_nontemporal ?(seed = default_seed) (size : Taupsm.Heuristic.size_class)
+    : Engine.t =
+  let rng = Prng.create ~seed in
+  let dcfg, _ = shape size in
+  let snapshot = Dcsd.generate rng dcfg in
+  let e = Engine.create ~now:now_date () in
+  List.iter
+    (fun schema ->
+      let table = Sqldb.Table.create schema in
+      List.iter
+        (fun r -> Sqldb.Table.insert table (Array.copy r))
+        (Dcsd.table_rows snapshot schema.Sqldb.Schema.name);
+      Sqldb.Database.add_table (Engine.database e) table)
+    (Dcsd.schemas ~temporal:false);
+  e
+
+let row_counts (e : Engine.t) : (string * int) list =
+  List.map
+    (fun name ->
+      ( name,
+        Sqldb.Table.row_count
+          (Sqldb.Database.find_table_exn (Engine.database e) name) ))
+    Dcsd.table_names

@@ -1,0 +1,36 @@
+(** The τPSM datasets (paper §VII-A1): DS1 (weekly changes, uniform
+    victims), DS2 (weekly, Gaussian hot-spot items), DS3 (daily, uniform
+    — more slices, same change total), each in SMALL/MEDIUM/LARGE.
+
+    Sizes are row-count-scaled versions of the paper's 12MB/34MB/260MB
+    datasets (our engine is an interpreter; DESIGN.md documents the
+    substitution); the slicing structure and the fixed change total
+    preserve the paper's shape. *)
+
+type ds = DS1 | DS2 | DS3
+
+type spec = { ds : ds; size : Taupsm.Heuristic.size_class }
+
+val ds_to_string : ds -> string
+val spec_to_string : spec -> string
+
+val total_changes : int
+(** Fixed across sizes (the paper uses 25K; we scale to 1386). *)
+
+val shape : Taupsm.Heuristic.size_class -> Dcsd.config * int
+(** Base row counts and the change budget of a size class. *)
+
+val sim_config : ds -> total_changes:int -> Simulate.config
+val default_seed : int
+
+val now_date : Sqldb.Date.t
+(** The benchmark session's CURRENT_DATE: after the simulated two years. *)
+
+val load : ?seed:int -> spec -> Sqleval.Engine.t
+(** Generate and load a dataset into a fresh engine (stratum natives
+    installed; benchmark routines are installed by {!Queries.install}). *)
+
+val load_nontemporal : ?seed:int -> Taupsm.Heuristic.size_class -> Sqleval.Engine.t
+(** The matching snapshot-only engine, for upward-compatibility checks. *)
+
+val row_counts : Sqleval.Engine.t -> (string * int) list

@@ -1,0 +1,210 @@
+(* The DC/SD bookstore snapshot generator.
+
+   XBench's document-centric/single-document benchmark is a book
+   catalog; τBench shreds it into six relational tables.  We generate
+   the shredded form directly (the XML stage is an artifact of XBench's
+   provenance — see DESIGN.md):
+
+     item(id, title, publisher_id, pub_date, price, pages, in_stock)
+     author(id, first_name, last_name, country)
+     publisher(id, name, country)
+     related_items(item_id, related_id)
+     item_author(item_id, author_id)
+     item_publisher(item_id, publisher_id)
+
+   Word pools are fixed so benchmark queries can reference values that
+   are guaranteed to exist (the paper adjusts q2 the same way: "we
+   change the query to look for a valid author that *is* present"). *)
+
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+let first_names =
+  [| "Amy"; "Ben"; "Carla"; "David"; "Elena"; "Frank"; "Grace"; "Hugo";
+     "Irene"; "Jack"; "Karen"; "Liam"; "Mona"; "Nils"; "Olga"; "Pete" |]
+
+let last_names =
+  [| "Stone"; "Rivera"; "Kim"; "Osei"; "Novak"; "Larsen"; "Mehta"; "Brown";
+     "Costa"; "Dubois"; "Evans"; "Fischer" |]
+
+let countries =
+  [| "US"; "CA"; "UK"; "DE"; "FR"; "IN"; "BR"; "JP" |]
+
+let title_adjectives =
+  [| "Advanced"; "Practical"; "Modern"; "Essential"; "Complete"; "Concise";
+     "Applied"; "Temporal" |]
+
+let title_nouns =
+  [| "Databases"; "Algorithms"; "Queries"; "Systems"; "Structures";
+     "Languages"; "Networks"; "Semantics" |]
+
+let publisher_names =
+  [| "Northwind Press"; "Cedar Books"; "Quanta Publishing"; "Halcyon House";
+     "Meridian Media"; "Orchard Editions"; "Summit Texts"; "Lakeside Print" |]
+
+(* The values the benchmark queries filter on; guaranteed present. *)
+let probe_first_name = first_names.(0)
+let probe_last_name = last_names.(0)
+let probe_publisher = publisher_names.(0)
+
+type snapshot = {
+  items : Value.t array list;
+  authors : Value.t array list;
+  publishers : Value.t array list;
+  related_items : Value.t array list;
+  item_author : Value.t array list;
+  item_publisher : Value.t array list;
+}
+
+type config = { n_items : int; n_authors : int; n_publishers : int }
+
+let base_date = Date.of_ymd ~y:2010 ~m:1 ~d:1
+
+let generate (rng : Prng.t) (c : config) : snapshot =
+  let items = ref [] and authors = ref [] and publishers = ref [] in
+  let related = ref [] and ia = ref [] and ip = ref [] in
+  for pid = 1 to c.n_publishers do
+    publishers :=
+      [|
+        Value.Int pid;
+        Value.Str
+          (Printf.sprintf "%s %d"
+             publisher_names.(((pid - 1) mod Array.length publisher_names))
+             pid);
+        Value.Str (Prng.choose rng countries);
+      |]
+      :: !publishers
+  done;
+  (* Publisher 1 keeps the probe name exactly. *)
+  publishers :=
+    List.map
+      (fun (row : Value.t array) ->
+        if row.(0) = Value.Int 1 then
+          [| row.(0); Value.Str probe_publisher; row.(2) |]
+        else row)
+      !publishers;
+  for aid = 1 to c.n_authors do
+    authors :=
+      [|
+        Value.Int aid;
+        Value.Str (Prng.choose rng first_names);
+        Value.Str (Prng.choose rng last_names);
+        Value.Str (Prng.choose rng countries);
+      |]
+      :: !authors
+  done;
+  (* Author 1 carries the probe name pair. *)
+  authors :=
+    List.map
+      (fun (row : Value.t array) ->
+        if row.(0) = Value.Int 1 then
+          [| row.(0); Value.Str probe_first_name; Value.Str probe_last_name;
+             row.(3) |]
+        else row)
+      !authors;
+  for iid = 1 to c.n_items do
+    let pub = Prng.int_range rng 1 c.n_publishers in
+    items :=
+      [|
+        Value.Int iid;
+        Value.Str
+          (Printf.sprintf "%s %s %d"
+             (Prng.choose rng title_adjectives)
+             (Prng.choose rng title_nouns)
+             iid);
+        Value.Int pub;
+        Value.Date (Date.add_days base_date (-Prng.int rng 2000));
+        Value.Float (5.0 +. Prng.float rng 95.0);
+        Value.Int (Prng.int_range rng 40 900);
+        Value.Int (Prng.int_range rng 0 200);
+      |]
+      :: !items;
+    ip := [| Value.Int iid; Value.Int pub |] :: !ip;
+    (* One or two authors per item; author 1 is over-represented so the
+       probe queries return non-trivial results. *)
+    let a1 =
+      if Prng.int rng 100 < 20 then 1 else Prng.int_range rng 1 c.n_authors
+    in
+    ia := [| Value.Int iid; Value.Int a1 |] :: !ia;
+    if Prng.bool rng then begin
+      let a2 = Prng.int_range rng 1 c.n_authors in
+      if a2 <> a1 then ia := [| Value.Int iid; Value.Int a2 |] :: !ia
+    end;
+    (* Related items: a couple of links per item. *)
+    for _ = 1 to Prng.int_range rng 1 2 do
+      let other = Prng.int_range rng 1 c.n_items in
+      if other <> iid then
+        related := [| Value.Int iid; Value.Int other |] :: !related
+    done
+  done;
+  {
+    items = List.rev !items;
+    authors = List.rev !authors;
+    publishers = List.rev !publishers;
+    related_items = List.rev !related;
+    item_author = List.rev !ia;
+    item_publisher = List.rev !ip;
+  }
+
+(* Schema definitions shared by the temporal and nontemporal loaders. *)
+let schemas ~temporal =
+  let open Sqldb.Schema in
+  [
+    make ~name:"item" ~temporal ()
+      ~columns:
+        [
+          column ~name:"id" ~ty:Value.Tint;
+          column ~name:"title" ~ty:Value.Tstring;
+          column ~name:"publisher_id" ~ty:Value.Tint;
+          column ~name:"pub_date" ~ty:Value.Tdate;
+          column ~name:"price" ~ty:Value.Tfloat;
+          column ~name:"pages" ~ty:Value.Tint;
+          column ~name:"in_stock" ~ty:Value.Tint;
+        ];
+    make ~name:"author" ~temporal ()
+      ~columns:
+        [
+          column ~name:"id" ~ty:Value.Tint;
+          column ~name:"first_name" ~ty:Value.Tstring;
+          column ~name:"last_name" ~ty:Value.Tstring;
+          column ~name:"country" ~ty:Value.Tstring;
+        ];
+    make ~name:"publisher" ~temporal ()
+      ~columns:
+        [
+          column ~name:"id" ~ty:Value.Tint;
+          column ~name:"name" ~ty:Value.Tstring;
+          column ~name:"country" ~ty:Value.Tstring;
+        ];
+    make ~name:"related_items" ~temporal ()
+      ~columns:
+        [
+          column ~name:"item_id" ~ty:Value.Tint;
+          column ~name:"related_id" ~ty:Value.Tint;
+        ];
+    make ~name:"item_author" ~temporal ()
+      ~columns:
+        [
+          column ~name:"item_id" ~ty:Value.Tint;
+          column ~name:"author_id" ~ty:Value.Tint;
+        ];
+    make ~name:"item_publisher" ~temporal ()
+      ~columns:
+        [
+          column ~name:"item_id" ~ty:Value.Tint;
+          column ~name:"publisher_id" ~ty:Value.Tint;
+        ];
+  ]
+
+let table_rows (s : snapshot) = function
+  | "item" -> s.items
+  | "author" -> s.authors
+  | "publisher" -> s.publishers
+  | "related_items" -> s.related_items
+  | "item_author" -> s.item_author
+  | "item_publisher" -> s.item_publisher
+  | t -> invalid_arg ("Dcsd.table_rows: " ^ t)
+
+let table_names =
+  [ "item"; "author"; "publisher"; "related_items"; "item_author";
+    "item_publisher" ]

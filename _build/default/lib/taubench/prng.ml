@@ -1,0 +1,44 @@
+(* A deterministic splitmix64 PRNG.
+
+   All τBench data generation flows through an explicit [t], so a
+   (dataset, seed) pair always produces byte-identical tables — there is
+   no wall-clock or global-state dependence anywhere in the benchmark. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform in [lo, hi]. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound  (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,333 @@
+(* The 16 τPSM benchmark queries (paper §VII-A2).
+
+   Each query highlights one PSM construct; the identifiers (q2, q2b,
+   ..., q20) follow the paper's numbering, which in turn follows
+   XBench's.  Each definition carries the stored routines it needs and
+   the query body; benchmark runs prepend a VALIDTIME modifier (with a
+   temporal context) to obtain the sequenced variant.
+
+   q17b has a non-nested FETCH and is therefore not expressible under
+   per-statement slicing — MAX always applies. *)
+
+type t = {
+  id : string;
+  construct : string;  (* the feature the query highlights *)
+  routines : string list;  (* CREATE FUNCTION / PROCEDURE statements *)
+  body : string;  (* the query text, without temporal modifier *)
+  perst_supported : bool;
+}
+
+let probe_name = Dcsd.probe_first_name
+let probe_full = Dcsd.probe_first_name ^ " " ^ Dcsd.probe_last_name
+let probe_pub = Dcsd.probe_publisher
+
+let q2 =
+  {
+    id = "q2";
+    construct = "SET with a SELECT row";
+    routines =
+      [
+        "CREATE FUNCTION get_author_name (aid INTEGER) RETURNS VARCHAR(50) \
+         READS SQL DATA LANGUAGE SQL BEGIN DECLARE fname VARCHAR(50); SET \
+         fname = (SELECT first_name FROM author WHERE id = aid); RETURN \
+         fname; END";
+      ]
+    ;
+    body =
+      Printf.sprintf
+        "SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id \
+         AND get_author_name(ia.author_id) = '%s'"
+        probe_name;
+    perst_supported = true;
+  }
+
+let q2b =
+  {
+    id = "q2b";
+    construct = "multiple SET statements";
+    routines =
+      [
+        "CREATE FUNCTION get_author_fullname (aid INTEGER) RETURNS \
+         VARCHAR(110) BEGIN DECLARE fn VARCHAR(50); DECLARE ln VARCHAR(50); \
+         DECLARE full_name VARCHAR(110); SET fn = (SELECT first_name FROM \
+         author WHERE id = aid); SET ln = (SELECT last_name FROM author \
+         WHERE id = aid); SET full_name = fn || ' ' || ln; RETURN \
+         full_name; END";
+      ];
+    body =
+      Printf.sprintf
+        "SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id \
+         AND get_author_fullname(ia.author_id) = '%s'"
+        probe_full;
+    perst_supported = true;
+  }
+
+let q3 =
+  {
+    id = "q3";
+    construct = "RETURN with a SELECT row";
+    routines =
+      [
+        "CREATE FUNCTION get_publisher_name (pid INTEGER) RETURNS \
+         VARCHAR(60) BEGIN RETURN (SELECT name FROM publisher WHERE id = \
+         pid); END";
+      ];
+    body =
+      Printf.sprintf
+        "SELECT i.title FROM item i WHERE get_publisher_name(i.publisher_id) \
+         = '%s'"
+        probe_pub;
+    perst_supported = true;
+  }
+
+let q5 =
+  {
+    id = "q5";
+    construct = "function in the SELECT list";
+    routines = q2.routines;
+    body =
+      "SELECT get_author_name(ia.author_id) FROM item_author ia WHERE \
+       ia.item_id <= 6";
+    perst_supported = true;
+  }
+
+let q6 =
+  {
+    id = "q6";
+    construct = "CASE statement";
+    routines =
+      [
+        "CREATE FUNCTION price_band (iid INTEGER) RETURNS VARCHAR(10) BEGIN \
+         DECLARE p DOUBLE; DECLARE band VARCHAR(10); SET p = (SELECT price \
+         FROM item WHERE id = iid); CASE WHEN p < 30.0 THEN SET band = \
+         'budget'; WHEN p < 70.0 THEN SET band = 'mid'; ELSE SET band = \
+         'premium'; END CASE; RETURN band; END";
+      ];
+    body =
+      "SELECT i.title FROM item i WHERE i.id <= 12 AND price_band(i.id) = \
+       'budget'";
+    perst_supported = true;
+  }
+
+let q7 =
+  {
+    id = "q7";
+    construct = "WHILE statement (per-period interior)";
+    routines =
+      [
+        "CREATE FUNCTION count_low_stock (threshold INTEGER, max_id \
+         INTEGER) RETURNS INTEGER BEGIN DECLARE i INTEGER DEFAULT 1; \
+         DECLARE s INTEGER; DECLARE n INTEGER DEFAULT 0; WHILE i <= max_id \
+         DO SET s = (SELECT in_stock FROM item WHERE id = i); IF s < \
+         threshold THEN SET n = n + 1; END IF; SET i = i + 1; END WHILE; \
+         RETURN n; END";
+      ];
+    body =
+      "SELECT count_low_stock(25, 12) FROM publisher WHERE id = 1";
+    perst_supported = true;
+  }
+
+let q7b =
+  {
+    id = "q7b";
+    construct = "REPEAT statement (per-period interior)";
+    routines =
+      [
+        "CREATE FUNCTION sum_stock_upto (max_id INTEGER) RETURNS INTEGER \
+         BEGIN DECLARE i INTEGER DEFAULT 1; DECLARE s INTEGER; DECLARE \
+         total INTEGER DEFAULT 0; REPEAT SET s = (SELECT in_stock FROM item \
+         WHERE id = i); IF s > 0 THEN SET total = total + s; END IF; SET i \
+         = i + 1; UNTIL i > max_id END REPEAT; RETURN total; END";
+      ];
+    body = "SELECT sum_stock_upto(12) FROM publisher WHERE id = 1";
+    perst_supported = true;
+  }
+
+let q8 =
+  {
+    id = "q8";
+    construct = "named FOR loop";
+    routines =
+      [
+        "CREATE FUNCTION total_pages_of (aid INTEGER) RETURNS INTEGER BEGIN \
+         DECLARE total INTEGER DEFAULT 0; sum_loop: FOR SELECT pages FROM \
+         item i JOIN item_author ia ON i.id = ia.item_id WHERE \
+         ia.author_id = aid DO SET total = total + pages; END FOR; RETURN \
+         total; END";
+      ];
+    body = "SELECT total_pages_of(1) FROM publisher WHERE id = 1";
+    perst_supported = true;
+  }
+
+let q9 =
+  {
+    id = "q9";
+    construct = "CALL of a procedure";
+    routines =
+      [
+        "CREATE PROCEDURE compute_margin (IN iid INTEGER, OUT m DOUBLE) \
+         BEGIN DECLARE p DOUBLE; SET p = (SELECT price FROM item WHERE id = \
+         iid); SET m = p * 0.25; END";
+        "CREATE FUNCTION item_margin (iid INTEGER) RETURNS DOUBLE BEGIN \
+         DECLARE m DOUBLE DEFAULT 0.0; CALL compute_margin(iid, m); RETURN \
+         m; END";
+      ];
+    body =
+      "SELECT i.title FROM item i WHERE i.id <= 10 AND item_margin(i.id) > \
+       15.0";
+    perst_supported = true;
+  }
+
+let q10 =
+  {
+    id = "q10";
+    construct = "IF without a cursor";
+    routines =
+      [
+        "CREATE FUNCTION stock_status (iid INTEGER) RETURNS VARCHAR(10) \
+         BEGIN DECLARE s INTEGER; DECLARE r VARCHAR(10); SET s = (SELECT \
+         in_stock FROM item WHERE id = iid); IF s = 0 THEN SET r = 'out'; \
+         ELSEIF s < 25 THEN SET r = 'low'; ELSE SET r = 'ok'; END IF; \
+         RETURN r; END";
+      ];
+    body =
+      "SELECT i.title FROM item i WHERE i.id <= 12 AND stock_status(i.id) = \
+       'low'";
+    perst_supported = true;
+  }
+
+let q11 =
+  {
+    id = "q11";
+    construct = "temporary table";
+    routines =
+      [
+        "CREATE FUNCTION pub_premium_count (pid INTEGER, threshold DOUBLE) \
+         RETURNS INTEGER BEGIN DECLARE n INTEGER; CREATE TEMPORARY TABLE \
+         taupsm_pricy (iid INTEGER); INSERT INTO taupsm_pricy SELECT id \
+         FROM item WHERE publisher_id = pid AND price > threshold; SET n = \
+         (SELECT COUNT(*) FROM taupsm_pricy); RETURN n; END";
+      ];
+    body =
+      "SELECT p.name FROM publisher p WHERE p.id <= 4 AND \
+       pub_premium_count(p.id, 60.0) > 2";
+    perst_supported = true;
+  }
+
+let q14 =
+  {
+    id = "q14";
+    construct = "local cursor with OPEN/FETCH/CLOSE";
+    routines =
+      [
+        "CREATE FUNCTION avg_price_of_pub (pid INTEGER) RETURNS DOUBLE \
+         BEGIN DECLARE done_flag INTEGER DEFAULT 0; DECLARE p DOUBLE; \
+         DECLARE total DOUBLE DEFAULT 0.0; DECLARE n INTEGER DEFAULT 0; \
+         DECLARE result DOUBLE; DECLARE c CURSOR FOR SELECT price FROM item \
+         WHERE publisher_id = pid; DECLARE CONTINUE HANDLER FOR NOT FOUND \
+         SET done_flag = 1; OPEN c; FETCH c INTO p; WHILE done_flag = 0 DO \
+         SET total = total + p; SET n = n + 1; FETCH c INTO p; END WHILE; \
+         CLOSE c; IF n = 0 THEN SET result = NULL; ELSE SET result = total \
+         / n; END IF; RETURN result; END";
+      ];
+    body =
+      "SELECT p.name FROM publisher p WHERE p.id <= 4 AND \
+       avg_price_of_pub(p.id) > 55.0";
+    perst_supported = true;
+  }
+
+let q17 =
+  {
+    id = "q17";
+    construct = "LEAVE statement";
+    routines =
+      [
+        "CREATE FUNCTION items_until_premium (threshold DOUBLE) RETURNS \
+         INTEGER BEGIN DECLARE done_flag INTEGER DEFAULT 0; DECLARE p \
+         DOUBLE; DECLARE n INTEGER DEFAULT 0; DECLARE c CURSOR FOR SELECT \
+         price FROM item ORDER BY id; DECLARE CONTINUE HANDLER FOR NOT \
+         FOUND SET done_flag = 1; OPEN c; FETCH c INTO p; scan_loop: LOOP \
+         IF done_flag = 1 THEN LEAVE scan_loop; END IF; IF p > threshold \
+         THEN LEAVE scan_loop; END IF; SET n = n + 1; FETCH c INTO p; END \
+         LOOP; CLOSE c; RETURN n; END";
+      ];
+    body = "SELECT items_until_premium(90.0) FROM publisher WHERE id = 1";
+    perst_supported = true;
+  }
+
+let q17b =
+  {
+    id = "q17b";
+    construct = "non-nested FETCH (PERST-inexpressible)";
+    routines =
+      [
+        "CREATE FUNCTION interleaved_scan (max_steps INTEGER) RETURNS \
+         INTEGER BEGIN DECLARE done_flag INTEGER DEFAULT 0; DECLARE pr \
+         DOUBLE; DECLARE acc INTEGER DEFAULT 0; DECLARE steps INTEGER \
+         DEFAULT 0; DECLARE all_items CURSOR FOR SELECT price FROM item; \
+         DECLARE CONTINUE HANDLER FOR NOT FOUND SET done_flag = 1; OPEN \
+         all_items; FETCH all_items INTO pr; outer_loop: WHILE done_flag = \
+         0 DO FOR SELECT item_id FROM related_items WHERE item_id <= 5 DO \
+         IF pr > 50.0 THEN SET acc = acc + 1; END IF; FETCH all_items INTO \
+         pr; END FOR; SET steps = steps + 1; IF steps >= max_steps THEN \
+         LEAVE outer_loop; END IF; END WHILE; CLOSE all_items; RETURN acc; \
+         END";
+      ];
+    body = "SELECT interleaved_scan(50) FROM publisher WHERE id = 1";
+    perst_supported = false;
+  }
+
+let q19 =
+  {
+    id = "q19";
+    construct = "table function called in FROM";
+    routines =
+      [
+        "CREATE FUNCTION items_of_author (aid INTEGER) RETURNS TABLE (iid \
+         INTEGER) BEGIN RETURN TABLE (SELECT item_id FROM item_author WHERE \
+         author_id = aid); END";
+      ];
+    body =
+      "SELECT i.title FROM item i, TABLE(items_of_author(1)) t WHERE i.id = \
+       t.iid";
+    perst_supported = true;
+  }
+
+let q20 =
+  {
+    id = "q20";
+    construct = "plain SET statement";
+    routines =
+      [
+        "CREATE FUNCTION discounted_price (iid INTEGER) RETURNS DOUBLE \
+         BEGIN DECLARE p DOUBLE; DECLARE d DOUBLE; SET p = (SELECT price \
+         FROM item WHERE id = iid); SET d = p * 0.8; RETURN d; END";
+      ];
+    body =
+      "SELECT i.title FROM item i WHERE i.id <= 12 AND \
+       discounted_price(i.id) < 25.0";
+    perst_supported = true;
+  }
+
+let all =
+  [ q2; q2b; q3; q5; q6; q7; q7b; q8; q9; q10; q11; q14; q17; q17b; q19; q20 ]
+
+let find id =
+  match List.find_opt (fun q -> q.id = id) all with
+  | Some q -> q
+  | None -> invalid_arg (Printf.sprintf "Queries.find: unknown query %s" id)
+
+(* Register every query's routines in an engine (replacing duplicates:
+   q5 shares q2's function). *)
+let install (e : Sqleval.Engine.t) : unit =
+  List.iter
+    (fun q -> List.iter (fun r -> ignore (Sqleval.Engine.exec e r)) q.routines)
+    all
+
+(* The sequenced variant over a temporal context. *)
+let sequenced ?context (q : t) : string =
+  match context with
+  | None -> "VALIDTIME " ^ q.body
+  | Some (b, e) ->
+      Printf.sprintf "VALIDTIME [DATE '%s', DATE '%s') %s"
+        (Sqldb.Date.to_string b) (Sqldb.Date.to_string e) q.body

@@ -1,0 +1,21 @@
+(** The 16 τPSM benchmark queries (paper §VII-A2), each highlighting one
+    PSM construct; identifiers follow the paper's numbering.  q17b
+    contains a non-nested FETCH and is therefore not expressible under
+    per-statement slicing. *)
+
+type t = {
+  id : string;
+  construct : string;
+  routines : string list;  (** CREATE FUNCTION / PROCEDURE statements *)
+  body : string;  (** the query text, without temporal modifier *)
+  perst_supported : bool;
+}
+
+val all : t list
+val find : string -> t
+
+val install : Sqleval.Engine.t -> unit
+(** Register every query's routines (idempotent). *)
+
+val sequenced : ?context:Sqldb.Date.t * Sqldb.Date.t -> t -> string
+(** The VALIDTIME variant of a query over an optional context period. *)

@@ -1,0 +1,206 @@
+(* Temporal simulation: evolve the DC/SD snapshot into valid-time
+   history (τBench's simulation step).
+
+   Every table starts with all rows valid [base_date, forever).  At each
+   time step, a configured number of random changes occurs; each change
+   closes the victim row's current version and opens a modified one.
+   The change-victim distribution is uniform (DS1/DS3) or Gaussian
+   around a hot spot (DS2), and the step granularity is weekly (DS1/DS2)
+   or daily (DS3). *)
+
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+type change_dist = Uniform | Hotspot
+
+type config = {
+  n_steps : int;
+  step_days : int;
+  changes_per_step : int;
+  dist : change_dist;
+}
+
+(* A versioned row: current data plus the start of its current version. *)
+type vrow = { mutable data : Value.t array; mutable vbegin : Date.t }
+
+type vtable = {
+  mutable current : vrow array;
+  mutable history : (Value.t array * Date.t * Date.t) list;
+}
+
+let vtable_of_rows rows =
+  {
+    current =
+      Array.of_list
+        (List.map (fun r -> { data = Array.copy r; vbegin = Dcsd.base_date }) rows);
+    history = [];
+  }
+
+(* Replace one attribute of a current row at instant [t], closing the
+   previous version.  Same-instant re-changes just overwrite. *)
+let change_row (vt : vtable) idx t ~(update : Value.t array -> Value.t array) =
+  let vr = vt.current.(idx) in
+  if Date.equal vr.vbegin t then vr.data <- update vr.data
+  else begin
+    vt.history <- (vr.data, vr.vbegin, t) :: vt.history;
+    vr.data <- update vr.data;
+    vr.vbegin <- t
+  end
+
+type world = {
+  item : vtable;
+  author : vtable;
+  publisher : vtable;
+  related_items : vtable;
+  item_author : vtable;
+  item_publisher : vtable;
+}
+
+let world_of_snapshot (s : Dcsd.snapshot) =
+  {
+    item = vtable_of_rows s.Dcsd.items;
+    author = vtable_of_rows s.Dcsd.authors;
+    publisher = vtable_of_rows s.Dcsd.publishers;
+    related_items = vtable_of_rows s.Dcsd.related_items;
+    item_author = vtable_of_rows s.Dcsd.item_author;
+    item_publisher = vtable_of_rows s.Dcsd.item_publisher;
+  }
+
+(* Pick an item index: uniform, or concentrated near index 0 ("hot-spot
+   items" of DS2, Gaussian with sigma = a tenth of the item count). *)
+let pick_item rng dist n_items =
+  match dist with
+  | Uniform -> Prng.int rng n_items
+  | Hotspot ->
+      let sigma = max 1.0 (float_of_int n_items /. 10.0) in
+      let g = abs_float (Prng.gaussian rng) *. sigma in
+      min (n_items - 1) (int_of_float g)
+
+(* One random change anchored at an item. *)
+let one_change rng w dist t =
+  let n_items = Array.length w.item.current in
+  let iid_idx = pick_item rng dist n_items in
+  let iid = Value.to_int_exn w.item.current.(iid_idx).data.(0) in
+  let update_field idx f row =
+    let row' = Array.copy row in
+    row'.(idx) <- f row.(idx);
+    row'
+  in
+  let find_indices vt pred =
+    let out = ref [] in
+    Array.iteri (fun i vr -> if pred vr.data then out := i :: !out) vt.current;
+    !out
+  in
+  match Prng.int rng 100 with
+  | k when k < 30 ->
+      (* Item price drift. *)
+      change_row w.item iid_idx t
+        ~update:
+          (update_field 4 (fun v ->
+               let p = Value.to_float_exn v in
+               Value.Float
+                 (Float.max 1.0 (p *. (0.85 +. Prng.float rng 0.3)))))
+  | k when k < 45 ->
+      (* Stock movement. *)
+      change_row w.item iid_idx t
+        ~update:
+          (update_field 6 (fun v ->
+               let s = Value.to_int_exn v in
+               Value.Int (max 0 (s + Prng.int_range rng (-30) 40))))
+  | k when k < 50 ->
+      (* Retitle (a revision). *)
+      change_row w.item iid_idx t
+        ~update:
+          (update_field 1 (fun v ->
+               Value.Str (Value.to_str_exn v ^ " (rev)")))
+  | k when k < 65 -> (
+      (* One of the item's authors changes name or country.  Author 1
+         keeps its probe first name. *)
+      match
+        find_indices w.item_author (fun r -> r.(0) = Value.Int iid)
+      with
+      | [] -> ()
+      | links ->
+          let link = List.nth links (Prng.int rng (List.length links)) in
+          let aid = w.item_author.current.(link).data.(1) in
+          let a_idx =
+            find_indices w.author (fun r -> r.(0) = aid) |> function
+            | [] -> None
+            | i :: _ -> Some i
+          in
+          Option.iter
+            (fun ai ->
+              if aid <> Value.Int 1 && Prng.bool rng then
+                change_row w.author ai t
+                  ~update:
+                    (update_field 1 (fun _ ->
+                         Value.Str (Prng.choose rng Dcsd.first_names)))
+              else
+                change_row w.author ai t
+                  ~update:
+                    (update_field 3 (fun _ ->
+                         Value.Str (Prng.choose rng Dcsd.countries))))
+            a_idx)
+  | k when k < 75 -> (
+      (* The item's publisher relocates (publisher 1 keeps its name). *)
+      let pid = w.item.current.(iid_idx).data.(2) in
+      match find_indices w.publisher (fun r -> r.(0) = pid) with
+      | [] -> ()
+      | pi :: _ ->
+          change_row w.publisher pi t
+            ~update:
+              (update_field 2 (fun _ -> Value.Str (Prng.choose rng Dcsd.countries)))
+      )
+  | k when k < 88 -> (
+      (* Authorship rewire: the item link moves to another author. *)
+      match find_indices w.item_author (fun r -> r.(0) = Value.Int iid) with
+      | [] -> ()
+      | links ->
+          let link = List.nth links (Prng.int rng (List.length links)) in
+          let n_authors = Array.length w.author.current in
+          change_row w.item_author link t
+            ~update:
+              (update_field 1 (fun _ ->
+                   Value.Int (Prng.int_range rng 1 n_authors))))
+  | _ -> (
+      (* Related-items rewire. *)
+      match find_indices w.related_items (fun r -> r.(0) = Value.Int iid) with
+      | [] -> ()
+      | links ->
+          let link = List.nth links (Prng.int rng (List.length links)) in
+          change_row w.related_items link t
+            ~update:
+              (update_field 1 (fun _ ->
+                   Value.Int (Prng.int_range rng 1 n_items))))
+
+let run rng (c : config) (s : Dcsd.snapshot) : world =
+  let w = world_of_snapshot s in
+  for step = 1 to c.n_steps do
+    let t = Date.add_days Dcsd.base_date (step * c.step_days) in
+    for _ = 1 to c.changes_per_step do
+      one_change rng w c.dist t
+    done
+  done;
+  w
+
+(* Dump a simulated world into timestamped row lists, one per table:
+   history rows plus each current version open until [forever]. *)
+let rows_of_vtable (vt : vtable) : Value.t array list =
+  let stamp (data, b, e) =
+    Array.append data [| Value.Date b; Value.Date e |]
+  in
+  let hist = List.rev_map stamp vt.history in
+  let cur =
+    Array.to_list vt.current
+    |> List.map (fun vr -> stamp (vr.data, vr.vbegin, Date.forever))
+  in
+  hist @ cur
+
+let world_table w = function
+  | "item" -> w.item
+  | "author" -> w.author
+  | "publisher" -> w.publisher
+  | "related_items" -> w.related_items
+  | "item_author" -> w.item_author
+  | "item_publisher" -> w.item_publisher
+  | t -> invalid_arg ("Simulate.world_table: " ^ t)

@@ -1,0 +1,1 @@
+test/test_ast_prop.ml: Float QCheck QCheck_alcotest Sqlast Sqldb Sqlparse

@@ -1,0 +1,1 @@
+test/test_commute_prop.ml: List Printf QCheck QCheck_alcotest Sqlast Sqldb Sqleval String Taupsm

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Float Format Printf Sqldb Sqleval Sqlparse Taubench Taupsm

@@ -1,0 +1,1 @@
+test/test_date.ml: Alcotest QCheck QCheck_alcotest Sqldb

@@ -1,0 +1,1 @@
+test/test_heuristic.ml: Alcotest Format Sqleval Sqlparse Taupsm

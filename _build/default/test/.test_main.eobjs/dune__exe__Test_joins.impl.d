@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Array List Sqlast Sqldb Sqleval Sqlparse Taupsm

@@ -1,0 +1,1 @@
+test/test_period.ml: Alcotest Int List QCheck QCheck_alcotest Sqldb String

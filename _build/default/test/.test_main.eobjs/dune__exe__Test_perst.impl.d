@@ -1,0 +1,1 @@
+test/test_perst.ml: Alcotest Array Astring List Printf Sqldb Sqleval Sqlparse Taupsm Test_temporal

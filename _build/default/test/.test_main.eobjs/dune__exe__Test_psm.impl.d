@@ -1,0 +1,1 @@
+test/test_psm.ml: Alcotest Array Astring List Sqldb Sqleval String

@@ -1,0 +1,1 @@
+test/test_sequenced_dml.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sqldb Sqleval String Taupsm

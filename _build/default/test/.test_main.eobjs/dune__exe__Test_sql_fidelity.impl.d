@@ -1,0 +1,1 @@
+test/test_sql_fidelity.ml: Alcotest Lazy List Printf Sqlast Sqldb Sqleval Sqlparse Taubench Taupsm

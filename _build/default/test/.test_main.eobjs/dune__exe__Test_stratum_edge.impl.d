@@ -1,0 +1,1 @@
+test/test_stratum_edge.ml: Alcotest Array List Printf Sqlast Sqldb Sqleval Taupsm

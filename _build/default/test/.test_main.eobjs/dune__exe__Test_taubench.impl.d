@@ -1,0 +1,1 @@
+test/test_taubench.ml: Alcotest Array Format Hashtbl Lazy List Option Printexc Printf Sqldb Sqleval Taubench Taupsm

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Astring List Printf Sqlast Sqldb Sqleval Sqlparse Taupsm

@@ -1,0 +1,1 @@
+test/test_transaction_time.ml: Alcotest Array List Sqlast Sqldb Sqleval Sqlparse Taupsm

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sqldb Sqleval String Taubench

@@ -1,0 +1,134 @@
+(* Tests for the compile-time reachability analysis (paper §V-A/§V-C):
+   transitive table/routine discovery through views, subqueries, stored
+   functions, procedures and table functions. *)
+
+module Engine = Sqleval.Engine
+module Analysis = Taupsm.Analysis
+
+let setup () =
+  let e = Engine.create () in
+  Engine.exec_script e
+    "CREATE TABLE tt (x INTEGER) WITH VALIDTIME;\n\
+     CREATE TABLE tt2 (y INTEGER) WITH VALIDTIME;\n\
+     CREATE TABLE plain (z INTEGER);\n\
+     CREATE VIEW v_tt AS (SELECT x FROM tt);\n\
+     CREATE FUNCTION reads_tt (a INTEGER) RETURNS INTEGER BEGIN RETURN \
+     (SELECT MAX(x) FROM tt WHERE x > a); END;\n\
+     CREATE FUNCTION reads_plain (a INTEGER) RETURNS INTEGER BEGIN RETURN a \
+     + (SELECT COUNT(*) FROM plain); END;\n\
+     CREATE FUNCTION indirect (a INTEGER) RETURNS INTEGER BEGIN RETURN \
+     reads_tt(a) + reads_plain(a); END;\n\
+     CREATE PROCEDURE touches_tt2 (OUT r INTEGER) BEGIN SET r = (SELECT \
+     COUNT(*) FROM tt2); END;\n\
+     CREATE FUNCTION calls_proc () RETURNS INTEGER BEGIN DECLARE r INTEGER; \
+     CALL touches_tt2(r); RETURN r; END;\n\
+     CREATE FUNCTION cursor_over_tt () RETURNS INTEGER BEGIN DECLARE n \
+     INTEGER DEFAULT 0; FOR SELECT x FROM tt DO SET n = n + 1; END FOR; \
+     RETURN n; END";
+  e
+
+let analyze e sql =
+  Analysis.of_stmt (Engine.catalog e) (Sqlparse.Parser.parse_stmt_string sql)
+
+let check_sets name a ~tables ~temporal ~routines =
+  Alcotest.(check (list string)) (name ^ ": tables") tables (Analysis.tables_list a);
+  Alcotest.(check (list string))
+    (name ^ ": temporal")
+    temporal
+    (Analysis.temporal_tables_list a);
+  Alcotest.(check (list string)) (name ^ ": routines") routines
+    (Analysis.routines_list a)
+
+let test_direct () =
+  let e = setup () in
+  check_sets "direct" (analyze e "SELECT x FROM tt, plain")
+    ~tables:[ "plain"; "tt" ] ~temporal:[ "tt" ] ~routines:[]
+
+let test_through_view () =
+  let e = setup () in
+  check_sets "view" (analyze e "SELECT * FROM v_tt") ~tables:[ "tt" ]
+    ~temporal:[ "tt" ] ~routines:[]
+
+let test_through_function () =
+  let e = setup () in
+  check_sets "function"
+    (analyze e "SELECT reads_tt(z) FROM plain")
+    ~tables:[ "plain"; "tt" ] ~temporal:[ "tt" ] ~routines:[ "reads_tt" ]
+
+let test_transitive_function () =
+  let e = setup () in
+  let a = analyze e "SELECT indirect(z) FROM plain" in
+  check_sets "transitive" a ~tables:[ "plain"; "tt" ] ~temporal:[ "tt" ]
+    ~routines:[ "indirect"; "reads_plain"; "reads_tt" ];
+  (* Only the tt-touching chain is temporal. *)
+  Alcotest.(check bool) "indirect is temporal" true
+    (Analysis.SS.mem "indirect" a.Analysis.temporal_routines);
+  Alcotest.(check bool) "reads_tt is temporal" true
+    (Analysis.SS.mem "reads_tt" a.Analysis.temporal_routines);
+  Alcotest.(check bool) "reads_plain is not" false
+    (Analysis.SS.mem "reads_plain" a.Analysis.temporal_routines)
+
+let test_through_procedure () =
+  let e = setup () in
+  check_sets "procedure"
+    (analyze e "SELECT calls_proc() FROM plain")
+    ~tables:[ "plain"; "tt2" ] ~temporal:[ "tt2" ]
+    ~routines:[ "calls_proc"; "touches_tt2" ]
+
+let test_subquery () =
+  let e = setup () in
+  check_sets "subquery"
+    (analyze e
+       "SELECT z FROM plain WHERE EXISTS (SELECT 1 FROM tt2 WHERE y = z)")
+    ~tables:[ "plain"; "tt2" ] ~temporal:[ "tt2" ] ~routines:[]
+
+let test_cursor_detection () =
+  let e = setup () in
+  let a = analyze e "SELECT cursor_over_tt() FROM plain" in
+  Alcotest.(check bool) "cursor over temporal detected" true
+    a.Analysis.has_cursor_over_temporal;
+  let a2 = analyze e "SELECT reads_tt(z) FROM plain" in
+  Alcotest.(check bool) "no cursor here" false a2.Analysis.has_cursor_over_temporal
+
+let test_routine_is_temporal () =
+  let e = setup () in
+  let cat = Engine.catalog e in
+  Alcotest.(check bool) "reads_tt" true (Analysis.routine_is_temporal cat "reads_tt");
+  Alcotest.(check bool) "reads_plain" false
+    (Analysis.routine_is_temporal cat "reads_plain");
+  Alcotest.(check bool) "indirect" true (Analysis.routine_is_temporal cat "indirect");
+  Alcotest.(check bool) "unknown" false (Analysis.routine_is_temporal cat "nope")
+
+let test_dml_targets () =
+  let e = setup () in
+  check_sets "insert target"
+    (analyze e "INSERT INTO tt2 SELECT x FROM tt")
+    ~tables:[ "tt"; "tt2" ] ~temporal:[ "tt"; "tt2" ] ~routines:[];
+  check_sets "update"
+    (analyze e "UPDATE plain SET z = reads_tt(1)")
+    ~tables:[ "plain"; "tt" ] ~temporal:[ "tt" ] ~routines:[ "reads_tt" ]
+
+let test_inner_modifier_flag () =
+  let e = setup () in
+  Engine.exec_script e
+    "CREATE FUNCTION with_inner () RETURNS INTEGER BEGIN DECLARE n INTEGER; \
+     NONSEQUENCED VALIDTIME SELECT COUNT(*) INTO n FROM tt; RETURN n; END";
+  let a = analyze e "SELECT with_inner() FROM plain" in
+  Alcotest.(check bool) "inner modifier detected" true a.Analysis.has_inner_modifier
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "direct tables" `Quick test_direct;
+        Alcotest.test_case "through a view" `Quick test_through_view;
+        Alcotest.test_case "through a function" `Quick test_through_function;
+        Alcotest.test_case "transitive functions" `Quick test_transitive_function;
+        Alcotest.test_case "through a procedure" `Quick test_through_procedure;
+        Alcotest.test_case "subqueries" `Quick test_subquery;
+        Alcotest.test_case "cursor detection" `Quick test_cursor_detection;
+        Alcotest.test_case "routine_is_temporal" `Quick test_routine_is_temporal;
+        Alcotest.test_case "DML targets" `Quick test_dml_targets;
+        Alcotest.test_case "inner modifier flag" `Quick test_inner_modifier_flag;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Property-based parser/pretty testing over randomly generated ASTs:
+   pretty-printing any generated expression or query and re-parsing it
+   yields the same tree (the stronger direction of round-tripping: the
+   printer never emits something the parser reads differently). *)
+
+open Sqlast.Ast
+module P = Sqlparse.Parser
+module Pretty = Sqlast.Pretty
+module G = QCheck.Gen
+
+let ident =
+  G.oneofl [ "a"; "b"; "cde"; "tbl"; "x_1"; "price"; "begin_time" ]
+
+let alias = G.oneofl [ "t"; "u"; "v1" ]
+
+let gen_value =
+  G.oneof
+    [
+      G.return Sqldb.Value.Null;
+      G.map (fun i -> Sqldb.Value.Int i) (G.int_range (-100) 100);
+      G.map (fun f -> Sqldb.Value.Float (Float.of_int f /. 4.0)) (G.int_range 0 40);
+      G.oneofl
+        [ Sqldb.Value.Str "x"; Sqldb.Value.Str "O'Brien"; Sqldb.Value.Str "" ];
+      G.return (Sqldb.Value.Bool true);
+      G.map
+        (fun d -> Sqldb.Value.Date (Sqldb.Date.add_days (Sqldb.Date.of_ymd ~y:2010 ~m:1 ~d:1) d))
+        (G.int_range 0 1000);
+    ]
+
+let gen_binop =
+  G.oneofl [ Add; Sub; Mul; Div; Concat; Eq; Neq; Lt; Le; Gt; Ge; And; Or ]
+
+let ( let* ) = G.( let* )
+
+let rec gen_expr n : expr G.t =
+  if n <= 0 then
+    G.oneof
+      [
+        G.map (fun v -> Lit v) gen_value;
+        G.map (fun c -> Col (None, c)) ident;
+        G.map2 (fun q c -> Col (Some q, c)) alias ident;
+      ]
+  else
+    let sub = gen_expr (n / 2) in
+    G.oneof
+      [
+        G.map (fun v -> Lit v) gen_value;
+        G.map2 (fun q c -> Col (Some q, c)) alias ident;
+        G.map3 (fun op a b -> Binop (op, a, b)) gen_binop sub sub;
+        G.map (fun a -> Unop (Not, a)) sub;
+        G.map
+          (fun a ->
+            (* The parser folds negated numeric literals; generate the
+               canonical form. *)
+            match a with
+            | Lit (Sqldb.Value.Int n) -> Lit (Sqldb.Value.Int (-n))
+            | Lit (Sqldb.Value.Float f) -> Lit (Sqldb.Value.Float (-.f))
+            | a -> Unop (Neg, a))
+          sub;
+        G.map2 (fun f args -> Fun_call (f, args))
+          (G.oneofl [ "f"; "last_instance"; "coalesce" ])
+          (G.list_size (G.int_range 1 3) sub);
+        G.map (fun a -> Cast (a, Sqldb.Value.Tint)) sub;
+        G.map3
+          (fun w t e ->
+            Case { case_operand = None; case_branches = [ (w, t) ]; case_else = Some e })
+          sub sub sub;
+        G.map3 (fun a lo hi -> Between (a, lo, hi, false)) sub sub sub;
+        G.map (fun a -> Is_null (a, true)) sub;
+        G.map2 (fun a es -> In_pred (a, In_list es, true))
+          sub
+          (G.list_size (G.int_range 1 3) sub);
+        G.map2 (fun a p -> Like (a, p, false)) sub sub;
+        G.map (fun q -> Scalar_subquery q) (gen_query (n / 2));
+        G.map (fun q -> Exists q) (gen_query (n / 2));
+      ]
+
+and gen_table_ref n : table_ref G.t =
+  if n <= 0 then
+    G.oneof
+      [
+        G.map (fun t -> Tref (t, None)) ident;
+        G.map2 (fun t a -> Tref (t, Some a)) ident alias;
+      ]
+  else
+    G.oneof
+      [
+        G.map2 (fun t a -> Tref (t, Some a)) ident alias;
+        G.map2 (fun q a -> Tsub (q, a)) (gen_query (n / 2)) alias;
+        G.map3 (fun f args a -> Tfun (f, args, a)) (G.return "tf")
+          (G.list_size (G.int_range 0 2) (gen_expr (n / 2)))
+          alias;
+        (let* l = gen_table_ref 0 in
+         let* r = gen_table_ref 0 in
+         let* k = G.oneofl [ Jinner; Jleft ] in
+         let* on = gen_expr (n / 2) in
+         G.return (Tjoin (l, k, r, on)));
+      ]
+
+and gen_select n : select G.t =
+  let* proj =
+    G.oneof
+      [
+        G.return [ Star ];
+        G.map (fun a -> [ Qual_star a ]) alias;
+        G.list_size (G.int_range 1 3)
+          (G.oneof
+             [
+               G.map (fun e -> Proj_expr (e, None)) (gen_expr (n / 2));
+               G.map2 (fun e a -> Proj_expr (e, Some a)) (gen_expr (n / 2)) ident;
+             ]);
+      ]
+  in
+  let* from = G.list_size (G.int_range 0 2) (gen_table_ref (n / 2)) in
+  let* where = G.opt (gen_expr (n / 2)) in
+  let* group_by = G.list_size (G.int_range 0 2) (gen_expr 0) in
+  let* order_by =
+    G.list_size (G.int_range 0 2)
+      (G.pair (gen_expr 0) (G.oneofl [ Asc; Desc ]))
+  in
+  G.return { select_default with proj; from; where; group_by; order_by }
+
+and gen_query n : query G.t =
+  if n <= 0 then G.map (fun s -> Select s) (gen_select 0)
+  else
+    G.oneof
+      [
+        G.map (fun s -> Select s) (gen_select n);
+        G.map2 (fun a b -> Union (true, a, b)) (gen_query (n / 2)) (gen_query (n / 2));
+        G.map2 (fun a b -> Except (false, a, b)) (gen_query (n / 2)) (gen_query (n / 2));
+        G.map2
+          (fun a b -> Intersect (false, a, b))
+          (gen_query (n / 2)) (gen_query (n / 2));
+      ]
+
+let arb_expr =
+  QCheck.make ~print:Pretty.expr_to_string (G.sized_size (G.int_range 0 5) gen_expr)
+
+let arb_query =
+  QCheck.make ~print:Pretty.query_to_string (G.sized_size (G.int_range 0 4) gen_query)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"pretty(expr) re-parses to the same tree" ~count:500
+    arb_expr (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match P.parse_expr_string printed with
+      | e' -> e = e'
+      | exception _ -> QCheck.Test.fail_reportf "did not re-parse: %s" printed)
+
+let prop_query_roundtrip =
+  QCheck.Test.make ~name:"pretty(query) re-parses to the same tree" ~count:300
+    arb_query (fun q ->
+      let printed = Pretty.query_to_string q in
+      match P.parse_query printed with
+      | q' -> q = q'
+      | exception _ -> QCheck.Test.fail_reportf "did not re-parse: %s" printed)
+
+let prop_rewrite_identity =
+  QCheck.Test.make ~name:"the default rewrite mapper is the identity"
+    ~count:300 arb_query (fun q ->
+      let m = Sqlast.Rewrite.default in
+      m.Sqlast.Rewrite.query m q = q)
+
+let suite =
+  [
+    ( "ast-property",
+      [
+        QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+        QCheck_alcotest.to_alcotest prop_query_roundtrip;
+        QCheck_alcotest.to_alcotest prop_rewrite_identity;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Property-based correctness: on randomly generated temporal databases
+   and a family of query templates, sequenced evaluation commutes with
+   timeslicing and MAX agrees with PERST (paper §VII-B, generalized
+   beyond the fixed benchmark data). *)
+
+module Engine = Sqleval.Engine
+module Stratum = Taupsm.Stratum
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+let d0 = Date.of_ymd ~y:2010 ~m:1 ~d:1
+
+(* A random history for table r(k, v): per key, a chain of consecutive
+   versions with random values and breakpoints. *)
+type history = (int * (int * int * int) list) list
+(* key -> [(value, begin offset, end offset)] *)
+
+let gen_history : history QCheck.Gen.t =
+  QCheck.Gen.(
+    let* n_keys = int_range 1 4 in
+    let gen_chain =
+      let* n_versions = int_range 1 4 in
+      let* breaks =
+        list_repeat (n_versions + 1) (int_range 0 60) >|= fun bs ->
+        List.sort_uniq compare bs
+      in
+      let* values = list_repeat n_versions (int_range 0 5) in
+      let rec chain bs vs =
+        match (bs, vs) with
+        | b1 :: (b2 :: _ as rest), v :: vrest when b1 < b2 ->
+            (v, b1, b2) :: chain rest vrest
+        | _ -> []
+      in
+      return (chain breaks values)
+    in
+    let* chains = list_repeat n_keys gen_chain in
+    return (List.mapi (fun i c -> (i + 1, c)) chains))
+
+let pp_history h =
+  String.concat "; "
+    (List.map
+       (fun (k, versions) ->
+         Printf.sprintf "k%d:[%s]" k
+           (String.concat ","
+              (List.map (fun (v, b, e) -> Printf.sprintf "%d@%d-%d" v b e) versions)))
+       h)
+
+let load_history (h : history) : Engine.t =
+  let e = Engine.create ~now:(Date.add_days d0 30) () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE r (k INTEGER, v INTEGER) WITH VALIDTIME;\n\
+     CREATE TABLE s (k INTEGER, w INTEGER) WITH VALIDTIME;\n\
+     CREATE FUNCTION val_of (kk INTEGER) RETURNS INTEGER BEGIN DECLARE x \
+     INTEGER; SET x = (SELECT v FROM r WHERE k = kk); RETURN x; END;\n\
+     CREATE FUNCTION agg_of (kk INTEGER) RETURNS INTEGER BEGIN RETURN \
+     (SELECT SUM(v) FROM r WHERE k <= kk); END;\n\
+     CREATE FUNCTION classify (kk INTEGER) RETURNS VARCHAR(6) BEGIN DECLARE \
+     x INTEGER; DECLARE c VARCHAR(6); SET x = (SELECT v FROM r WHERE k = \
+     kk); IF x > 2 THEN SET c = 'big'; ELSE SET c = 'small'; END IF; RETURN \
+     c; END";
+  let tbl = Sqldb.Database.find_table_exn (Engine.database e) "r" in
+  let stbl = Sqldb.Database.find_table_exn (Engine.database e) "s" in
+  List.iter
+    (fun (k, versions) ->
+      List.iter
+        (fun (v, b, en) ->
+          Sqldb.Table.insert tbl
+            [|
+              Value.Int k; Value.Int v;
+              Value.Date (Date.add_days d0 b);
+              Value.Date (Date.add_days d0 en);
+            |])
+        versions;
+      (* s mirrors r's keys with one long version each. *)
+      Sqldb.Table.insert stbl
+        [|
+          Value.Int k; Value.Int (k * 10);
+          Value.Date d0;
+          Value.Date (Date.add_days d0 60);
+        |])
+    h;
+  e
+
+let templates =
+  [
+    (fun c -> Printf.sprintf "SELECT k FROM r WHERE v > %d" c);
+    (fun c ->
+      Printf.sprintf
+        "SELECT s.w FROM s WHERE s.k <= 4 AND val_of(s.k) = %d" c);
+    (fun c -> Printf.sprintf "SELECT agg_of(%d) FROM s WHERE s.k = 1" (1 + (c mod 4)));
+    (fun c ->
+      Printf.sprintf "SELECT s.k FROM s WHERE classify(s.k) = '%s'"
+        (if c mod 2 = 0 then "big" else "small"));
+    (fun _ -> "SELECT COUNT(*) FROM r");
+    (fun c -> Printf.sprintf "SELECT r.k, s.w FROM r, s WHERE r.k = s.k AND r.v >= %d" c);
+  ]
+
+let context_sql = Printf.sprintf "[DATE '%s', DATE '%s')"
+    (Date.to_string (Date.add_days d0 5))
+    (Date.to_string (Date.add_days d0 55))
+
+let arb =
+  QCheck.make
+    ~print:(fun (h, t, c) -> Printf.sprintf "template %d, c=%d, %s" t c (pp_history h))
+    QCheck.Gen.(
+      triple gen_history (int_range 0 (List.length templates - 1)) (int_range 0 4))
+
+let prop_commutes =
+  QCheck.Test.make ~name:"sequenced(Q) timesliced = Q on timeslice (MAX)"
+    ~count:40 arb
+    (fun (h, t, c) ->
+      let e = load_history h in
+      let query_sql = (List.nth templates t) c in
+      Taupsm.Commute.check_commutes ~strategy:Stratum.Max e ~context_sql
+        ~query_sql ()
+      = [])
+
+let prop_commutes_perst =
+  QCheck.Test.make ~name:"sequenced(Q) timesliced = Q on timeslice (PERST)"
+    ~count:40 arb
+    (fun (h, t, c) ->
+      let e = load_history h in
+      let query_sql = (List.nth templates t) c in
+      Taupsm.Commute.check_commutes ~strategy:Stratum.Perst e ~context_sql
+        ~query_sql ()
+      = [])
+
+let prop_max_equals_perst =
+  QCheck.Test.make ~name:"MAX = PERST on random databases" ~count:40 arb
+    (fun (h, t, c) ->
+      let e = load_history h in
+      let query_sql = (List.nth templates t) c in
+      Taupsm.Commute.check_equivalence e ~context_sql ~query_sql () = [])
+
+(* Sequenced DML splicing invariants on random histories. *)
+let prop_sequenced_delete_preserves_outside =
+  QCheck.Test.make
+    ~name:"sequenced DELETE leaves timeslices outside the context untouched"
+    ~count:40
+    (QCheck.make ~print:pp_history gen_history)
+    (fun h ->
+      let e = load_history h in
+      let before =
+        Stratum.query e "NONSEQUENCED VALIDTIME SELECT k, v FROM r WHERE \
+                         begin_time <= DATE '2010-01-03' AND DATE \
+                         '2010-01-03' < end_time"
+      in
+      ignore
+        (Stratum.sequenced_delete e
+           ~context:
+             (Some
+                ( Sqlast.Ast.lit_date (Date.add_days d0 5),
+                  Sqlast.Ast.lit_date (Date.add_days d0 55) ))
+           "r" None);
+      let after =
+        Stratum.query e "NONSEQUENCED VALIDTIME SELECT k, v FROM r WHERE \
+                         begin_time <= DATE '2010-01-03' AND DATE \
+                         '2010-01-03' < end_time"
+      in
+      Sqleval.Result_set.equal_bag before after)
+
+let prop_sequenced_delete_empties_inside =
+  QCheck.Test.make ~name:"sequenced DELETE empties timeslices inside the context"
+    ~count:40
+    (QCheck.make ~print:pp_history gen_history)
+    (fun h ->
+      let e = load_history h in
+      ignore
+        (Stratum.sequenced_delete e
+           ~context:
+             (Some
+                ( Sqlast.Ast.lit_date (Date.add_days d0 5),
+                  Sqlast.Ast.lit_date (Date.add_days d0 55) ))
+           "r" None);
+      let inside =
+        Stratum.query e "NONSEQUENCED VALIDTIME SELECT k FROM r WHERE \
+                         begin_time <= DATE '2010-01-20' AND DATE \
+                         '2010-01-20' < end_time"
+      in
+      inside.Sqleval.Result_set.rows = [])
+
+let suite =
+  [
+    ( "commute-property",
+      [
+        QCheck_alcotest.to_alcotest ~long:false prop_commutes;
+        QCheck_alcotest.to_alcotest ~long:false prop_commutes_perst;
+        QCheck_alcotest.to_alcotest ~long:false prop_max_equals_perst;
+        QCheck_alcotest.to_alcotest prop_sequenced_delete_preserves_outside;
+        QCheck_alcotest.to_alcotest prop_sequenced_delete_empties_inside;
+      ] );
+  ]

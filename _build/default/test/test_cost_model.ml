@@ -1,0 +1,109 @@
+(* Tests for the §VIII cost-model extension. *)
+
+module Engine = Sqleval.Engine
+module Stratum = Taupsm.Stratum
+module CM = Taupsm.Cost_model
+module Period = Sqldb.Period
+module Date = Sqldb.Date
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+
+let d = Date.of_string_exn
+
+let strategy = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Stratum.strategy_to_string s))
+    ( = )
+
+let load () =
+  let e = Datasets.load { Datasets.ds = Datasets.DS1; size = Taupsm.Heuristic.Small } in
+  Queries.install e;
+  e
+
+let ts_of ?(days = 30) qid =
+  let q = Queries.find qid in
+  let b = Date.of_ymd ~y:2010 ~m:6 ~d:1 in
+  Sqlparse.Parser.parse_temporal_stmt
+    (Queries.sequenced ~context:(b, Date.add_days b days) q)
+
+let test_table_stats () =
+  let e = Engine.create () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE t (x INTEGER) WITH VALIDTIME;\n\
+     INSERT INTO t (x, begin_time, end_time) VALUES (1, DATE '2010-01-01', \
+     DATE '2010-02-01'), (2, DATE '2010-02-01', DATE '2010-03-01'), (3, \
+     DATE '2009-01-01', DATE '2009-06-01')";
+  let ctx = Period.make ~begin_:(d "2010-01-01") ~end_:(d "2010-03-01") in
+  let s = CM.table_stats (Engine.catalog e) ~context:ctx "t" in
+  Alcotest.(check int) "rows overlapping" 2 s.CM.rows_in_context;
+  (* Event points strictly inside or at the context start: 01-01 and
+     02-01 begin/end; 03-01 is the context end, excluded by contains. *)
+  Alcotest.(check int) "event points" 2 s.CM.event_points;
+  (* One row valid at every instant of the two months. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avg_valid ~ 1 (%.2f)" s.CM.avg_valid)
+    true
+    (Float.abs (s.CM.avg_valid -. 1.0) < 0.01)
+
+let test_ncp_grows_with_context () =
+  let e = load () in
+  let short = CM.estimate e ~context:(CM.context_of_stmt e (ts_of ~days:7 "q2"))
+      (ts_of ~days:7 "q2") in
+  let long = CM.estimate e ~context:(CM.context_of_stmt e (ts_of ~days:365 "q2"))
+      (ts_of ~days:365 "q2") in
+  Alcotest.(check bool)
+    (Printf.sprintf "n_cp grows (%d -> %d)" short.CM.n_cp long.CM.n_cp)
+    true
+    (long.CM.n_cp > short.CM.n_cp);
+  Alcotest.(check bool) "MAX cost grows with context" true
+    (long.CM.max_cost > short.CM.max_cost)
+
+let test_perst_inapplicable_is_infinite () =
+  let e = load () in
+  let est = CM.estimate e ~context:(CM.context_of_stmt e (ts_of "q17b"))
+      (ts_of "q17b") in
+  Alcotest.(check bool) "q17b PERST cost infinite" true
+    (est.CM.perst_cost = infinity);
+  Alcotest.check strategy "chooses MAX" Stratum.Max (CM.choose_for e (ts_of "q17b"))
+
+let test_long_context_prefers_perst () =
+  let e = load () in
+  Alcotest.check strategy "q2 over a year" Stratum.Perst
+    (CM.choose_for e (ts_of ~days:365 "q2"))
+
+let test_cursor_penalty () =
+  let e = load () in
+  (* q14 scans a cursor per period; over a year the quadratic penalty
+     must push the model to MAX (the measured winner). *)
+  Alcotest.check strategy "q14 over a year" Stratum.Max
+    (CM.choose_for e (ts_of ~days:365 "q14"))
+
+let test_agreement_with_measurement_shape () =
+  (* Not a timing test: just that the model's *orderings* reflect the
+     established shape — MAX cost for q2 at 1y exceeds its 1d cost by at
+     least an order of magnitude while PERST stays within a factor. *)
+  let e = load () in
+  let est d = CM.estimate e ~context:(CM.context_of_stmt e (ts_of ~days:d "q2"))
+      (ts_of ~days:d "q2") in
+  let e1 = est 1 and e365 = est 365 in
+  Alcotest.(check bool) "MAX ratio > 10" true
+    (e365.CM.max_cost /. e1.CM.max_cost > 10.0);
+  Alcotest.(check bool) "PERST ratio < 3" true
+    (e365.CM.perst_cost /. e1.CM.perst_cost < 3.0)
+
+let suite =
+  [
+    ( "cost-model",
+      [
+        Alcotest.test_case "table statistics" `Quick test_table_stats;
+        Alcotest.test_case "n_cp grows with context" `Quick
+          test_ncp_grows_with_context;
+        Alcotest.test_case "PERST-inapplicable is infinite" `Quick
+          test_perst_inapplicable_is_infinite;
+        Alcotest.test_case "long context prefers PERST" `Quick
+          test_long_context_prefers_perst;
+        Alcotest.test_case "cursor penalty" `Quick test_cursor_penalty;
+        Alcotest.test_case "cost shape matches measurements" `Quick
+          test_agreement_with_measurement_shape;
+      ] );
+  ]

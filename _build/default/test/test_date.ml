@@ -1,0 +1,78 @@
+(* Unit + property tests for Sqldb.Date. *)
+
+module Date = Sqldb.Date
+
+let check_roundtrip y m d () =
+  let t = Date.of_ymd ~y ~m ~d in
+  Alcotest.(check (triple int int int)) "ymd roundtrip" (y, m, d) (Date.to_ymd t)
+
+let test_epoch () =
+  Alcotest.(check int) "1970-01-01 is day 0" 0 (Date.of_ymd ~y:1970 ~m:1 ~d:1)
+
+let test_known_days () =
+  (* 2000-03-01 is 11017 days after epoch (known value). *)
+  Alcotest.(check int) "2000-03-01" 11017 (Date.of_ymd ~y:2000 ~m:3 ~d:1);
+  Alcotest.(check int) "1969-12-31" (-1) (Date.of_ymd ~y:1969 ~m:12 ~d:31)
+
+let test_leap_year () =
+  let feb29 = Date.of_ymd ~y:2012 ~m:2 ~d:29 in
+  let mar1 = Date.of_ymd ~y:2012 ~m:3 ~d:1 in
+  Alcotest.(check int) "2012-02-29 + 1 = 2012-03-01" mar1 (Date.add_days feb29 1);
+  (* 1900 was not a leap year, 2000 was. *)
+  Alcotest.(check int) "1900 Feb has 28 days"
+    (Date.of_ymd ~y:1900 ~m:3 ~d:1)
+    (Date.add_days (Date.of_ymd ~y:1900 ~m:2 ~d:28) 1);
+  Alcotest.(check int) "2000 Feb has 29 days"
+    (Date.of_ymd ~y:2000 ~m:2 ~d:29)
+    (Date.add_days (Date.of_ymd ~y:2000 ~m:2 ~d:28) 1)
+
+let test_strings () =
+  Alcotest.(check string) "to_string" "2010-01-05"
+    (Date.to_string (Date.of_ymd ~y:2010 ~m:1 ~d:5));
+  Alcotest.(check (option int)) "of_string" (Some (Date.of_ymd ~y:2010 ~m:1 ~d:5))
+    (Date.of_string "2010-01-05");
+  Alcotest.(check (option int)) "of_string garbage" None (Date.of_string "hello");
+  Alcotest.(check (option int)) "of_string bad month" None
+    (Date.of_string "2010-13-05");
+  Alcotest.(check string) "forever prints" "9999-12-31" (Date.to_string Date.forever)
+
+let test_ordering () =
+  let a = Date.of_ymd ~y:2010 ~m:6 ~d:1 and b = Date.of_ymd ~y:2010 ~m:6 ~d:2 in
+  Alcotest.(check bool) "compare" true (Date.compare a b < 0);
+  Alcotest.(check bool) "forever is max" true (Date.compare b Date.forever < 0)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"date: to_ymd . of_ymd = id over a wide range"
+    ~count:500
+    QCheck.(int_range (-200_000) 3_000_000)
+    (fun t ->
+      let y, m, d = Date.to_ymd t in
+      Date.of_ymd ~y ~m ~d = t)
+
+let prop_add_days_assoc =
+  QCheck.Test.make ~name:"date: add_days is additive" ~count:200
+    QCheck.(triple (int_range 0 100000) (int_range (-500) 500) (int_range (-500) 500))
+    (fun (t, a, b) -> Date.add_days (Date.add_days t a) b = Date.add_days t (a + b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"date: of_string . to_string = id" ~count:300
+    QCheck.(int_range 0 2_000_000)
+    (fun t -> Date.of_string (Date.to_string t) = Some t)
+
+let suite =
+  [
+    ( "date",
+      [
+        Alcotest.test_case "epoch" `Quick test_epoch;
+        Alcotest.test_case "known day numbers" `Quick test_known_days;
+        Alcotest.test_case "roundtrip 2010-01-01" `Quick (check_roundtrip 2010 1 1);
+        Alcotest.test_case "roundtrip 1999-12-31" `Quick (check_roundtrip 1999 12 31);
+        Alcotest.test_case "roundtrip 9999-12-31" `Quick (check_roundtrip 9999 12 31);
+        Alcotest.test_case "leap years" `Quick test_leap_year;
+        Alcotest.test_case "string conversions" `Quick test_strings;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_add_days_assoc;
+        QCheck_alcotest.to_alcotest prop_string_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+(* Tests for the §VII-F strategy-selection heuristic. *)
+
+module H = Taupsm.Heuristic
+module Stratum = Taupsm.Stratum
+
+let f ?(perst = true) ?(cursors = false) ?(size = H.Medium) ?(days = 30) () =
+  {
+    H.perst_applicable = perst;
+    per_period_cursors = cursors;
+    db_size = size;
+    context_days = days;
+  }
+
+let strategy = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Stratum.strategy_to_string s))
+    ( = )
+
+let test_default_perst () =
+  Alcotest.check strategy "default is PERST" Stratum.Perst (H.choose (f ()));
+  Alcotest.check strategy "large, no cursors" Stratum.Perst
+    (H.choose (f ~size:H.Large ()));
+  Alcotest.check strategy "long context on small" Stratum.Perst
+    (H.choose (f ~size:H.Small ~days:365 ()))
+
+let test_clause_a_inapplicable () =
+  (* (a) PERST does not apply: MAX, regardless of anything else. *)
+  Alcotest.check strategy "inapplicable" Stratum.Max
+    (H.choose (f ~perst:false ~size:H.Large ~days:365 ()))
+
+let test_clause_b_cursors_large () =
+  (* (b) per-period cursors AND large data: MAX. *)
+  Alcotest.check strategy "cursors + large" Stratum.Max
+    (H.choose (f ~cursors:true ~size:H.Large ()));
+  Alcotest.check strategy "cursors + small stays PERST" Stratum.Perst
+    (H.choose (f ~cursors:true ~size:H.Small ~days:30 ()))
+
+let test_clause_c_small_short () =
+  (* (c) small database AND short context: MAX. *)
+  Alcotest.check strategy "small + 1 day" Stratum.Max
+    (H.choose (f ~size:H.Small ~days:1 ()));
+  Alcotest.check strategy "small + 1 week" Stratum.Max
+    (H.choose (f ~size:H.Small ~days:7 ()));
+  Alcotest.check strategy "small + 1 month" Stratum.Perst
+    (H.choose (f ~size:H.Small ~days:30 ()));
+  Alcotest.check strategy "medium + 1 day" Stratum.Perst
+    (H.choose (f ~size:H.Medium ~days:1 ()))
+
+let test_features_extraction () =
+  let e = Sqleval.Engine.create () in
+  Stratum.install e;
+  Sqleval.Engine.exec_script e
+    "CREATE TABLE tt (x INTEGER) WITH VALIDTIME;\n\
+     CREATE FUNCTION scans (k INTEGER) RETURNS INTEGER BEGIN DECLARE n \
+     INTEGER DEFAULT 0; FOR SELECT x FROM tt DO SET n = n + x; END FOR; \
+     RETURN n; END";
+  let ts =
+    Sqlparse.Parser.parse_temporal_stmt
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-01-08') SELECT scans(1) \
+       FROM tt"
+  in
+  let feats = H.features_of e ~db_size:H.Small ts in
+  Alcotest.(check bool) "cursors detected" true feats.H.per_period_cursors;
+  Alcotest.(check int) "context measured" 7 feats.H.context_days;
+  Alcotest.(check bool) "perst applies" true feats.H.perst_applicable;
+  Alcotest.check strategy "small+short => MAX" Stratum.Max (H.choose feats)
+
+let test_features_unbounded_context () =
+  let e = Sqleval.Engine.create () in
+  Stratum.install e;
+  ignore (Sqleval.Engine.exec e "CREATE TABLE tt (x INTEGER) WITH VALIDTIME");
+  let ts = Sqlparse.Parser.parse_temporal_stmt "VALIDTIME SELECT x FROM tt" in
+  let feats = H.features_of e ~db_size:H.Small ts in
+  Alcotest.(check bool) "unbounded context is long" true
+    (feats.H.context_days > 100000);
+  Alcotest.check strategy "=> PERST" Stratum.Perst (H.choose feats)
+
+let suite =
+  [
+    ( "heuristic",
+      [
+        Alcotest.test_case "defaults to PERST" `Quick test_default_perst;
+        Alcotest.test_case "(a) inapplicable => MAX" `Quick
+          test_clause_a_inapplicable;
+        Alcotest.test_case "(b) cursors + large => MAX" `Quick
+          test_clause_b_cursors_large;
+        Alcotest.test_case "(c) small + short => MAX" `Quick
+          test_clause_c_small_short;
+        Alcotest.test_case "feature extraction" `Quick test_features_extraction;
+        Alcotest.test_case "unbounded context" `Quick
+          test_features_unbounded_context;
+      ] );
+  ]

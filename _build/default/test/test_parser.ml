@@ -1,0 +1,240 @@
+(* Parser tests: structural checks plus parse/pretty round-trip stability
+   (parse s |> pretty |> parse = parse s). *)
+
+open Sqlast.Ast
+module P = Sqlparse.Parser
+module Pretty = Sqlast.Pretty
+
+let roundtrip_stmt src () =
+  let s1 = P.parse_stmt_string src in
+  let printed = Pretty.stmt_to_string s1 in
+  let s2 =
+    try P.parse_stmt_string printed
+    with P.Parse_error (msg, line) ->
+      Alcotest.failf "re-parse failed (%s, line %d) for:\n%s" msg line printed
+  in
+  if s1 <> s2 then
+    Alcotest.failf "round-trip changed the AST:\n%s\n-- vs --\n%s" printed
+      (Pretty.stmt_to_string s2)
+
+let roundtrip_temporal src () =
+  let s1 = P.parse_temporal_stmt src in
+  let printed = Pretty.temporal_stmt_to_string s1 in
+  let s2 = P.parse_temporal_stmt printed in
+  if s1 <> s2 then Alcotest.failf "round-trip changed the AST:\n%s" printed
+
+let test_simple_select () =
+  match P.parse_query "SELECT a, b FROM t WHERE a = 1" with
+  | Select s ->
+      Alcotest.(check int) "two projections" 2 (List.length s.proj);
+      Alcotest.(check bool) "has where" true (s.where <> None)
+  | _ -> Alcotest.fail "expected a Select"
+
+let test_join_aliases () =
+  match P.parse_query "SELECT i.title FROM item i, item_author ia" with
+  | Select { from = [ Tref ("item", Some "i"); Tref ("item_author", Some "ia") ]; _ }
+    ->
+      ()
+  | q -> Alcotest.failf "unexpected: %s" (Pretty.query_to_string q)
+
+let test_operator_precedence () =
+  let e = P.parse_expr_string "1 + 2 * 3" in
+  (match e with
+  | Binop (Add, Lit (Sqldb.Value.Int 1), Binop (Mul, _, _)) -> ()
+  | _ -> Alcotest.failf "precedence wrong: %s" (Pretty.expr_to_string e));
+  let e = P.parse_expr_string "a = 1 OR b = 2 AND c = 3" in
+  match e with
+  | Binop (Or, _, Binop (And, _, _)) -> ()
+  | _ -> Alcotest.failf "boolean precedence wrong: %s" (Pretty.expr_to_string e)
+
+let test_between_and () =
+  (* The AND in BETWEEN must not be taken as the boolean AND. *)
+  let e = P.parse_expr_string "x BETWEEN 1 AND 10 AND y = 2" in
+  match e with
+  | Binop (And, Between _, Binop (Eq, _, _)) -> ()
+  | _ -> Alcotest.failf "BETWEEN parse wrong: %s" (Pretty.expr_to_string e)
+
+let test_case_expr () =
+  let e = P.parse_expr_string "CASE WHEN a = 1 THEN 'x' ELSE 'y' END" in
+  match e with
+  | Case { case_operand = None; case_branches = [ _ ]; case_else = Some _ } -> ()
+  | _ -> Alcotest.fail "case parse wrong"
+
+let test_date_literal () =
+  match P.parse_expr_string "DATE '2010-06-15'" with
+  | Lit (Sqldb.Value.Date d) ->
+      Alcotest.(check string) "date value" "2010-06-15" (Sqldb.Date.to_string d)
+  | _ -> Alcotest.fail "expected a date literal"
+
+let test_string_escape () =
+  match P.parse_expr_string "'O''Brien'" with
+  | Lit (Sqldb.Value.Str "O'Brien") -> ()
+  | _ -> Alcotest.fail "string escape wrong"
+
+let test_function_definition () =
+  let src =
+    "CREATE FUNCTION get_author_name (aid VARCHAR(10))\n\
+     RETURNS VARCHAR(50)\n\
+     READS SQL DATA\n\
+     LANGUAGE SQL\n\
+     BEGIN\n\
+     DECLARE fname VARCHAR(50);\n\
+     SET fname = (SELECT first_name FROM author WHERE author_id = aid);\n\
+     RETURN fname;\n\
+     END"
+  in
+  match P.parse_stmt_string src with
+  | Screate_function r ->
+      Alcotest.(check string) "name" "get_author_name" r.r_name;
+      Alcotest.(check int) "params" 1 (List.length r.r_params);
+      Alcotest.(check int) "body statements" 3 (List.length r.r_body)
+  | _ -> Alcotest.fail "expected CREATE FUNCTION"
+
+let test_temporal_modifiers () =
+  let ts = P.parse_temporal_stmt "VALIDTIME SELECT * FROM t" in
+  (match ts.t_modifier with
+  | Mod_sequenced None -> ()
+  | _ -> Alcotest.fail "expected sequenced");
+  let ts =
+    P.parse_temporal_stmt
+      "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01') SELECT * FROM t"
+  in
+  (match ts.t_modifier with
+  | Mod_sequenced (Some _) -> ()
+  | _ -> Alcotest.fail "expected sequenced with context");
+  let ts = P.parse_temporal_stmt "NONSEQUENCED VALIDTIME SELECT * FROM t" in
+  (match ts.t_modifier with
+  | Mod_nonsequenced -> ()
+  | _ -> Alcotest.fail "expected nonsequenced");
+  let ts = P.parse_temporal_stmt "SELECT * FROM t" in
+  match ts.t_modifier with
+  | Mod_current -> ()
+  | _ -> Alcotest.fail "expected current (no modifier)"
+
+let test_closed_context_bumps_end () =
+  let ts =
+    P.parse_temporal_stmt
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-12-31'] SELECT * FROM t"
+  in
+  match ts.t_modifier with
+  | Mod_sequenced (Some (_, Binop (Add, _, Lit (Sqldb.Value.Int 1)))) -> ()
+  | _ -> Alcotest.fail "closed upper bound should add one granule"
+
+let test_labeled_loop () =
+  let src = "l1: WHILE x < 10 DO SET x = x + 1; END WHILE" in
+  match P.parse_stmt_string src with
+  | Swhile (Some "l1", _, [ Sset _ ]) -> ()
+  | _ -> Alcotest.fail "labeled while parse wrong"
+
+let test_handler () =
+  let src = "DECLARE CONTINUE HANDLER FOR NOT FOUND SET done_flag = 1" in
+  match P.parse_stmt_string src with
+  | Sdeclare_handler (Sset ("done_flag", _)) -> ()
+  | _ -> Alcotest.fail "handler parse wrong"
+
+let test_table_function_in_from () =
+  match P.parse_query "SELECT * FROM TABLE(f(1, 2)) ft" with
+  | Select { from = [ Tfun ("f", [ _; _ ], "ft") ]; _ } -> ()
+  | _ -> Alcotest.fail "table function parse wrong"
+
+let test_parse_errors () =
+  let expect_error src =
+    match P.parse_stmt_string src with
+    | exception P.Parse_error _ -> ()
+    | exception Sqlparse.Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  expect_error "SELECT FROM WHERE";
+  expect_error "SELECT * FROM t WHERE";
+  expect_error "CREATE FUNCTION f () BEGIN RETURN 1; END";
+  (* function without RETURNS *)
+  expect_error "SELECT 'unterminated"
+
+let roundtrip_cases =
+  [
+    "SELECT DISTINCT a, b AS bb FROM t1 x, t2 WHERE x.a = t2.b ORDER BY a DESC";
+    "SELECT COUNT(*), SUM(x), AVG(DISTINCT y) FROM t GROUP BY z HAVING COUNT(*) > 2";
+    "SELECT * FROM (SELECT a FROM t) sub WHERE a IN (SELECT b FROM u)";
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)";
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b NOT LIKE 'x%'";
+    "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t";
+    "SELECT a FROM t UNION ALL SELECT b FROM u";
+    "SELECT a FROM t EXCEPT SELECT b FROM u";
+    "SELECT a FROM t INTERSECT SELECT b FROM u";
+    "SELECT a FROM t FETCH FIRST 5 ROWS ONLY";
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')";
+    "INSERT INTO t SELECT * FROM u";
+    "UPDATE t SET a = a + 1, b = 'z' WHERE c IS NOT NULL";
+    "DELETE FROM t WHERE a < 0";
+    "CREATE TABLE t (a INTEGER, b VARCHAR(10), c DATE) WITH VALIDTIME";
+    "CREATE TEMPORARY TABLE ts AS (SELECT begin_time AS time_point FROM author)";
+    "CREATE VIEW v AS (SELECT a FROM t)";
+    "DROP TABLE t";
+    "CALL p(1, x)";
+    "SELECT * FROM TABLE(ps_f(a, DATE '2010-01-01', DATE '2011-01-01')) f";
+    "SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id AND \
+     get_author_name(ia.author_id) = 'Ben'";
+  ]
+
+let routine_roundtrip_cases =
+  [
+    "CREATE FUNCTION f (x INTEGER) RETURNS INTEGER BEGIN RETURN x + 1; END";
+    "CREATE FUNCTION g (x INTEGER, d DATE) RETURNS TABLE (v INTEGER, \
+     begin_time DATE, end_time DATE) BEGIN RETURN TABLE (SELECT v, \
+     begin_time, end_time FROM tmp); END";
+    "CREATE PROCEDURE p (IN a INTEGER, OUT b INTEGER) BEGIN SET b = a * 2; END";
+    "CREATE PROCEDURE q () BEGIN DECLARE x INTEGER DEFAULT 0; l: WHILE x < 3 \
+     DO SET x = x + 1; END WHILE; END";
+    "CREATE PROCEDURE r () BEGIN DECLARE c CURSOR FOR SELECT a FROM t; \
+     DECLARE done_flag INTEGER DEFAULT 0; DECLARE CONTINUE HANDLER FOR NOT \
+     FOUND SET done_flag = 1; OPEN c; FETCH c INTO x; CLOSE c; END";
+    "CREATE PROCEDURE s () BEGIN IF a = 1 THEN SET b = 2; ELSEIF a = 2 THEN \
+     SET b = 3; ELSE SET b = 4; END IF; END";
+    "CREATE PROCEDURE u () BEGIN CASE WHEN a = 1 THEN SET b = 2; ELSE SET b \
+     = 3; END CASE; END";
+    "CREATE PROCEDURE w () BEGIN REPEAT SET x = x + 1; UNTIL x > 3 END \
+     REPEAT; END";
+    "CREATE PROCEDURE v () BEGIN FOR SELECT a FROM t DO SET total = total + \
+     a; END FOR; END";
+    "CREATE PROCEDURE z () BEGIN l2: LOOP SET x = x + 1; IF x > 2 THEN LEAVE \
+     l2; END IF; END LOOP; END";
+  ]
+
+let suite =
+  [
+    ( "parser",
+      [
+        Alcotest.test_case "simple select" `Quick test_simple_select;
+        Alcotest.test_case "join aliases" `Quick test_join_aliases;
+        Alcotest.test_case "operator precedence" `Quick test_operator_precedence;
+        Alcotest.test_case "between/and" `Quick test_between_and;
+        Alcotest.test_case "case expression" `Quick test_case_expr;
+        Alcotest.test_case "date literal" `Quick test_date_literal;
+        Alcotest.test_case "string escape" `Quick test_string_escape;
+        Alcotest.test_case "function definition" `Quick test_function_definition;
+        Alcotest.test_case "temporal modifiers" `Quick test_temporal_modifiers;
+        Alcotest.test_case "closed context" `Quick test_closed_context_bumps_end;
+        Alcotest.test_case "labeled loop" `Quick test_labeled_loop;
+        Alcotest.test_case "not-found handler" `Quick test_handler;
+        Alcotest.test_case "table function in FROM" `Quick
+          test_table_function_in_from;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      ]
+      @ List.mapi
+          (fun i src ->
+            Alcotest.test_case
+              (Printf.sprintf "roundtrip stmt %d" i)
+              `Quick (roundtrip_stmt src))
+          roundtrip_cases
+      @ List.mapi
+          (fun i src ->
+            Alcotest.test_case
+              (Printf.sprintf "roundtrip routine %d" i)
+              `Quick (roundtrip_stmt src))
+          routine_roundtrip_cases
+      @ [
+          Alcotest.test_case "roundtrip temporal" `Quick
+            (roundtrip_temporal
+               "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01') SELECT a FROM t");
+        ] );
+  ]

@@ -1,0 +1,261 @@
+(* PERST (per-statement slicing) tests: equivalence with MAX on the
+   running example, the Figure-11 shape of the generated code, the
+   non-nested-FETCH limitation, and the call-count cost model. *)
+
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Stratum = Taupsm.Stratum
+module Perst = Taupsm.Perst_slicing
+module P = Sqlparse.Parser
+
+let d = Sqldb.Date.of_string_exn
+
+let setup = Test_temporal.setup
+
+let q2 name =
+  Printf.sprintf
+    "SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id AND \
+     get_author_name(ia.author_id) = '%s'"
+    name
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+let sorted_rows_of rs = List.sort compare (rows_of rs)
+
+let run ?strategy e sql =
+  match Stratum.exec_sql ?strategy e sql with
+  | Eval.Rows rs -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+let check_rows name expected actual =
+  Alcotest.(check (list (list string))) name expected actual
+
+(* Order-insensitive comparison of two coalesced temporal results. *)
+let check_equiv name (a : RS.t) (b : RS.t) =
+  let ca = Stratum.coalesce_result a and cb = Stratum.coalesce_result b in
+  Alcotest.(check (list (list string))) name (sorted_rows_of ca) (sorted_rows_of cb)
+
+let test_perst_q2 () =
+  let e = setup () in
+  let rs = run ~strategy:Stratum.Perst e ("VALIDTIME " ^ q2 "Rick") in
+  check_rows "history by Rick (PERST)"
+    [ [ "Book Two"; "2010-02-01"; "2010-03-01" ] ]
+    (rows_of (Stratum.coalesce_result rs))
+
+let test_perst_equals_max () =
+  let e = setup () in
+  List.iter
+    (fun name ->
+      let max_rs = run ~strategy:Stratum.Max e ("VALIDTIME " ^ q2 name) in
+      let ps_rs = run ~strategy:Stratum.Perst e ("VALIDTIME " ^ q2 name) in
+      check_equiv (Printf.sprintf "MAX = PERST for %s" name) max_rs ps_rs)
+    [ "Ben"; "Rick"; "Richard" ]
+
+let test_perst_context () =
+  let e = setup () in
+  let rs =
+    run ~strategy:Stratum.Perst e
+      ("VALIDTIME [DATE '2010-02-10', DATE '2010-02-20') " ^ q2 "Rick")
+  in
+  check_rows "context clips"
+    [ [ "Book Two"; "2010-02-10"; "2010-02-20" ] ]
+    (rows_of (Stratum.coalesce_result rs))
+
+let test_perst_aggregate () =
+  let e = setup () in
+  (* A sequenced aggregate exercises the locally-sliced path. *)
+  let max_rs =
+    run ~strategy:Stratum.Max e
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-07-01') SELECT COUNT(*) \
+       FROM item_author"
+  in
+  let ps_rs =
+    run ~strategy:Stratum.Perst e
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-07-01') SELECT COUNT(*) \
+       FROM item_author"
+  in
+  check_equiv "sequenced COUNT agrees" max_rs ps_rs
+
+let test_perst_function_in_select () =
+  let e = setup () in
+  (* Function in the SELECT list (the q5 construct). *)
+  let sql =
+    "VALIDTIME SELECT get_author_name(ia.author_id) FROM item_author ia \
+     WHERE ia.item_id = 2"
+  in
+  let max_rs = run ~strategy:Stratum.Max e sql in
+  let ps_rs = run ~strategy:Stratum.Perst e sql in
+  check_equiv "function in SELECT agrees" max_rs ps_rs;
+  check_rows "name history"
+    [
+      [ "Richard"; "2010-03-01"; "9999-12-31" ];
+      [ "Rick"; "2010-02-01"; "2010-03-01" ];
+    ]
+    (List.sort compare (rows_of (Stratum.coalesce_result ps_rs)))
+
+let test_perst_tv_variable () =
+  let e = setup () in
+  (* A routine with an intermediate time-varying variable and stable
+     control flow. *)
+  Sqleval.Engine.exec_script e
+    "CREATE FUNCTION decorated_name (aid VARCHAR(10)) RETURNS VARCHAR(60) \
+     BEGIN DECLARE nm VARCHAR(50); DECLARE result VARCHAR(60); SET nm = \
+     (SELECT first_name FROM author WHERE author_id = aid); SET result = nm \
+     || '!'; RETURN result; END";
+  let sql =
+    "VALIDTIME SELECT decorated_name(ia.author_id) FROM item_author ia \
+     WHERE ia.item_id = 2"
+  in
+  let max_rs = run ~strategy:Stratum.Max e sql in
+  let ps_rs = run ~strategy:Stratum.Perst e sql in
+  check_equiv "tv variable chain agrees" max_rs ps_rs;
+  check_rows "decorated history"
+    [
+      [ "Richard!"; "2010-03-01"; "9999-12-31" ];
+      [ "Rick!"; "2010-02-01"; "2010-03-01" ];
+    ]
+    (List.sort compare (rows_of (Stratum.coalesce_result ps_rs)))
+
+let test_perst_if_tv_condition () =
+  let e = setup () in
+  (* IF over a time-varying condition: sliced control flow. *)
+  Sqleval.Engine.exec_script e
+    "CREATE FUNCTION name_class (aid VARCHAR(10)) RETURNS VARCHAR(10) BEGIN \
+     DECLARE nm VARCHAR(50); DECLARE r VARCHAR(10); SET nm = (SELECT \
+     first_name FROM author WHERE author_id = aid); IF CHAR_LENGTH(nm) > 4 \
+     THEN SET r = 'long'; ELSE SET r = 'short'; END IF; RETURN r; END";
+  let sql =
+    "VALIDTIME SELECT name_class(ia.author_id) FROM item_author ia WHERE \
+     ia.item_id = 2"
+  in
+  let max_rs = run ~strategy:Stratum.Max e sql in
+  let ps_rs = run ~strategy:Stratum.Perst e sql in
+  check_equiv "sliced IF agrees" max_rs ps_rs;
+  (* Rick (4 letters) -> short; Richard (7) -> long. *)
+  check_rows "classification history"
+    [
+      [ "long"; "2010-03-01"; "9999-12-31" ];
+      [ "short"; "2010-02-01"; "2010-03-01" ];
+    ]
+    (List.sort compare (rows_of (Stratum.coalesce_result ps_rs)))
+
+let test_perst_for_loop () =
+  let e = setup () in
+  (* FOR over a temporal query inside a routine: the auxiliary-table
+     per-period path. *)
+  Sqleval.Engine.exec_script e
+    "CREATE FUNCTION count_items_of (aid VARCHAR(10)) RETURNS INTEGER BEGIN \
+     DECLARE n INTEGER DEFAULT 0; FOR SELECT item_id FROM item_author WHERE \
+     author_id = aid DO SET n = n + 1; END FOR; RETURN n; END";
+  let sql = "VALIDTIME SELECT count_items_of('a2') FROM item WHERE id = 1" in
+  let max_rs = run ~strategy:Stratum.Max e sql in
+  let ps_rs = run ~strategy:Stratum.Perst e sql in
+  check_equiv "per-period FOR agrees" max_rs ps_rs
+
+let test_perst_transformed_sql () =
+  let e = setup () in
+  let sql =
+    Stratum.transform_to_sql ~strategy:Stratum.Perst e
+      (P.parse_temporal_stmt ("VALIDTIME " ^ q2 "Ben"))
+  in
+  (* Figure 11 shape. *)
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" affix) true
+        (Astring.String.is_infix ~affix sql))
+    [
+      "ps_get_author_name";  (* the transformed routine *)
+      "taupsm_bt";  (* the evaluation-period parameters *)
+      "taupsm_et";
+      "taupsm_result";  (* the temporal return table *)
+      "RETURNS TABLE";
+      "last_instance";  (* period intersection in the invoking query *)
+      "first_instance";
+      "TABLE(ps_get_author_name";  (* joined in FROM *)
+    ]
+
+let test_perst_non_nested_fetch_unsupported () =
+  let e = setup () in
+  (* q17b's pattern: an outer cursor FETCHed from inside a FOR loop over
+     a temporal function result. *)
+  Sqleval.Engine.exec_script e
+    "CREATE FUNCTION outer_fetch () RETURNS INTEGER BEGIN DECLARE v INTEGER \
+     DEFAULT 0; DECLARE acc INTEGER DEFAULT 0; DECLARE c CURSOR FOR SELECT \
+     id FROM item; OPEN c; FETCH c INTO v; FOR SELECT item_id FROM \
+     item_author DO SET acc = acc + v; FETCH c INTO v; END FOR; CLOSE c; \
+     RETURN acc; END";
+  (match
+     Stratum.exec_sql ~strategy:Stratum.Perst e
+       "VALIDTIME SELECT outer_fetch() FROM item WHERE id = 1"
+   with
+  | exception Perst.Perst_unsupported msg ->
+      Alcotest.(check bool) "mentions non-nested FETCH" true
+        (Astring.String.is_infix ~affix:"non-nested FETCH" msg)
+  | _ -> Alcotest.fail "non-nested FETCH should be unsupported");
+  (* MAX always applies (the paper's completeness claim). *)
+  match
+    Stratum.exec_sql ~strategy:Stratum.Max e
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-02-01') SELECT outer_fetch() \
+       FROM item WHERE id = 1"
+  with
+  | Eval.Rows _ -> ()
+  | _ -> Alcotest.fail "MAX should handle the same query"
+
+let test_perst_fewer_calls () =
+  let e = setup () in
+  let ts =
+    P.parse_temporal_stmt
+      ("VALIDTIME [DATE '2010-01-01', DATE '2010-07-01') " ^ q2 "Richard")
+  in
+  let _, max_calls =
+    Stratum.exec_counting_calls ~strategy:Stratum.Max e ts
+  in
+  let _, ps_calls =
+    Stratum.exec_counting_calls ~strategy:Stratum.Perst e ts
+  in
+  (* The paper's cost model: MAX invokes the routine per constant period
+     per candidate row; PERST once per distinct argument. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "PERST (%d) < MAX (%d) calls" ps_calls max_calls)
+    true (ps_calls < max_calls)
+
+let test_perst_recursion_rejected () =
+  let e = setup () in
+  Sqleval.Engine.exec_script e
+    "CREATE FUNCTION rec_names (aid VARCHAR(10)) RETURNS VARCHAR(50) BEGIN \
+     DECLARE nm VARCHAR(50); SET nm = (SELECT first_name FROM author WHERE \
+     author_id = aid); IF nm = 'none' THEN SET nm = rec_names(aid); END IF; \
+     RETURN nm; END";
+  match
+    Stratum.exec_sql ~strategy:Stratum.Perst e
+      "VALIDTIME SELECT rec_names('a1') FROM item WHERE id = 1"
+  with
+  | exception Perst.Perst_unsupported _ -> ()
+  | _ -> Alcotest.fail "recursive temporal routine should be rejected"
+
+let suite =
+  [
+    ( "temporal-perst",
+      [
+        Alcotest.test_case "sequenced q2" `Quick test_perst_q2;
+        Alcotest.test_case "PERST = MAX" `Quick test_perst_equals_max;
+        Alcotest.test_case "temporal context" `Quick test_perst_context;
+        Alcotest.test_case "sequenced aggregate" `Quick test_perst_aggregate;
+        Alcotest.test_case "function in SELECT" `Quick
+          test_perst_function_in_select;
+        Alcotest.test_case "time-varying variable" `Quick test_perst_tv_variable;
+        Alcotest.test_case "sliced IF" `Quick test_perst_if_tv_condition;
+        Alcotest.test_case "per-period FOR" `Quick test_perst_for_loop;
+        Alcotest.test_case "transformed SQL (Figure 11)" `Quick
+          test_perst_transformed_sql;
+        Alcotest.test_case "non-nested FETCH unsupported" `Quick
+          test_perst_non_nested_fetch_unsupported;
+        Alcotest.test_case "fewer routine calls than MAX" `Quick
+          test_perst_fewer_calls;
+        Alcotest.test_case "recursion rejected" `Quick
+          test_perst_recursion_rejected;
+      ] );
+  ]

@@ -1,0 +1,451 @@
+(* Stratum tests: current semantics (TUC), nonsequenced, sequenced via
+   MAX slicing, current and sequenced modifications — on the paper's
+   running bookstore example. *)
+
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Stratum = Taupsm.Stratum
+module P = Sqlparse.Parser
+
+let d s = Sqldb.Date.of_string_exn s
+
+(* The running example: items, authors, and their associations, all with
+   valid-time support.  Timeline (2010):
+   - author a1 "Ben" for all of time recorded;
+   - author a2 named "Rick" until Mar 1, then "Richard";
+   - item 1 "Book One" from Jan 1; item 2 "Book Two" from Feb 1;
+   - a1 wrote item 1 always; a2 wrote item 2 from Feb 1;
+     a2 also co-wrote item 1 from Apr 1 to Jun 1. *)
+let setup () =
+  let e = Engine.create ~now:(d "2010-07-01") () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE item (id INTEGER, title VARCHAR(50)) WITH VALIDTIME;\n\
+     CREATE TABLE author (author_id VARCHAR(10), first_name VARCHAR(50)) \
+     WITH VALIDTIME;\n\
+     CREATE TABLE item_author (item_id INTEGER, author_id VARCHAR(10)) WITH \
+     VALIDTIME;\n\
+     INSERT INTO item (id, title, begin_time, end_time) VALUES (1, 'Book \
+     One', DATE '2010-01-01', DATE '9999-12-31'), (2, 'Book Two', DATE \
+     '2010-02-01', DATE '9999-12-31');\n\
+     INSERT INTO author (author_id, first_name, begin_time, end_time) \
+     VALUES ('a1', 'Ben', DATE '2010-01-01', DATE '9999-12-31'), ('a2', \
+     'Rick', DATE '2010-01-01', DATE '2010-03-01'), ('a2', 'Richard', DATE \
+     '2010-03-01', DATE '9999-12-31');\n\
+     INSERT INTO item_author (item_id, author_id, begin_time, end_time) \
+     VALUES (1, 'a1', DATE '2010-01-01', DATE '9999-12-31'), (2, 'a2', DATE \
+     '2010-02-01', DATE '9999-12-31'), (1, 'a2', DATE '2010-04-01', DATE \
+     '2010-06-01');";
+  Engine.exec_script e
+    "CREATE FUNCTION get_author_name (aid VARCHAR(10)) RETURNS VARCHAR(50) \
+     READS SQL DATA LANGUAGE SQL BEGIN DECLARE fname VARCHAR(50); SET fname \
+     = (SELECT first_name FROM author WHERE author_id = aid); RETURN fname; \
+     END";
+  e
+
+let q2 name =
+  Printf.sprintf
+    "SELECT i.title FROM item i, item_author ia WHERE i.id = ia.item_id AND \
+     get_author_name(ia.author_id) = '%s'"
+    name
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+let sorted_rows_of rs = List.sort compare (rows_of rs)
+
+let check_rows name expected actual =
+  Alcotest.(check (list (list string))) name expected actual
+
+let run_temporal ?strategy e sql =
+  match Stratum.exec_sql ?strategy e sql with
+  | Eval.Rows rs -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+(* ------------------------------------------------------------------ *)
+(* Current semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_current_query () =
+  let e = setup () in
+  (* Figure 2 as a current query: titles *currently* by Ben. *)
+  check_rows "current by Ben" [ [ "Book One" ] ] (rows_of (run_temporal e (q2 "Ben")));
+  (* Rick is no longer anyone's current name. *)
+  check_rows "current by Rick" [] (rows_of (run_temporal e (q2 "Rick")));
+  check_rows "current by Richard" [ [ "Book Two" ] ]
+    (rows_of (run_temporal e (q2 "Richard")))
+
+let test_tuc () =
+  (* Temporal upward compatibility: the same legacy query on a
+     nontemporal database and on its temporal rendering (restricted to
+     the current state) gives identical results. *)
+  let legacy = Engine.create ~now:(d "2010-07-01") () in
+  Engine.exec_script legacy
+    "CREATE TABLE item (id INTEGER, title VARCHAR(50));\n\
+     CREATE TABLE author (author_id VARCHAR(10), first_name VARCHAR(50));\n\
+     CREATE TABLE item_author (item_id INTEGER, author_id VARCHAR(10));\n\
+     INSERT INTO item VALUES (1, 'Book One'), (2, 'Book Two');\n\
+     INSERT INTO author VALUES ('a1', 'Ben'), ('a2', 'Richard');\n\
+     INSERT INTO item_author VALUES (1, 'a1'), (2, 'a2');\n\
+     CREATE FUNCTION get_author_name (aid VARCHAR(10)) RETURNS VARCHAR(50) \
+     BEGIN RETURN (SELECT first_name FROM author WHERE author_id = aid); END";
+  let e = setup () in
+  List.iter
+    (fun name ->
+      let on_legacy = Engine.query legacy (q2 name) in
+      let on_temporal = run_temporal e (q2 name) in
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "TUC for %s" name)
+        (sorted_rows_of on_legacy) (sorted_rows_of on_temporal))
+    [ "Ben"; "Rick"; "Richard" ]
+
+let test_current_transformed_sql () =
+  let e = setup () in
+  let sql =
+    Stratum.transform_to_sql e (P.parse_temporal_stmt (q2 "Ben"))
+  in
+  (* Figure 5/6 shape: a curr_ function and currency predicates. *)
+  Alcotest.(check bool) "defines curr_ function" true
+    (Astring.String.is_infix ~affix:"curr_get_author_name" sql);
+  Alcotest.(check bool) "adds currency predicate" true
+    (Astring.String.is_infix ~affix:"CURRENT_DATE" sql);
+  Alcotest.(check bool) "author table restricted" true
+    (Astring.String.is_infix ~affix:"author.begin_time <= CURRENT_DATE" sql)
+
+(* ------------------------------------------------------------------ *)
+(* Nonsequenced                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_nonsequenced () =
+  let e = setup () in
+  (* "At any time": item 1 was at some time associated with a2 (whose
+     name at *some possibly different* time was Rick). *)
+  let rs =
+    run_temporal e
+      ("NONSEQUENCED VALIDTIME "
+     ^ "SELECT DISTINCT i.title FROM item i, item_author ia, author a WHERE \
+        i.id = ia.item_id AND ia.author_id = a.author_id AND a.first_name = \
+        'Rick'")
+  in
+  check_rows "nonsequenced sees all history"
+    [ [ "Book One" ]; [ "Book Two" ] ]
+    (List.sort compare (rows_of rs));
+  (* Nonsequenced exposes the timestamp columns explicitly. *)
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT first_name, begin_time FROM author \
+       WHERE author_id = 'a2' ORDER BY begin_time"
+  in
+  check_rows "timestamps are ordinary columns"
+    [ [ "Rick"; "2010-01-01" ]; [ "Richard"; "2010-03-01" ] ]
+    (rows_of rs)
+
+(* ------------------------------------------------------------------ *)
+(* Sequenced via MAX                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequenced_max_q2 () =
+  let e = setup () in
+  (* History of titles by "Rick": only Book Two, and only while a2 was
+     still named Rick. *)
+  let rs = run_temporal ~strategy:Stratum.Max e ("VALIDTIME " ^ q2 "Rick") in
+  let rs = Stratum.coalesce_result rs in
+  check_rows "history by Rick"
+    [ [ "Book Two"; "2010-02-01"; "2010-03-01" ] ]
+    (rows_of rs);
+  (* History by "Richard": Book Two from the rename on, and Book One
+     during the co-authoring period. *)
+  let rs = run_temporal ~strategy:Stratum.Max e ("VALIDTIME " ^ q2 "Richard") in
+  let rs = Stratum.coalesce_result rs in
+  check_rows "history by Richard"
+    [
+      [ "Book One"; "2010-04-01"; "2010-06-01" ];
+      [ "Book Two"; "2010-03-01"; "9999-12-31" ];
+    ]
+    (List.sort compare (rows_of rs))
+
+let test_sequenced_max_with_context () =
+  let e = setup () in
+  let rs =
+    run_temporal ~strategy:Stratum.Max e
+      ("VALIDTIME [DATE '2010-02-10', DATE '2010-02-20') " ^ q2 "Rick")
+  in
+  let rs = Stratum.coalesce_result rs in
+  check_rows "context clips the result"
+    [ [ "Book Two"; "2010-02-10"; "2010-02-20" ] ]
+    (rows_of rs);
+  (* A context where Rick no longer exists. *)
+  let rs =
+    run_temporal ~strategy:Stratum.Max e
+      ("VALIDTIME [DATE '2010-05-01', DATE '2010-06-01') " ^ q2 "Rick")
+  in
+  check_rows "empty outside Rick's period" [] (rows_of rs)
+
+let test_sequenced_max_aggregate () =
+  let e = setup () in
+  (* Sequenced COUNT: how many item-author associations held, per
+     constant period. *)
+  let rs =
+    run_temporal ~strategy:Stratum.Max e
+      "VALIDTIME [DATE '2010-01-01', DATE '2010-07-01') SELECT COUNT(*) \
+       FROM item_author"
+  in
+  let slices =
+    List.sort compare
+      (List.map
+         (fun r -> (Value.to_string r.(1), Value.to_string r.(0)))
+         rs.RS.rows)
+  in
+  Alcotest.(check (list (pair string string)))
+    "counts per constant period"
+    [
+      ("2010-01-01", "1");  (* only (1,a1) *)
+      ("2010-02-01", "2");  (* + (2,a2) *)
+      ("2010-04-01", "3");  (* + (1,a2); the author rename on 2010-03-01 is
+                               NOT a boundary: author is not reachable *)
+      ("2010-06-01", "2");  (* co-authoring ends *)
+    ]
+    slices
+
+let test_sequenced_max_transformed_sql () =
+  let e = setup () in
+  let sql =
+    Stratum.transform_to_sql ~strategy:Stratum.Max e
+      (P.parse_temporal_stmt ("VALIDTIME " ^ q2 "Ben"))
+  in
+  (* Figures 8/9/10 shape. *)
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" affix) true
+        (Astring.String.is_infix ~affix sql))
+    [
+      "taupsm_ts";  (* Figure 8: the time-point table *)
+      "taupsm_cp";  (* the constant periods *)
+      "max_get_author_name";  (* Figure 10: the transformed function *)
+      "taupsm_bt";  (* the constant-period parameter *)
+      "cp.begin_time";  (* Figure 9: overlap with the constant period *)
+    ]
+
+let test_max_no_temporal_routine_untouched () =
+  let e = setup () in
+  Engine.exec_script e
+    "CREATE FUNCTION pure_math (x INTEGER) RETURNS INTEGER BEGIN RETURN x * \
+     2; END";
+  let sql =
+    Stratum.transform_to_sql ~strategy:Stratum.Max e
+      (P.parse_temporal_stmt
+         "VALIDTIME SELECT pure_math(id) FROM item")
+  in
+  (* The paper's optimization: non-temporal routines keep their name and
+     signature. *)
+  Alcotest.(check bool) "pure function not renamed" true
+    (Astring.String.is_infix ~affix:"pure_math(id)" sql);
+  Alcotest.(check bool) "no max_ clone" false
+    (Astring.String.is_infix ~affix:"max_pure_math" sql)
+
+let test_timeslice_commutes_max () =
+  let e = setup () in
+  (* timeslice(sequenced Q) = Q on timeslice, at several instants. *)
+  let seq =
+    run_temporal ~strategy:Stratum.Max e ("VALIDTIME " ^ q2 "Richard")
+  in
+  List.iter
+    (fun day ->
+      let sliced = Stratum.timeslice_result seq (d day) in
+      let e' = Engine.copy e in
+      Engine.set_now e' (d day);
+      Stratum.install e';
+      let current = run_temporal e' (q2 "Richard") in
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "commutes at %s" day)
+        (sorted_rows_of current) (sorted_rows_of sliced))
+    [ "2010-01-15"; "2010-02-15"; "2010-03-15"; "2010-04-15"; "2010-06-15" ]
+
+(* ------------------------------------------------------------------ *)
+(* Modifications                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_current_insert () =
+  let e = setup () in
+  ignore
+    (Stratum.exec_sql e "INSERT INTO item (id, title) VALUES (3, 'Book Three')");
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT begin_time, end_time FROM item WHERE \
+       id = 3"
+  in
+  check_rows "insert valid from now to forever"
+    [ [ "2010-07-01"; "9999-12-31" ] ]
+    (rows_of rs)
+
+let test_current_delete () =
+  let e = setup () in
+  ignore (Stratum.exec_sql e "DELETE FROM item WHERE id = 2");
+  (* Gone from the current state... *)
+  check_rows "current state lost item 2" [ [ "Book One" ] ]
+    (rows_of (run_temporal e "SELECT title FROM item"));
+  (* ...but its history survives, closed at CURRENT_DATE. *)
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT begin_time, end_time FROM item WHERE \
+       id = 2"
+  in
+  check_rows "history closed at now"
+    [ [ "2010-02-01"; "2010-07-01" ] ]
+    (rows_of rs)
+
+let test_current_update () =
+  let e = setup () in
+  ignore
+    (Stratum.exec_sql e "UPDATE item SET title = 'Book Two (2nd ed)' WHERE id = 2");
+  check_rows "current title updated"
+    [ [ "Book Two (2nd ed)" ] ]
+    (rows_of (run_temporal e "SELECT title FROM item WHERE id = 2"));
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT title, begin_time, end_time FROM item \
+       WHERE id = 2 ORDER BY begin_time"
+  in
+  check_rows "old version closed, new version opened"
+    [
+      [ "Book Two"; "2010-02-01"; "2010-07-01" ];
+      [ "Book Two (2nd ed)"; "2010-07-01"; "9999-12-31" ];
+    ]
+    (rows_of rs)
+
+let test_sequenced_delete_splices () =
+  let e = setup () in
+  let ctx =
+    Some
+      ( Sqlast.Ast.Lit (Value.Date (d "2010-03-01")),
+        Sqlast.Ast.Lit (Value.Date (d "2010-04-01")) )
+  in
+  ignore
+    (Stratum.sequenced_delete e ~context:ctx "item"
+       (Some (P.parse_expr_string "id = 1")));
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT begin_time, end_time FROM item WHERE \
+       id = 1 ORDER BY begin_time"
+  in
+  check_rows "validity spliced out"
+    [
+      [ "2010-01-01"; "2010-03-01" ];
+      [ "2010-04-01"; "9999-12-31" ];
+    ]
+    (rows_of rs)
+
+let test_sequenced_update_splices () =
+  let e = setup () in
+  let ctx =
+    Some
+      ( Sqlast.Ast.Lit (Value.Date (d "2010-03-01")),
+        Sqlast.Ast.Lit (Value.Date (d "2010-04-01")) )
+  in
+  ignore
+    (Stratum.sequenced_update e ~context:ctx "item"
+       [ ("title", Sqlast.Ast.lit_str "Book One (banned)") ]
+       (Some (P.parse_expr_string "id = 1")));
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT title, begin_time, end_time FROM item \
+       WHERE id = 1 ORDER BY begin_time"
+  in
+  check_rows "update applies only within the period"
+    [
+      [ "Book One"; "2010-01-01"; "2010-03-01" ];
+      [ "Book One (banned)"; "2010-03-01"; "2010-04-01" ];
+      [ "Book One"; "2010-04-01"; "9999-12-31" ];
+    ]
+    (rows_of rs)
+
+let test_sequenced_insert () =
+  let e = setup () in
+  ignore
+    (Stratum.sequenced_insert e
+       ~context:
+         (Some
+            ( Sqlast.Ast.Lit (Value.Date (d "2010-01-01")),
+              Sqlast.Ast.Lit (Value.Date (d "2010-02-01")) ))
+       "item" (Some [ "id"; "title" ])
+       (Sqlast.Ast.Ivalues [ [ Sqlast.Ast.lit_int 9; Sqlast.Ast.lit_str "Ephemeral" ] ]));
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT begin_time, end_time FROM item WHERE \
+       id = 9"
+  in
+  check_rows "inserted over the context period"
+    [ [ "2010-01-01"; "2010-02-01" ] ]
+    (rows_of rs)
+
+(* ------------------------------------------------------------------ *)
+(* Inner modifiers (§IV-A)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_inner_modifier_rejected_in_sequenced () =
+  let e = setup () in
+  Engine.exec_script e
+    "CREATE FUNCTION hist_count (x INTEGER) RETURNS INTEGER BEGIN DECLARE n \
+     INTEGER; NONSEQUENCED VALIDTIME SELECT COUNT(*) INTO n FROM item; \
+     RETURN n; END";
+  (* Sequenced and current invocations must be rejected... *)
+  (match
+     Stratum.exec_sql ~strategy:Stratum.Max e
+       "VALIDTIME SELECT hist_count(id) FROM item"
+   with
+  | exception Taupsm.Transform_util.Semantic_error _ -> ()
+  | _ -> Alcotest.fail "sequenced invocation should be rejected");
+  (match Stratum.exec_sql e "SELECT hist_count(id) FROM item" with
+  | exception Taupsm.Transform_util.Semantic_error _ -> ()
+  | _ -> Alcotest.fail "current invocation should be rejected");
+  (* ...but a nonsequenced invocation is fine (§IV-A). *)
+  let rs =
+    run_temporal e
+      "NONSEQUENCED VALIDTIME SELECT DISTINCT hist_count(id) FROM item"
+  in
+  check_rows "nonsequenced invocation works" [ [ "2" ] ] (rows_of rs)
+
+let suite =
+  [
+    ( "temporal-current",
+      [
+        Alcotest.test_case "current query" `Quick test_current_query;
+        Alcotest.test_case "temporal upward compatibility" `Quick test_tuc;
+        Alcotest.test_case "transformed SQL (Figures 5/6)" `Quick
+          test_current_transformed_sql;
+        Alcotest.test_case "current insert" `Quick test_current_insert;
+        Alcotest.test_case "current delete" `Quick test_current_delete;
+        Alcotest.test_case "current update" `Quick test_current_update;
+      ] );
+    ( "temporal-nonseq",
+      [ Alcotest.test_case "nonsequenced" `Quick test_nonsequenced ] );
+    ( "temporal-max",
+      [
+        Alcotest.test_case "sequenced q2 history" `Quick test_sequenced_max_q2;
+        Alcotest.test_case "temporal context" `Quick
+          test_sequenced_max_with_context;
+        Alcotest.test_case "sequenced aggregate" `Quick
+          test_sequenced_max_aggregate;
+        Alcotest.test_case "transformed SQL (Figures 8/9/10)" `Quick
+          test_sequenced_max_transformed_sql;
+        Alcotest.test_case "non-temporal routine untouched" `Quick
+          test_max_no_temporal_routine_untouched;
+        Alcotest.test_case "timeslice commutes" `Quick test_timeslice_commutes_max;
+      ] );
+    ( "temporal-dml",
+      [
+        Alcotest.test_case "sequenced delete splices" `Quick
+          test_sequenced_delete_splices;
+        Alcotest.test_case "sequenced update splices" `Quick
+          test_sequenced_update_splices;
+        Alcotest.test_case "sequenced insert" `Quick test_sequenced_insert;
+      ] );
+    ( "temporal-inner-modifier",
+      [
+        Alcotest.test_case "inner modifier contexts (§IV-A)" `Quick
+          test_inner_modifier_rejected_in_sequenced;
+      ] );
+  ]

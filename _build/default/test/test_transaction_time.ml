@@ -1,0 +1,200 @@
+(* Transaction-time support: system-maintained timestamps, AS OF
+   queries, append-only modifications, and the bitemporal composition
+   with valid-time semantics (the paper: "everything also applies to
+   transaction time"). *)
+
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Stratum = Taupsm.Stratum
+
+let d = Sqldb.Date.of_string_exn
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+let check_rows name expected actual =
+  Alcotest.(check (list (list string))) name expected actual
+
+let run e sql =
+  match Stratum.exec_sql e sql with
+  | Eval.Rows rs -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+(* A tt-only table evolving over three days. *)
+let setup_tt () =
+  let e = Engine.create ~now:(d "2020-01-01") () in
+  Stratum.install e;
+  ignore
+    (Stratum.exec_sql e
+       "CREATE TABLE account (id INTEGER, balance INTEGER) WITH \
+        TRANSACTIONTIME");
+  ignore (Stratum.exec_sql e "INSERT INTO account VALUES (1, 100), (2, 50)");
+  Engine.set_now e (d "2020-01-05");
+  ignore (Stratum.exec_sql e "UPDATE account SET balance = 120 WHERE id = 1");
+  Engine.set_now e (d "2020-01-09");
+  ignore (Stratum.exec_sql e "DELETE FROM account WHERE id = 2");
+  Engine.set_now e (d "2020-01-10");
+  e
+
+let test_insert_stamps () =
+  let e = setup_tt () in
+  let rs =
+    run e
+      "NONSEQUENCED TRANSACTIONTIME SELECT id, balance, tt_begin, tt_end \
+       FROM account ORDER BY id, tt_begin"
+  in
+  check_rows "full transaction history"
+    [
+      [ "1"; "100"; "2020-01-01"; "2020-01-05" ];
+      [ "1"; "120"; "2020-01-05"; "9999-12-31" ];
+      [ "2"; "50"; "2020-01-01"; "2020-01-09" ];
+    ]
+    (rows_of rs)
+
+let test_current_reads () =
+  let e = setup_tt () in
+  check_rows "current state"
+    [ [ "1"; "120" ] ]
+    (rows_of (run e "SELECT id, balance FROM account ORDER BY id"))
+
+let test_asof_reads () =
+  let e = setup_tt () in
+  check_rows "as of Jan 2"
+    [ [ "1"; "100" ]; [ "2"; "50" ] ]
+    (rows_of
+       (run e
+          "TRANSACTIONTIME AS OF DATE '2020-01-02' SELECT id, balance FROM \
+           account ORDER BY id"));
+  check_rows "as of Jan 6 (after the update, before the delete)"
+    [ [ "1"; "120" ]; [ "2"; "50" ] ]
+    (rows_of
+       (run e
+          "TRANSACTIONTIME AS OF DATE '2020-01-06' SELECT id, balance FROM \
+           account ORDER BY id"));
+  check_rows "as of before creation" []
+    (rows_of
+       (run e
+          "TRANSACTIONTIME AS OF DATE '2019-12-01' SELECT id FROM account"))
+
+let test_tt_write_protection () =
+  let e = setup_tt () in
+  (match
+     Engine.exec e "INSERT INTO account (id, balance, tt_begin) VALUES (3, \
+                    1, DATE '2000-01-01')"
+   with
+  | exception Eval.Sql_error _ -> ()
+  | _ -> Alcotest.fail "writing tt_begin must be rejected");
+  match Engine.exec e "UPDATE account SET tt_end = DATE '2000-01-01'" with
+  | exception Eval.Sql_error _ -> ()
+  | _ -> Alcotest.fail "writing tt_end must be rejected"
+
+let test_same_day_update_in_place () =
+  let e = Engine.create ~now:(d "2020-01-01") () in
+  Stratum.install e;
+  ignore
+    (Stratum.exec_sql e "CREATE TABLE t (x INTEGER) WITH TRANSACTIONTIME");
+  ignore (Stratum.exec_sql e "INSERT INTO t VALUES (1)");
+  ignore (Stratum.exec_sql e "UPDATE t SET x = 2");
+  let rs =
+    run e "NONSEQUENCED TRANSACTIONTIME SELECT x, tt_begin, tt_end FROM t"
+  in
+  (* No zero-length transaction period is recorded. *)
+  check_rows "rewritten in place"
+    [ [ "2"; "2020-01-01"; "9999-12-31" ] ]
+    (rows_of rs)
+
+(* Bitemporal: valid time under user control, transaction time under
+   system control, composed. *)
+let setup_bitemporal () =
+  let e = Engine.create ~now:(d "2020-02-01") () in
+  Stratum.install e;
+  ignore
+    (Stratum.exec_sql e
+       "CREATE TABLE rate (name VARCHAR(10), pct DOUBLE) WITH VALIDTIME AND \
+        TRANSACTIONTIME");
+  (* Recorded on Feb 1: the rate is 5% from Jan 1. *)
+  ignore
+    (Stratum.exec_sql e
+       "INSERT INTO rate (name, pct, begin_time, end_time) VALUES ('base', \
+        5.0, DATE '2020-01-01', DATE '9999-12-31')");
+  (* Recorded on Mar 1: a retroactive correction — 6% from Feb 15 on. *)
+  Engine.set_now e (d "2020-03-01");
+  ignore
+    (Stratum.sequenced_update e
+       ~context:
+         (Some
+            ( Sqlast.Ast.lit_date (d "2020-02-15"),
+              Sqlast.Ast.lit_date Sqldb.Date.forever ))
+       "rate"
+       [ ("pct", Sqlast.Ast.Lit (Value.Float 6.0)) ]
+       (Some (Sqlparse.Parser.parse_expr_string "name = 'base'")));
+  e
+
+let test_bitemporal_current () =
+  let e = setup_bitemporal () in
+  (* Today (Mar 1, vt-current, tt-current): the corrected 6%. *)
+  check_rows "current rate" [ [ "6.0" ] ]
+    (rows_of (run e "SELECT pct FROM rate"))
+
+let test_bitemporal_asof () =
+  let e = setup_bitemporal () in
+  (* What did the database say on Feb 20 about the rate valid on Feb 20?
+     The correction had not been recorded yet: 5%. *)
+  check_rows "as recorded in February"
+    [ [ "5.0"; "2020-02-20"; "2020-02-21" ] ]
+    (rows_of
+       (run e
+          "VALIDTIME [DATE '2020-02-20', DATE '2020-02-21') TRANSACTIONTIME \
+           AS OF DATE '2020-02-20' SELECT pct FROM rate"))
+
+let test_bitemporal_sequenced_now () =
+  let e = setup_bitemporal () in
+  (* The current best knowledge of the whole valid-time history. *)
+  let rs =
+    Stratum.coalesce_result
+      (run e "VALIDTIME SELECT pct FROM rate WHERE name = 'base'")
+  in
+  check_rows "corrected history"
+    [
+      [ "5.0"; "2020-01-01"; "2020-02-15" ];
+      [ "6.0"; "2020-02-15"; "9999-12-31" ];
+    ]
+    (List.sort compare (rows_of rs))
+
+let test_bitemporal_via_routine () =
+  let e = setup_bitemporal () in
+  ignore
+    (Stratum.exec_sql e
+       "CREATE FUNCTION rate_of (who VARCHAR(10)) RETURNS DOUBLE BEGIN \
+        RETURN (SELECT pct FROM rate WHERE name = who); END");
+  (* The routine inherits both dimensions from the invocation context. *)
+  check_rows "routine, tt-current" [ [ "6.0" ] ]
+    (rows_of (run e "SELECT DISTINCT rate_of('base') FROM rate"));
+  check_rows "routine, as of February"
+    [ [ "5.0" ] ]
+    (rows_of
+       (run e
+          "TRANSACTIONTIME AS OF DATE '2020-02-20' SELECT DISTINCT \
+           rate_of('base') FROM rate"))
+
+let suite =
+  [
+    ( "transaction-time",
+      [
+        Alcotest.test_case "inserts are stamped" `Quick test_insert_stamps;
+        Alcotest.test_case "current reads" `Quick test_current_reads;
+        Alcotest.test_case "AS OF reads" `Quick test_asof_reads;
+        Alcotest.test_case "tt columns are write-protected" `Quick
+          test_tt_write_protection;
+        Alcotest.test_case "same-day update in place" `Quick
+          test_same_day_update_in_place;
+        Alcotest.test_case "bitemporal current" `Quick test_bitemporal_current;
+        Alcotest.test_case "bitemporal AS OF" `Quick test_bitemporal_asof;
+        Alcotest.test_case "bitemporal sequenced" `Quick
+          test_bitemporal_sequenced_now;
+        Alcotest.test_case "bitemporal through a routine" `Quick
+          test_bitemporal_via_routine;
+      ] );
+  ]

@@ -1,0 +1,67 @@
+(* Unit tests for Sqldb.Value: orderings, casts, literal rendering. *)
+
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let test_compare_total () =
+  Alcotest.(check bool) "null first" true
+    (Value.compare_total Value.Null (v_int 0) < 0);
+  Alcotest.(check bool) "mixed numerics" true
+    (Value.compare_total (v_int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "int float equal" true
+    (Value.compare_total (v_int 2) (Value.Float 2.0) = 0);
+  Alcotest.(check bool) "strings" true
+    (Value.compare_total (v_str "abc") (v_str "abd") < 0)
+
+let test_compare_sql () =
+  Alcotest.(check (option int)) "null is unknown" None
+    (Value.compare_sql Value.Null (v_int 1));
+  Alcotest.(check (option int)) "both null unknown" None
+    (Value.compare_sql Value.Null Value.Null);
+  Alcotest.(check (option int)) "ordinary" (Some 0)
+    (Value.compare_sql (v_int 3) (v_int 3))
+
+let test_cast () =
+  Alcotest.(check string) "int->string" "42"
+    (Value.to_string (Value.cast ~ty:Value.Tstring (v_int 42)));
+  (match Value.cast ~ty:Value.Tint (v_str " 17 ") with
+  | Value.Int 17 -> ()
+  | v -> Alcotest.failf "expected 17, got %s" (Value.to_string v));
+  (match Value.cast ~ty:Value.Tdate (v_str "2010-05-01") with
+  | Value.Date d ->
+      Alcotest.(check string) "str->date" "2010-05-01" (Date.to_string d)
+  | v -> Alcotest.failf "expected a date, got %s" (Value.to_string v));
+  Alcotest.(check bool) "null casts to null" true
+    (Value.is_null (Value.cast ~ty:Value.Tint Value.Null));
+  Alcotest.check_raises "bad cast raises"
+    (Value.Type_error "cannot cast \"xyz\" to INTEGER") (fun () ->
+      ignore (Value.cast ~ty:Value.Tint (v_str "xyz")))
+
+let test_literals () =
+  Alcotest.(check string) "string quoted" "'O''Brien'"
+    (Value.to_literal (v_str "O'Brien"));
+  Alcotest.(check string) "date literal" "DATE '2010-01-01'"
+    (Value.to_literal (Value.Date (Date.of_ymd ~y:2010 ~m:1 ~d:1)));
+  Alcotest.(check string) "null" "NULL" (Value.to_literal Value.Null);
+  Alcotest.(check string) "bool" "TRUE" (Value.to_literal (Value.Bool true))
+
+let test_coercions () =
+  Alcotest.(check int) "to_int of float" 3 (Value.to_int_exn (Value.Float 3.7));
+  Alcotest.check_raises "to_int of string raises"
+    (Value.Type_error "expected an integer, got abc") (fun () ->
+      ignore (Value.to_int_exn (v_str "abc")))
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "total order" `Quick test_compare_total;
+        Alcotest.test_case "sql comparison" `Quick test_compare_sql;
+        Alcotest.test_case "casts" `Quick test_cast;
+        Alcotest.test_case "literal rendering" `Quick test_literals;
+        Alcotest.test_case "coercions" `Quick test_coercions;
+      ] );
+  ]
