@@ -34,6 +34,7 @@ module Value = Sqldb.Value
 module Date = Sqldb.Date
 
 type table_stats = {
+  row_count : int;  (* total stored version rows (a full scan's cost) *)
   rows_in_context : int;  (* version rows overlapping the context *)
   event_points : int;  (* distinct begin/end instants inside the context *)
   avg_valid : float;  (* average rows valid at an instant of the context *)
@@ -41,11 +42,12 @@ type table_stats = {
 
 let table_stats cat ~(context : Period.t) tname : table_stats =
   match Sqldb.Database.find_table cat.Catalog.db tname with
-  | None -> { rows_in_context = 0; event_points = 0; avg_valid = 0.0 }
+  | None -> { row_count = 0; rows_in_context = 0; event_points = 0; avg_valid = 0.0 }
   | Some t ->
       let schema = Table.schema t in
       if not schema.Schema.temporal then
         {
+          row_count = Table.row_count t;
           rows_in_context = Table.row_count t;
           event_points = 0;
           avg_valid = float_of_int (Table.row_count t);
@@ -69,6 +71,7 @@ let table_stats cat ~(context : Period.t) tname : table_stats =
             | None -> ())
           t;
         {
+          row_count = Table.row_count t;
           rows_in_context = !rows;
           event_points = Hashtbl.length points;
           avg_valid =
@@ -90,6 +93,16 @@ let call_overhead = 30.0  (* routine invocation: env setup, body walk *)
 let cp_overhead = 4.0  (* per constant period: slice bookkeeping *)
 let perst_stmt_overhead = 25.0  (* var tables, splicing per statement *)
 let cursor_quadratic = 1.5  (* OFFSET-based fetch: per row pair *)
+
+(* Cost of one period-overlap scan of a temporal table that selects
+   [matching] rows.  With the interval index
+   ({!Sqleval.Catalog.options.temporal_index}) the scan is
+   O(log n + k): a binary search plus the matching rows.  Without it
+   every stored version row is visited, O(n). *)
+let overlap_scan_cost ~indexed (s : table_stats) (matching : float) =
+  if indexed then
+    (Float.log2 (float_of_int (max 2 s.row_count)) +. matching) *. scan_unit
+  else float_of_int s.row_count *. scan_unit
 
 let estimate (e : Engine.t) ~(context : Period.t)
     (ts : Sqlast.Ast.temporal_stmt) : estimate =
@@ -128,12 +141,22 @@ let estimate (e : Engine.t) ~(context : Period.t)
     max 1 (all_points + 1)
   in
   let sum f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l in
-  let outer_scan = sum (fun t -> (stats t).avg_valid *. scan_unit) outer_tables in
+  let indexed = cat.Catalog.options.Catalog.temporal_index in
+  (* Per-instant scans select avg_valid rows; whole-context (PERST)
+     scans select every version row overlapping the context. *)
+  let outer_scan =
+    sum (fun t -> let s = stats t in overlap_scan_cost ~indexed s s.avg_valid)
+      outer_tables
+  in
   let routine_scan =
-    sum (fun t -> (stats t).avg_valid *. scan_unit) routine_tables
+    sum (fun t -> let s = stats t in overlap_scan_cost ~indexed s s.avg_valid)
+      routine_tables
   in
   let routine_rows =
-    sum (fun t -> float_of_int (stats t).rows_in_context *. scan_unit)
+    sum
+      (fun t ->
+        let s = stats t in
+        overlap_scan_cost ~indexed s (float_of_int s.rows_in_context))
       routine_tables
   in
   (* How many rows drive a routine call per evaluation: the smallest

@@ -10,6 +10,7 @@
     model's terms and the calibrated work units. *)
 
 type table_stats = {
+  row_count : int;  (** total stored version rows (a full scan's cost) *)
   rows_in_context : int;
   event_points : int;
   avg_valid : float;  (** average rows valid at an instant of the context *)

@@ -2,12 +2,22 @@
    Views and stored routines carry SQL ASTs, so their registries live one
    layer up, in the engine (lib/sqleval).  Names are case-insensitive. *)
 
+(* [version] counts changes to the *visible schema* of the database
+   (table creation and removal) and is the storage half of the stratum's
+   plan-cache invalidation token.  Re-creating a temporary table with an
+   unchanged schema — the per-execution churn of the stratum's own
+   taupsm_ts/taupsm_cp scratch tables — deliberately does not bump it,
+   so cached transformed plans survive their own execution. *)
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   temp_tables : (string, Table.t) Hashtbl.t;
+  mutable version : int;
 }
 
-let create () = { tables = Hashtbl.create 16; temp_tables = Hashtbl.create 16 }
+let create () =
+  { tables = Hashtbl.create 16; temp_tables = Hashtbl.create 16; version = 0 }
+
+let version db = db.version
 
 let key = String.lowercase_ascii
 
@@ -28,19 +38,38 @@ let mem db name = find_table db name <> None
 let add_table db table =
   let k = key (Table.name table) in
   if Hashtbl.mem db.tables k then raise (Duplicate_table (Table.name table));
+  db.version <- db.version + 1;
   Hashtbl.replace db.tables k table
 
-(* Temporary tables shadow base tables and may be re-created freely. *)
+(* Temporary tables shadow base tables and may be re-created freely.
+   The version bumps only when the visible schema under that name
+   actually changes (see the [version] comment above). *)
 let add_temp_table db table =
-  Hashtbl.replace db.temp_tables (key (Table.name table)) table
+  let k = key (Table.name table) in
+  let visible_schema =
+    match Hashtbl.find_opt db.temp_tables k with
+    | Some t -> Some (Table.schema t)
+    | None -> Option.map Table.schema (Hashtbl.find_opt db.tables k)
+  in
+  if visible_schema <> Some (Table.schema table) then
+    db.version <- db.version + 1;
+  Hashtbl.replace db.temp_tables k table
 
 let drop_table db name =
   let k = key name in
-  if Hashtbl.mem db.temp_tables k then Hashtbl.remove db.temp_tables k
-  else if Hashtbl.mem db.tables k then Hashtbl.remove db.tables k
+  if Hashtbl.mem db.temp_tables k then begin
+    db.version <- db.version + 1;
+    Hashtbl.remove db.temp_tables k
+  end
+  else if Hashtbl.mem db.tables k then begin
+    db.version <- db.version + 1;
+    Hashtbl.remove db.tables k
+  end
   else raise (No_such_table name)
 
-let drop_temp_tables db = Hashtbl.reset db.temp_tables
+let drop_temp_tables db =
+  if Hashtbl.length db.temp_tables > 0 then db.version <- db.version + 1;
+  Hashtbl.reset db.temp_tables
 
 let table_names db =
   Hashtbl.fold (fun _ t acc -> Table.name t :: acc) db.tables []

@@ -3,9 +3,22 @@
 
 type row = Value.t array
 
-type t = { schema : Schema.t; rows : row Vec.t }
+(* [version] counts mutations (insert / delete / update / clear): any
+   cached derived structure over the rows — notably the lazily-built
+   interval indexes in [indexes] — is valid only for the version at
+   which it was built.  [indexes] maps a (begin column, end column)
+   index pair to its interval index and the version it reflects. *)
+type t = {
+  schema : Schema.t;
+  rows : row Vec.t;
+  mutable version : int;
+  indexes : (int * int, int * row Interval_index.t) Hashtbl.t;
+}
 
-let create schema = { schema; rows = Vec.create () }
+let create schema =
+  { schema; rows = Vec.create (); version = 0; indexes = Hashtbl.create 2 }
+
+let touch t = t.version <- t.version + 1
 
 let of_rows schema rows =
   let t = create schema in
@@ -25,6 +38,7 @@ let check_row t (r : row) =
 
 let insert t r =
   check_row t r;
+  touch t;
   Vec.push t.rows r
 
 let iter f t = Vec.iter f t.rows
@@ -34,12 +48,14 @@ let to_list t = Vec.to_list t.rows
 (* Delete rows satisfying [p]; returns the number deleted. *)
 let delete_where p t =
   let before = Vec.length t.rows in
+  touch t;
   Vec.filter_in_place (fun r -> not (p r)) t.rows;
   before - Vec.length t.rows
 
 (* Update rows satisfying [p] with [f]; returns the number updated. *)
 let update_where p f t =
   let n = ref 0 in
+  touch t;
   Vec.map_in_place
     (fun r ->
       if p r then begin
@@ -50,7 +66,9 @@ let update_where p f t =
     t.rows;
   !n
 
-let clear t = Vec.clear t.rows
+let clear t =
+  touch t;
+  Vec.clear t.rows
 
 let get_value t r cname = r.(Schema.column_index_exn t.schema cname)
 
@@ -67,6 +85,42 @@ let copy t =
   let t' = create t.schema in
   iter (fun r -> Vec.push t'.rows (Array.copy r)) t;
   t'
+
+(* ------------------------------------------------------------------ *)
+(* Interval-indexed period-overlap scans                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The interval index over the (bi, ei) date column pair, built lazily
+   and rebuilt whenever the table has been mutated since. *)
+let interval_index t ~bi ~ei =
+  match Hashtbl.find_opt t.indexes (bi, ei) with
+  | Some (v, idx) when v = t.version -> idx
+  | _ ->
+      let snapshot = Array.make (Vec.length t.rows) [||] in
+      Vec.iteri (fun i r -> snapshot.(i) <- r) t.rows;
+      let extract (r : row) =
+        match (r.(bi), r.(ei)) with
+        | Value.Date b, Value.Date e -> Some (b, e)
+        | _ -> None
+      in
+      let idx = Interval_index.build ~extract snapshot in
+      Hashtbl.replace t.indexes (bi, ei) (t.version, idx);
+      idx
+
+(* Rows whose [bi]/[ei] period overlaps [begin_, end_) under the
+   half-open test (begin < end_ AND end > begin_), plus any rows whose
+   timestamp columns are not dates — a superset safe for exact
+   re-filtering — in insertion order.  O(log n + k) per query against
+   the cached index. *)
+let overlapping t ~bi ~ei ~begin_ ~end_ =
+  Interval_index.overlapping (interval_index t ~bi ~ei) ~begin_ ~end_
+
+(* Rows whose (bi, ei) columns are not both dates.  When zero, every
+   query result of {!overlapping} satisfies the overlap test exactly
+   (no unchecked residuals), so callers may treat the window bounds as
+   already-enforced predicates. *)
+let overlap_residuals t ~bi ~ei =
+  Interval_index.residual_count (interval_index t ~bi ~ei)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@ %d row(s)@]" Schema.pp t.schema (row_count t)

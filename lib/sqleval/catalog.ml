@@ -19,6 +19,17 @@ and t = {
   routines : (string, routine_kind * Sqlast.Ast.routine) Hashtbl.t;
   native_table_funs : (string, native_table_fun) Hashtbl.t;
   options : options;
+  mutable generation : int;
+      (* counts *semantic* changes to views and routines; together with
+         {!Sqldb.Database.version} it forms the stratum's plan-cache
+         invalidation token.  Re-registering an identical definition —
+         e.g. the MAX plan re-creating its own max_ routines on every
+         execution — does not bump it. *)
+  plan_cache :
+    (string * Sqlast.Ast.temporal_stmt, (int * int) * Sqlast.Ast.stmt list)
+    Hashtbl.t;
+      (* transformed-plan cache, written and read by the stratum:
+         (strategy tag, temporal statement) -> (validity token, plan) *)
 }
 
 (* Evaluator switches, exposed for ablation experiments. *)
@@ -27,12 +38,24 @@ and options = {
   mutable memoize_table_functions : bool;
       (* per-statement memoization of table-function results — the
          mechanism behind PERST's one-call-per-distinct-argument cost *)
+  mutable temporal_index : bool;
+      (* interval-indexed period-overlap scans of temporal tables:
+         O(log n + k) stabbing queries instead of full scans *)
+  mutable plan_caching : bool;
+      (* stratum-level caching of transformed plans, keyed by
+         (statement, strategy) and invalidated on DDL *)
 }
 
 exception No_such_routine of string
 exception Duplicate_routine of string
 
-let default_options () = { hash_joins = true; memoize_table_functions = true }
+let default_options () =
+  {
+    hash_joins = true;
+    memoize_table_functions = true;
+    temporal_index = true;
+    plan_caching = true;
+  }
 
 let create () =
   {
@@ -41,17 +64,26 @@ let create () =
     routines = Hashtbl.create 16;
     native_table_funs = Hashtbl.create 4;
     options = default_options ();
+    generation = 0;
+    plan_cache = Hashtbl.create 16;
   }
 
 let key = String.lowercase_ascii
 
-let add_view cat name q = Hashtbl.replace cat.views (key name) q
+let add_view cat name q =
+  let k = key name in
+  if Hashtbl.find_opt cat.views k <> Some q then
+    cat.generation <- cat.generation + 1;
+  Hashtbl.replace cat.views k q
+
 let find_view cat name = Hashtbl.find_opt cat.views (key name)
 
 let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
   let k = key r.Sqlast.Ast.r_name in
   if (not replace) && Hashtbl.mem cat.routines k then
     raise (Duplicate_routine r.Sqlast.Ast.r_name);
+  if Hashtbl.find_opt cat.routines k <> Some (kind, r) then
+    cat.generation <- cat.generation + 1;
   Hashtbl.replace cat.routines k (kind, r)
 
 let find_routine cat name = Hashtbl.find_opt cat.routines (key name)
@@ -80,8 +112,29 @@ let add_native_table_fun cat name ntf =
 let find_native_table_fun cat name =
   Hashtbl.find_opt cat.native_table_funs (key name)
 
+(* ------------------------------------------------------------------ *)
+(* Transformed-plan cache (read and written by the stratum)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Validity token: a cached plan holds only as long as no view, routine
+   or table definition has changed since it was transformed. *)
+let plan_token cat = (cat.generation, Sqldb.Database.version cat.db)
+
+let find_plan cat key =
+  if not cat.options.plan_caching then None
+  else
+    match Hashtbl.find_opt cat.plan_cache key with
+    | Some (token, plan) when token = plan_token cat -> Some plan
+    | _ -> None
+
+let store_plan cat key plan =
+  if cat.options.plan_caching then
+    Hashtbl.replace cat.plan_cache key (plan_token cat, plan)
+
 (* Deep copy: storage is copied; views/routines (immutable ASTs) and
-   natives (parameterized over the catalog) are shared. *)
+   natives (parameterized over the catalog) are shared.  The plan cache
+   starts empty: its validity token is tied to this catalog's own
+   version counters. *)
 let copy cat =
   {
     db = Sqldb.Database.copy cat.db;
@@ -89,4 +142,6 @@ let copy cat =
     routines = Hashtbl.copy cat.routines;
     native_table_funs = Hashtbl.copy cat.native_table_funs;
     options = { cat.options with hash_joins = cat.options.hash_joins };
+    generation = cat.generation;
+    plan_cache = Hashtbl.create 16;
   }

@@ -29,6 +29,18 @@ type binding = {
   mutable b_row : Value.t array;
 }
 
+(* A base-table FROM item.  Keeping the table handle (rather than an
+   eagerly materialized row list) lets the join loop route period-overlap
+   conjuncts through the table's interval index; [sc_rows] is the
+   conventional transaction-time-filtered full scan, forced only when no
+   index path applies, and [sc_tt_filter] is the exact transaction-time
+   predicate re-applied to index candidates. *)
+type scan = {
+  sc_table : Table.t;
+  sc_rows : Value.t array list Lazy.t;
+  sc_tt_filter : (Value.t array -> bool) option;
+}
+
 type cursor_state = {
   c_query : query;
   mutable c_rows : Result_set.t option;  (* Some once opened *)
@@ -532,6 +544,7 @@ and eval_table_ref env (tr : table_ref) :
     string
     * string array
     * [ `Rows of Value.t array list
+      | `Scan of scan
       | `Lateral of expr list * string
       | `Lateral_sub of query ]
     =
@@ -562,28 +575,45 @@ and eval_table_ref env (tr : table_ref) :
                  (fun c -> String.lowercase_ascii c.Schema.col_name)
                  schema.Schema.columns)
           in
-          let rows = Table.to_list t in
-          (* Transaction-time filtering is system-enforced at the scan. *)
-          let rows =
-            if not schema.Schema.transaction then rows
+          (* Transaction-time filtering is system-enforced at the scan.
+             When the interval index is enabled, the AS OF / CURRENT
+             filters become stabbing queries on the (tt_begin, tt_end)
+             pair; candidates are still re-checked by the exact
+             predicate, so results match the filtered full scan. *)
+          let tt_filter =
+            if not schema.Schema.transaction then None
             else
               let bi = Schema.tt_begin_index schema
               and ei = Schema.tt_end_index schema in
               match env.tt_mode with
-              | `All -> rows
+              | `All -> None
               | `Current ->
-                  List.filter
+                  Some
                     (fun (r : Value.t array) ->
                       Value.to_date_exn r.(ei) = Date.forever)
-                    rows
               | `Asof d ->
-                  List.filter
+                  Some
                     (fun (r : Value.t array) ->
                       Value.to_date_exn r.(bi) <= d
                       && d < Value.to_date_exn r.(ei))
-                    rows
           in
-          (alias, cols, `Rows rows)
+          let sc_rows =
+            lazy
+              (match tt_filter with
+              | None -> Table.to_list t
+              | Some p ->
+                  if env.cat.Catalog.options.Catalog.temporal_index then
+                    let bi = Schema.tt_begin_index schema
+                    and ei = Schema.tt_end_index schema in
+                    let begin_, end_ =
+                      match env.tt_mode with
+                      | `Asof d -> (d, d + 1)
+                      | _ -> (Date.forever - 1, max_int)
+                    in
+                    List.filter p (Table.overlapping t ~bi ~ei ~begin_ ~end_)
+                  else List.filter p (Table.to_list t))
+          in
+          (alias, cols, `Scan { sc_table = t; sc_rows; sc_tt_filter = tt_filter })
       | None -> (
           match Catalog.find_view env.cat name with
           | Some q -> try_materialize alias q
@@ -801,32 +831,36 @@ and eval_select env (s : select) : Result_set.t =
       let cheap, costly = List.partition (fun c -> not (has_fun_call c)) cs in
       level_conjuncts.(i) <- cheap @ costly)
     level_conjuncts;
+  (* Which (lowercase) column of source [i] does [e] name, if any?  An
+     unqualified column must belong to source i and no other source. *)
+  let col_of_source i =
+    let b = bindings_arr.(i) in
+    function
+    | Col (Some q, c) when String.lowercase_ascii q = b.b_alias ->
+        let lc = String.lowercase_ascii c in
+        if Array.exists (fun col -> col = lc) b.b_cols then Some lc else None
+    | Col (None, c) ->
+        let lc = String.lowercase_ascii c in
+        if
+          Array.exists (fun col -> col = lc) b.b_cols
+          && not
+               (List.exists
+                  (fun b' ->
+                    b'.b_alias <> b.b_alias
+                    && Array.exists (fun col -> col = lc) b'.b_cols)
+                  bindings)
+        then Some lc
+        else None
+    | _ -> None
+  in
+  let bound_before i e =
+    List.for_all (fun lvl -> lvl < i) (expr_aliases [] e)
+  in
   (* Hash-join detection: at level i, a conjunct of the form
      col_of_source_i = expr_bound_earlier lets us index source i. *)
   let find_hash_key i =
-    let b = bindings_arr.(i) in
-    let col_of_i = function
-      | Col (Some q, c) when String.lowercase_ascii q = b.b_alias ->
-          let lc = String.lowercase_ascii c in
-          if Array.exists (fun col -> col = lc) b.b_cols then Some lc else None
-      | Col (None, c) ->
-          let lc = String.lowercase_ascii c in
-          (* Unqualified: must belong to source i and no earlier source. *)
-          if
-            Array.exists (fun col -> col = lc) b.b_cols
-            && not
-                 (List.exists
-                    (fun b' ->
-                      b'.b_alias <> b.b_alias
-                      && Array.exists (fun col -> col = lc) b'.b_cols)
-                    bindings)
-          then Some lc
-          else None
-      | _ -> None
-    in
-    let bound_elsewhere e =
-      List.for_all (fun lvl -> lvl < i) (expr_aliases [] e)
-    in
+    let col_of_i = col_of_source i in
+    let bound_elsewhere = bound_before i in
     let rec scan = function
       | [] -> None
       | c :: rest -> (
@@ -867,6 +901,129 @@ and eval_select env (s : select) : Result_set.t =
           rows;
         hash_indexes.(i) <- Some h;
         h
+  in
+  (* Period-overlap scan detection: at level i over a temporal base
+     table, range conjuncts on begin_time/end_time whose other side is
+     bound earlier describe a window [l, u) that every surviving row
+     must overlap; the table's interval index then yields the candidate
+     set in O(log n + k) instead of a full scan.  The conjuncts are
+     never marked satisfied — every candidate is still checked exactly —
+     so the index only has to return a superset, which makes NULLs,
+     non-date timestamps and empty periods trivially correct. *)
+  let find_period_plan i =
+    let (_, _, src), left_on = sources_arr.(i) in
+    match src with
+    | `Scan sc when (Table.schema sc.sc_table).Schema.temporal ->
+        let schema = Table.schema sc.sc_table in
+        let which e =
+          match col_of_source i e with
+          | Some lc when lc = Schema.begin_time_col -> Some `Begin
+          | Some lc when lc = Schema.end_time_col -> Some `End
+          | _ -> None
+        in
+        (* A usable bound must be computable before source i is bound
+           and side-effect free (it is evaluated once per scan rather
+           than once per row). *)
+        let usable e = bound_before i e && not (has_fun_call e) in
+        (* Upper bounds u: begin_time < u.  Lower bounds l: end_time > l.
+           Each entry is (bound expr, inclusive, source conjunct, exact):
+           inclusive comparisons are widened by one day when evaluated;
+           [exact] marks conjuncts the window implies outright (every
+           comparison except Eq, whose other half the window cannot
+           carry), letting the scan skip their per-row re-check when the
+           index has no residual rows. *)
+        let ubs = ref [] and lbs = ref [] in
+        let consider c =
+          match c with
+          | Binop (op, x, y) -> (
+              match (which x, which y) with
+              | Some side, None when usable y -> (
+                  match (side, op) with
+                  | `Begin, Le -> ubs := (y, true, c, true) :: !ubs
+                  | `Begin, Eq -> ubs := (y, true, c, false) :: !ubs
+                  | `Begin, Lt -> ubs := (y, false, c, true) :: !ubs
+                  | `End, Ge -> lbs := (y, true, c, true) :: !lbs
+                  | `End, Eq -> lbs := (y, true, c, false) :: !lbs
+                  | `End, Gt -> lbs := (y, false, c, true) :: !lbs
+                  | _ -> ())
+              | None, Some side when usable x -> (
+                  match (side, op) with
+                  | `Begin, Ge -> ubs := (x, true, c, true) :: !ubs
+                  | `Begin, Eq -> ubs := (x, true, c, false) :: !ubs
+                  | `Begin, Gt -> ubs := (x, false, c, true) :: !ubs
+                  | `End, Le -> lbs := (x, true, c, true) :: !lbs
+                  | `End, Eq -> lbs := (x, true, c, false) :: !lbs
+                  | `End, Lt -> lbs := (x, false, c, true) :: !lbs
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ()
+        in
+        let conjuncts =
+          match left_on with
+          | None -> level_conjuncts.(i)
+          | Some on ->
+              (* LEFT JOIN: matches are selected by the ON condition. *)
+              let rec split = function
+                | Binop (And, a, b) -> split a @ split b
+                | e -> [ e ]
+              in
+              split on
+        in
+        List.iter consider conjuncts;
+        if !ubs = [] && !lbs = [] then None
+        else
+          Some (sc, Schema.begin_index schema, Schema.end_index schema, !ubs, !lbs)
+    | _ -> None
+  in
+  let period_plans =
+    Array.init (max n 1) (fun i ->
+        if i < n && env.cat.Catalog.options.Catalog.temporal_index then
+          find_period_plan i
+        else None)
+  in
+  (* Run level i's period plan, if any: evaluate the bound expressions
+     (declining unless every one yields a DATE) and query the interval
+     index.  Candidates come back in scan order, so downstream results
+     are indistinguishable from a full scan.  The second component is
+     the conjuncts the window already enforces exactly (b < min u_i
+     implies every upper conjunct, e > max l_i every lower one) — valid
+     only when the index has no residual rows, since residuals are
+     returned unchecked. *)
+  let period_scan i =
+    match period_plans.(i) with
+    | None -> None
+    | Some (sc, bi, ei, ubs, lbs) -> (
+        let fold init pick adjust bounds =
+          List.fold_left
+            (fun acc (e, incl, _, _) ->
+              match acc with
+              | None -> None
+              | Some v -> (
+                  match eval_expr env e with
+                  | Value.Date d -> Some (pick v (adjust d incl))
+                  | _ -> None))
+            (Some init) bounds
+        in
+        let u = fold max_int min (fun d incl -> if incl then d + 1 else d) ubs in
+        let l = fold min_int max (fun d incl -> if incl then d - 1 else d) lbs in
+        match (l, u) with
+        | Some l, Some u ->
+            let cands =
+              Table.overlapping sc.sc_table ~bi ~ei ~begin_:l ~end_:u
+            in
+            let satisfied =
+              if Table.overlap_residuals sc.sc_table ~bi ~ei = 0 then
+                List.filter_map
+                  (fun (_, _, c, exact) -> if exact then Some c else None)
+                  (ubs @ lbs)
+              else []
+            in
+            Some
+              ( (match sc.sc_tt_filter with
+                | Some p -> List.filter p cands
+                | None -> cands),
+                satisfied )
+        | _ -> None)
   in
   (* Push the new frame for this SELECT. *)
   let saved_frames = env.frames in
@@ -913,6 +1070,7 @@ and eval_select env (s : select) : Result_set.t =
           let all_rows () =
             match src with
             | `Rows rows -> rows
+            | `Scan sc -> Lazy.force sc.sc_rows
             | `Lateral (args, fname) ->
                 let argv = List.map (eval_expr env) args in
                 if List.exists Value.is_null argv then []
@@ -925,6 +1083,13 @@ and eval_select env (s : select) : Result_set.t =
                  match, the right side is null-extended (WHERE-level
                  conjuncts then apply to the extended row). *)
               let matched = ref false in
+              (* The ON condition is evaluated whole, so the window's
+                 satisfied conjuncts cannot be elided here. *)
+              let rows =
+                match period_scan i with
+                | Some (cands, _) -> cands
+                | None -> all_rows ()
+              in
               List.iter
                 (fun row ->
                   b.b_row <- row;
@@ -936,7 +1101,7 @@ and eval_select env (s : select) : Result_set.t =
                         level_conjuncts.(i)
                     then extend (i + 1)
                   end)
-                (all_rows ());
+                rows;
               if not !matched then begin
                 b.b_row <- Array.make (Array.length b.b_cols) Value.Null;
                 if
@@ -946,30 +1111,42 @@ and eval_select env (s : select) : Result_set.t =
                 then extend (i + 1)
               end
           | None ->
-              (* [satisfied] is the conjunct already enforced by a hash
-                 lookup; lateral sources never use the hash path. *)
+              (* [satisfied] lists conjuncts already enforced by the
+                 access path — the hash lookup's equality, or the
+                 interval-index window's exact comparisons; lateral
+                 sources always scan. *)
               let candidate_rows, satisfied =
                 match src with
-                | `Rows rows when not env.cat.Catalog.options.Catalog.hash_joins
-                  ->
-                    (rows, None)
-                | `Rows rows -> (
-                    match hash_plans.(i) with
-                    | Some (col, probe, used) -> (
+                | `Lateral _ | `Lateral_sub _ -> (all_rows (), [])
+                | `Rows _ | `Scan _ -> (
+                    let hash_plan =
+                      if env.cat.Catalog.options.Catalog.hash_joins then
+                        hash_plans.(i)
+                      else None
+                    in
+                    match hash_plan with
+                    | Some (col, probe, used) ->
                         let k = eval_expr env probe in
-                        if Value.is_null k then ([], Some used)
+                        if Value.is_null k then ([], [ used ])
                         else
-                          ( (match Hashtbl.find_opt (get_index i col rows) k with
+                          ( (match
+                               Hashtbl.find_opt (get_index i col (all_rows ())) k
+                             with
                             | Some rs -> rs
                             | None -> []),
-                            Some used ))
-                    | None -> (rows, None))
-                | `Lateral _ | `Lateral_sub _ -> (all_rows (), None)
+                            [ used ] )
+                    | None -> (
+                        match period_scan i with
+                        | Some (cands, sat) -> (cands, sat)
+                        | None -> (all_rows (), [])))
               in
               let checks =
                 match satisfied with
-                | Some used -> List.filter (fun c -> c != used) level_conjuncts.(i)
-                | None -> level_conjuncts.(i)
+                | [] -> level_conjuncts.(i)
+                | sat ->
+                    List.filter
+                      (fun c -> not (List.memq c sat))
+                      level_conjuncts.(i)
               in
               List.iter
                 (fun row ->
