@@ -238,60 +238,99 @@ let gen_cmd =
 let explain_cmd =
   let query_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "q"; "query" ] ~docv:"QUERY"
           ~doc:"τPSM benchmark query id (q2, q2b, ..., q20).")
+  in
+  let stmt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"STATEMENT"
+          ~doc:
+            "A Temporal SQL/PSM statement to explain (alternative to \
+             $(b,--query)).")
   in
   let days_arg =
     Arg.(
       value & opt int 30
       & info [ "days" ] ~docv:"DAYS" ~doc:"Temporal-context length in days.")
   in
-  let run dataset seed qid days =
+  let strategy_opt_arg =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Explain only this slicing strategy ($(b,max) or $(b,perst)); \
+             default is both.")
+  in
+  let no_timings_arg =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:"Omit wall-clock figures (deterministic output).")
+  in
+  let run dataset empty seed qid stmt days strategy no_timings =
     handle_errors (fun () ->
-        let e = make_engine ~empty:false ~seed dataset in
-        let q = Queries.find qid in
-        let ctx_b = Sqldb.Date.of_ymd ~y:2010 ~m:6 ~d:1 in
-        let ctx = (ctx_b, Sqldb.Date.add_days ctx_b days) in
-        let sql = Queries.sequenced ~context:ctx q in
-        let ts = Sqlparse.Parser.parse_temporal_stmt sql in
-        let a =
-          Taupsm.Analysis.of_stmt (Engine.catalog e)
-            (Sqlparse.Parser.parse_stmt_string q.Queries.body)
+        let show_timings = not no_timings in
+        let e = make_engine ~empty ~seed dataset in
+        let print_report strat ts =
+          let rp = Taupsm.Observe.explain ?strategy:strat e ts in
+          print_string (Taupsm.Observe.report_to_string ~show_timings rp)
         in
-        Printf.printf "query %s — %s\n\n%s\n\n" q.Queries.id
-          q.Queries.construct q.Queries.body;
-        Printf.printf "temporal tables reached: %s\n"
-          (String.concat ", " (Taupsm.Analysis.temporal_tables_list a));
-        Printf.printf "routines reached: %s\n"
-          (String.concat ", " (Taupsm.Analysis.routines_list a));
-        Printf.printf "per-period cursors: %b\n"
-          a.Taupsm.Analysis.has_cursor_over_temporal;
-        let features =
-          Taupsm.Heuristic.features_of e ~db_size:dataset.Datasets.size ts
+        let explain_all ts =
+          match (strategy, ts.Sqlast.Ast.t_modifier) with
+          | Some s, _ -> print_report (Some s) ts
+          | None, Sqlast.Ast.Mod_sequenced _ ->
+              (* Both strategies, side by side, MAX first. *)
+              print_report (Some Stratum.Max) ts;
+              print_newline ();
+              print_report (Some Stratum.Perst) ts
+          | None, _ -> print_report None ts
         in
-        Printf.printf "PERST applicable: %b\n" features.Taupsm.Heuristic.perst_applicable;
-        Printf.printf "heuristic (§VII-F) chooses: %s\n"
-          (Stratum.strategy_to_string (Taupsm.Heuristic.choose features));
-        let count strategy =
-          match Stratum.exec_counting_calls ~strategy (Engine.copy e) ts with
-          | _, n -> Some n
-          | exception Taupsm.Perst_slicing.Perst_unsupported _ -> None
-        in
-        Printf.printf "routine invocations over %d day(s): MAX %s, PERST %s\n"
-          days
-          (match count Stratum.Max with Some n -> string_of_int n | None -> "n/a")
-          (match count Stratum.Perst with
-          | Some n -> string_of_int n
-          | None -> "n/a"))
+        match (qid, stmt) with
+        | Some qid, _ ->
+            let q = Queries.find qid in
+            let ctx_b = Sqldb.Date.of_ymd ~y:2010 ~m:6 ~d:1 in
+            let ctx = (ctx_b, Sqldb.Date.add_days ctx_b days) in
+            let sql = Queries.sequenced ~context:ctx q in
+            let ts = Sqlparse.Parser.parse_temporal_stmt sql in
+            let a =
+              Taupsm.Analysis.of_stmt (Engine.catalog e)
+                (Sqlparse.Parser.parse_stmt_string q.Queries.body)
+            in
+            Printf.printf "query %s — %s\n\n%s\n\n" q.Queries.id
+              q.Queries.construct q.Queries.body;
+            Printf.printf "temporal tables reached: %s\n"
+              (String.concat ", " (Taupsm.Analysis.temporal_tables_list a));
+            Printf.printf "routines reached: %s\n"
+              (String.concat ", " (Taupsm.Analysis.routines_list a));
+            Printf.printf "per-period cursors: %b\n"
+              a.Taupsm.Analysis.has_cursor_over_temporal;
+            let features =
+              Taupsm.Heuristic.features_of e ~db_size:dataset.Datasets.size ts
+            in
+            Printf.printf "PERST applicable: %b\n"
+              features.Taupsm.Heuristic.perst_applicable;
+            Printf.printf "heuristic (§VII-F) chooses: %s\n\n"
+              (Stratum.strategy_to_string (Taupsm.Heuristic.choose features));
+            explain_all ts
+        | None, Some stmt ->
+            explain_all (Sqlparse.Parser.parse_temporal_stmt stmt)
+        | None, None ->
+            raise (Eval.Sql_error "explain needs --query or a statement"))
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Analyze a benchmark query: reachability, heuristic choice, and \
-          invocation counts.")
-    Term.(const run $ dataset_arg $ seed_arg $ query_arg $ days_arg)
+         "Explain a temporal statement or benchmark query: transformed \
+          SQL/PSM, observed plan (index windows, cache behaviour), and \
+          cost-model estimates next to measured actuals.")
+    Term.(
+      const run $ dataset_arg $ empty_arg $ seed_arg $ query_arg $ stmt_arg
+      $ days_arg $ strategy_opt_arg $ no_timings_arg)
 
 let () =
   let doc = "Temporal SQL/PSM: the stratum of Snodgrass et al. (ICDE 2012)" in

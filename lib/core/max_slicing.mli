@@ -9,7 +9,13 @@
 
     MAX always applies — it accommodates the full PSM language — but
     invokes routines once per (constant period × candidate row), so its
-    cost grows with the temporal context (Figures 12/13). *)
+    cost grows with the temporal context (Figures 12/13).
+
+    Observability: with [Catalog.options.observe] on, each evaluation
+    of the constant-period native records [constant_periods.calls] and
+    [constant_periods.periods] (the slice count driving MAX's cost) and
+    a [constant-periods] event; routine-clone invocations show up as
+    [routine.calls] / [routine.seconds].  See DESIGN.md §7. *)
 
 exception Max_unsupported of string
 

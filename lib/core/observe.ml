@@ -1,0 +1,257 @@
+(* EXPLAIN for the temporal stratum: transform a statement, show the
+   conventional SQL/PSM it becomes and the access paths the evaluator
+   chooses, then execute it on a throwaway copy of the engine and put
+   the cost model's estimates next to the measured actuals.
+
+   Everything here runs against [Engine.copy], so EXPLAIN never mutates
+   the caller's data, plan cache, or trace. *)
+
+open Sqlast.Ast
+module Engine = Sqleval.Engine
+module Catalog = Sqleval.Catalog
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: a flat snapshot of the counters the bench JSON carries      *)
+(* ------------------------------------------------------------------ *)
+
+type metrics = {
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  scans_indexed : int;
+  scans_full : int;
+  scans_hash : int;
+  residual_fallbacks : int;
+  rows_probed : int;
+  rows_matched : int;
+  conjuncts_elided : int;
+  index_builds : int;
+  index_rebuilds : int;
+  routine_calls : int;
+  constant_period_calls : int;
+  constant_periods : int;
+}
+
+let metrics_of tr =
+  let c = Trace.get_count tr in
+  {
+    plan_cache_hits = c "plan_cache.hit";
+    plan_cache_misses = c "plan_cache.miss";
+    scans_indexed = c "scan.indexed";
+    scans_full = c "scan.full";
+    scans_hash = c "scan.hash";
+    residual_fallbacks = c "scan.residual_fallback";
+    rows_probed = c "rows.probed";
+    rows_matched = c "rows.matched";
+    conjuncts_elided = c "conjuncts.elided";
+    index_builds = c "index.build";
+    index_rebuilds = c "index.rebuild";
+    routine_calls = c "routine.calls";
+    constant_period_calls = c "constant_periods.calls";
+    constant_periods = c "constant_periods.periods";
+  }
+
+let plan_cache_hit_rate m =
+  let total = m.plan_cache_hits + m.plan_cache_misses in
+  if total = 0 then 0.0 else float_of_int m.plan_cache_hits /. float_of_int total
+
+(* One flat JSON object; keys are stable — the bench smoke test and
+   future cross-PR comparisons grep for them. *)
+let metrics_to_json m =
+  Printf.sprintf
+    "{\"plan_cache_hits\": %d, \"plan_cache_misses\": %d, \
+     \"plan_cache_hit_rate\": %.3f, \"scans_indexed\": %d, \
+     \"scans_full\": %d, \"scans_hash\": %d, \"residual_fallbacks\": %d, \
+     \"rows_probed\": %d, \"rows_matched\": %d, \"conjuncts_elided\": %d, \
+     \"index_builds\": %d, \"index_rebuilds\": %d, \"routine_calls\": %d, \
+     \"constant_period_calls\": %d, \"constant_periods\": %d}"
+    m.plan_cache_hits m.plan_cache_misses (plan_cache_hit_rate m)
+    m.scans_indexed m.scans_full m.scans_hash m.residual_fallbacks
+    m.rows_probed m.rows_matched m.conjuncts_elided m.index_builds
+    m.index_rebuilds m.routine_calls m.constant_period_calls
+    m.constant_periods
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Rows of int  (* a query; the row count of its result *)
+  | Affected of int
+  | Done
+  | Failed of string  (* transformation or execution raised *)
+
+type report = {
+  rp_strategy : Stratum.strategy option;
+      (* None for current/nonsequenced statements, which have exactly
+         one transformation *)
+  rp_strategy_source : [ `Requested | `Cost_model | `Not_applicable ];
+  rp_sql : string option;  (* transformed SQL/PSM; None when spliced natively *)
+  rp_estimate : Cost_model.estimate option;
+  rp_outcome : outcome;
+  rp_seconds : float;
+  rp_metrics : metrics;
+  rp_trace : Trace.t;
+}
+
+(* Sequenced INSERT/DELETE/UPDATE bypass the slicing transformations in
+   {!Stratum.exec} (valid-time splicing is done natively on storage). *)
+let spliced_natively ts =
+  match (ts.t_modifier, ts.t_stmt) with
+  | Mod_sequenced _, (Sinsert _ | Sdelete _ | Supdate _) -> true
+  | _ -> false
+
+let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =
+  let e = Engine.copy e in
+  let cat = Engine.catalog e in
+  cat.Catalog.options.Catalog.observe <- true;
+  let tr = Catalog.trace cat in
+  Trace.reset tr;
+  Stratum.install e;
+  let strategy, source =
+    match (strategy, ts.t_modifier) with
+    | _, (Mod_current | Mod_nonsequenced) -> (None, `Not_applicable)
+    | Some s, Mod_sequenced _ -> (Some s, `Requested)
+    | None, Mod_sequenced _ -> (
+        match Cost_model.choose_for e ts with
+        | s -> (Some s, `Cost_model)
+        | exception _ -> (Some Stratum.Max, `Cost_model))
+  in
+  let estimate =
+    match ts.t_modifier with
+    | Mod_sequenced _ -> (
+        match
+          Cost_model.estimate e ~context:(Cost_model.context_of_stmt e ts) ts
+        with
+        | est -> Some est
+        | exception _ -> None)
+    | _ -> None
+  in
+  let sql =
+    if spliced_natively ts then None
+    else
+      match Stratum.transform_to_sql ?strategy e ts with
+      | s -> Some s
+      | exception _ -> None
+  in
+  let t0 = Trace.now () in
+  let outcome =
+    match Trace.with_span tr "exec" (fun () -> Stratum.exec ?strategy e ts) with
+    | Eval.Rows rs -> Rows (List.length rs.RS.rows)
+    | Eval.Affected n -> Affected n
+    | Eval.Unit -> Done
+    | exception Stratum.Unsupported m -> Failed ("MAX unsupported: " ^ m)
+    | exception Perst_slicing.Perst_unsupported m ->
+        Failed ("PERST unsupported: " ^ m)
+    | exception Eval.Sql_error m -> Failed m
+  in
+  let seconds = Trace.now () -. t0 in
+  {
+    rp_strategy = strategy;
+    rp_strategy_source = source;
+    rp_sql = sql;
+    rp_estimate = estimate;
+    rp_outcome = outcome;
+    rp_seconds = seconds;
+    rp_metrics = metrics_of tr;
+    rp_trace = tr;
+  }
+
+let explain_sql ?strategy e sql =
+  explain ?strategy e (Sqlparse.Parser.parse_temporal_stmt sql)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Unique event details for [label], each with its occurrence count, in
+   first-occurrence order.  Plan-shaped events (join order, scan
+   windows) repeat once per evaluation; the dedupe keeps the report a
+   plan description rather than an execution log. *)
+let dedup_events tr label =
+  List.fold_left
+    (fun acc (ev : Trace.event) ->
+      if ev.Trace.ev_label <> label then acc
+      else
+        match List.assoc_opt ev.Trace.ev_detail acc with
+        | Some r ->
+            incr r;
+            acc
+        | None -> acc @ [ (ev.Trace.ev_detail, ref 1) ])
+    [] (Trace.events tr)
+
+let report_to_string ?(show_timings = true) (rp : report) : string =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let strategy_str =
+    match rp.rp_strategy with
+    | Some s ->
+        Printf.sprintf "strategy=%s%s"
+          (Stratum.strategy_to_string s)
+          (match rp.rp_strategy_source with
+          | `Requested -> ""
+          | `Cost_model -> " (chosen by cost model)"
+          | `Not_applicable -> "")
+    | None -> "strategy=n/a (single transformation)"
+  in
+  add "EXPLAIN %s" strategy_str;
+  (match rp.rp_sql with
+  | Some sql ->
+      add "-- transformed SQL/PSM --";
+      add "%s" sql
+  | None -> add "-- spliced natively on storage (no stratum rewriting) --");
+  add "-- plan --";
+  let m = rp.rp_metrics in
+  add "  plan cache: %d hit(s), %d miss(es)" m.plan_cache_hits
+    m.plan_cache_misses;
+  (match dedup_events rp.rp_trace "join" with
+  | [] -> ()
+  | joins ->
+      List.iter (fun (d, n) -> add "  join %s  (x%d)" d !n) joins);
+  (match dedup_events rp.rp_trace "scan" with
+  | [] -> ()
+  | scans ->
+      let shown, rest =
+        if List.length scans <= 12 then (scans, [])
+        else (List.filteri (fun i _ -> i < 12) scans,
+              List.filteri (fun i _ -> i >= 12) scans)
+      in
+      List.iter (fun (d, n) -> add "  scan %s  (x%d)" d !n) shown;
+      if rest <> [] then add "  ... %d more distinct scan(s)" (List.length rest));
+  (match dedup_events rp.rp_trace "index" with
+  | [] -> ()
+  | idx -> List.iter (fun (d, n) -> add "  index %s  (x%d)" d !n) idx);
+  add "  scans: %d indexed, %d full, %d hash, %d residual fallback(s)"
+    m.scans_indexed m.scans_full m.scans_hash m.residual_fallbacks;
+  add "  rows: %d probed, %d matched; %d conjunct check(s) elided"
+    m.rows_probed m.rows_matched m.conjuncts_elided;
+  add "-- cost model vs actuals --";
+  (match rp.rp_estimate with
+  | Some est ->
+      add "  estimated: MAX cost=%.0f, PERST cost=%s, constant periods=%d"
+        est.Cost_model.max_cost
+        (if est.Cost_model.perst_cost = infinity then "n/a"
+         else Printf.sprintf "%.0f" est.Cost_model.perst_cost)
+        est.Cost_model.n_cp
+  | None -> add "  estimated: n/a (not a sequenced statement)");
+  let outcome_str =
+    match rp.rp_outcome with
+    | Rows n -> Printf.sprintf "%d row(s)" n
+    | Affected n -> Printf.sprintf "%d row(s) affected" n
+    | Done -> "ok"
+    | Failed msg -> "FAILED: " ^ msg
+  in
+  if show_timings then
+    add "  actual:    %s in %s; %d routine call(s), %d constant period(s)"
+      outcome_str
+      (Trace.pp_seconds rp.rp_seconds)
+      m.routine_calls m.constant_periods
+  else
+    add "  actual:    %s; %d routine call(s), %d constant period(s)"
+      outcome_str m.routine_calls m.constant_periods;
+  add "-- trace --";
+  (* The plan section above already shows the events deduplicated. *)
+  Buffer.add_string buf
+    (Trace.summary_to_string ~show_timings ~with_events:false rp.rp_trace);
+  Buffer.contents buf

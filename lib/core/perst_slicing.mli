@@ -15,7 +15,14 @@
     in the context length — but its per-period cursor processing
     (auxiliary tables, OFFSET-based FETCH) is expensive, and the mapping
     is {e incomplete}: a non-nested FETCH (benchmark q17b) raises
-    {!Perst_unsupported}, exactly as in the paper. *)
+    {!Perst_unsupported}, exactly as in the paper.
+
+    Observability: with [Catalog.options.observe] on, the lateral
+    [TABLE(ps_f(...))] materializations are visible as [scan.lateral]
+    and [routine.calls] — "called only once" per distinct argument
+    tuple means the counter stays flat as the context grows, which is
+    how the {!Observe.explain} actuals expose PERST's advantage.  See
+    DESIGN.md §7. *)
 
 exception Perst_unsupported of string
 

@@ -65,7 +65,16 @@ let constant_periods_native : Catalog.native_table_fun =
                     [| Value.Date a; Value.Date b |] :: pairs rest
                 | [ _ ] | [] -> []
               in
-              { RS.cols = [ Names.begin_col; Names.end_col ]; rows = pairs pts }
+              let rows = pairs pts in
+              let obs = cat.Catalog.obs in
+              if Trace.enabled obs then begin
+                Trace.count obs "constant_periods.calls" 1;
+                Trace.count obs "constant_periods.periods" (List.length rows);
+                Trace.event obs "constant-periods"
+                  (Printf.sprintf "table=%s periods=%d" tname
+                     (List.length rows))
+              end;
+              { RS.cols = [ Names.begin_col; Names.end_col ]; rows }
             end
         | _ ->
             raise
@@ -100,20 +109,31 @@ let transform ?(strategy = Max) (e : Engine.t) (ts : temporal_stmt) : stmt list 
   match Catalog.find_plan cat key with
   | Some plan -> plan
   | None ->
+      let obs = Catalog.trace cat in
       let plan =
-        match ts.t_modifier with
-        | Mod_current -> Current.plan_statements (Current.transform cat ts.t_stmt)
-        | Mod_nonsequenced ->
-            Nonseq.plan_statements (Nonseq.transform cat ts.t_stmt)
-        | Mod_sequenced ctx -> (
-            match strategy with
-            | Max ->
-                Max_slicing.plan_statements
-                  (Max_slicing.transform cat ~context:ctx ts.t_stmt)
-            | Perst ->
-                Perst_slicing.plan_statements
-                  (Perst_slicing.transform cat ~context:ctx ts.t_stmt))
+        Trace.time obs "stratum.transform_seconds" (fun () ->
+            match ts.t_modifier with
+            | Mod_current ->
+                Current.plan_statements (Current.transform cat ts.t_stmt)
+            | Mod_nonsequenced ->
+                Nonseq.plan_statements (Nonseq.transform cat ts.t_stmt)
+            | Mod_sequenced ctx -> (
+                match strategy with
+                | Max ->
+                    Max_slicing.plan_statements
+                      (Max_slicing.transform cat ~context:ctx ts.t_stmt)
+                | Perst ->
+                    Perst_slicing.plan_statements
+                      (Perst_slicing.transform cat ~context:ctx ts.t_stmt)))
       in
+      if Trace.enabled obs then
+        Trace.event obs "transform"
+          (Printf.sprintf "%s -> %d stmt(s)"
+             (match ts.t_modifier with
+             | Mod_current -> "current"
+             | Mod_nonsequenced -> "nonsequenced"
+             | Mod_sequenced _ -> "sequenced/" ^ strategy_to_string strategy)
+             (List.length plan));
       Catalog.store_plan cat key plan;
       plan
 

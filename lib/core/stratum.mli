@@ -7,7 +7,15 @@
       temporal upward compatibility);
     - [VALIDTIME [bt, et)]: {e sequenced} semantics via {!Max_slicing}
       or {!Perst_slicing}, chosen explicitly or by {!Heuristic};
-    - [NONSEQUENCED VALIDTIME]: via {!Nonseq}. *)
+    - [NONSEQUENCED VALIDTIME]: via {!Nonseq}.
+
+    Sequenced transformations are cached per (strategy, statement) in
+    {!Sqleval.Catalog}'s plan cache and revalidated against the catalog
+    generation and database schema version.  When
+    [Catalog.options.observe] is set, the stratum records rewrite time
+    ([stratum.transform_seconds]), a [transform] event per rewrite, and
+    constant-period statistics into the engine's shared {!Trace.t};
+    {!Observe.explain} renders all of it as an EXPLAIN report. *)
 
 type strategy = Max | Perst
 
@@ -44,11 +52,20 @@ val tt_mode_of :
 val exec :
   ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->
   Sqleval.Eval.exec_result
+(** Transform (reusing a cached plan when its validity token still
+    holds) and execute.  [strategy] defaults to {!Heuristic}'s choice
+    for sequenced statements and is ignored for the others. *)
+
 val exec_sql :
   ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Eval.exec_result
+(** {!exec} on parsed text. *)
+
 val query : ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Result_set.t
+(** {!exec_sql} restricted to statements producing rows. *)
+
 val exec_script :
   ?strategy:strategy -> Sqleval.Engine.t -> string -> Sqleval.Eval.exec_result
+(** Execute [;]-separated temporal statements; the last result wins. *)
 
 val exec_counting_calls :
   ?strategy:strategy -> Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->

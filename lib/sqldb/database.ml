@@ -12,10 +12,24 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   temp_tables : (string, Table.t) Hashtbl.t;
   mutable version : int;
+  mutable obs : Trace.t;  (* propagated onto every table added here *)
 }
 
 let create () =
-  { tables = Hashtbl.create 16; temp_tables = Hashtbl.create 16; version = 0 }
+  {
+    tables = Hashtbl.create 16;
+    temp_tables = Hashtbl.create 16;
+    version = 0;
+    obs = Trace.null;
+  }
+
+(* Point this database — and every table it holds now or later — at
+   [obs].  The engine layer calls this once per catalog so storage-level
+   events (index builds) land in the same sink as evaluator events. *)
+let set_observe db obs =
+  db.obs <- obs;
+  Hashtbl.iter (fun _ t -> Table.set_observe t obs) db.tables;
+  Hashtbl.iter (fun _ t -> Table.set_observe t obs) db.temp_tables
 
 let version db = db.version
 
@@ -39,6 +53,7 @@ let add_table db table =
   let k = key (Table.name table) in
   if Hashtbl.mem db.tables k then raise (Duplicate_table (Table.name table));
   db.version <- db.version + 1;
+  Table.set_observe table db.obs;
   Hashtbl.replace db.tables k table
 
 (* Temporary tables shadow base tables and may be re-created freely.
@@ -53,6 +68,7 @@ let add_temp_table db table =
   in
   if visible_schema <> Some (Table.schema table) then
     db.version <- db.version + 1;
+  Table.set_observe table db.obs;
   Hashtbl.replace db.temp_tables k table
 
 let drop_table db name =

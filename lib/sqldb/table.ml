@@ -8,15 +8,27 @@ type row = Value.t array
    interval indexes in [indexes] — is valid only for the version at
    which it was built.  [indexes] maps a (begin column, end column)
    index pair to its interval index and the version it reflects. *)
+(* [obs] is the trace sink index maintenance reports into; tables start
+   on the shared null sink and are pointed at an engine's sink when
+   added to its database (see {!Database.set_observe}). *)
 type t = {
   schema : Schema.t;
   rows : row Vec.t;
   mutable version : int;
   indexes : (int * int, int * row Interval_index.t) Hashtbl.t;
+  mutable obs : Trace.t;
 }
 
 let create schema =
-  { schema; rows = Vec.create (); version = 0; indexes = Hashtbl.create 2 }
+  {
+    schema;
+    rows = Vec.create ();
+    version = 0;
+    indexes = Hashtbl.create 2;
+    obs = Trace.null;
+  }
+
+let set_observe t obs = t.obs <- obs
 
 let touch t = t.version <- t.version + 1
 
@@ -95,7 +107,7 @@ let copy t =
 let interval_index t ~bi ~ei =
   match Hashtbl.find_opt t.indexes (bi, ei) with
   | Some (v, idx) when v = t.version -> idx
-  | _ ->
+  | stale ->
       let snapshot = Array.make (Vec.length t.rows) [||] in
       Vec.iteri (fun i r -> snapshot.(i) <- r) t.rows;
       let extract (r : row) =
@@ -105,6 +117,17 @@ let interval_index t ~bi ~ei =
       in
       let idx = Interval_index.build ~extract snapshot in
       Hashtbl.replace t.indexes (bi, ei) (t.version, idx);
+      if Trace.enabled t.obs then begin
+        (* a stale entry means a previous build was invalidated by a
+           mutation; a missing one is the first (lazy) build *)
+        let kind = if stale = None then "index.build" else "index.rebuild" in
+        Trace.count t.obs kind 1;
+        Trace.event t.obs "index"
+          (Printf.sprintf "%s table=%s cols=(%d,%d) rows=%d residuals=%d"
+             (if stale = None then "build" else "rebuild")
+             (name t) bi ei (row_count t)
+             (Interval_index.residual_count idx))
+      end;
       idx
 
 (* Rows whose [bi]/[ei] period overlaps [begin_, end_) under the

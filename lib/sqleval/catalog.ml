@@ -19,6 +19,10 @@ and t = {
   routines : (string, routine_kind * Sqlast.Ast.routine) Hashtbl.t;
   native_table_funs : (string, native_table_fun) Hashtbl.t;
   options : options;
+  obs : Trace.t;
+      (* the engine-wide trace sink; the storage layer shares it (see
+         {!Sqldb.Database.set_observe}).  Its enabled flag mirrors
+         [options.observe] — read it through {!trace}, which syncs. *)
   mutable generation : int;
       (* counts *semantic* changes to views and routines; together with
          {!Sqldb.Database.version} it forms the stratum's plan-cache
@@ -44,6 +48,10 @@ and options = {
   mutable plan_caching : bool;
       (* stratum-level caching of transformed plans, keyed by
          (statement, strategy) and invalidated on DDL *)
+  mutable observe : bool;
+      (* execution tracing and metrics (spans, counters, events) into
+         {!t.obs}; off by default — when off, instrumentation costs one
+         flag test per site *)
 }
 
 exception No_such_routine of string
@@ -55,18 +63,30 @@ let default_options () =
     memoize_table_functions = true;
     temporal_index = true;
     plan_caching = true;
+    observe = false;
   }
 
 let create () =
+  let db = Sqldb.Database.create () in
+  let obs = Trace.create () in
+  Sqldb.Database.set_observe db obs;
   {
-    db = Sqldb.Database.create ();
+    db;
     views = Hashtbl.create 16;
     routines = Hashtbl.create 16;
     native_table_funs = Hashtbl.create 4;
     options = default_options ();
+    obs;
     generation = 0;
     plan_cache = Hashtbl.create 16;
   }
+
+(* The catalog's trace sink with its enabled flag synced to
+   [options.observe].  Hot paths bind this once per statement and then
+   test [Trace.enabled] directly. *)
+let trace cat =
+  Trace.set_enabled cat.obs cat.options.observe;
+  cat.obs
 
 let key = String.lowercase_ascii
 
@@ -122,10 +142,24 @@ let plan_token cat = (cat.generation, Sqldb.Database.version cat.db)
 
 let find_plan cat key =
   if not cat.options.plan_caching then None
-  else
+  else begin
+    let t = trace cat in
     match Hashtbl.find_opt cat.plan_cache key with
-    | Some (token, plan) when token = plan_token cat -> Some plan
-    | _ -> None
+    | Some (token, plan) when token = plan_token cat ->
+        if Trace.enabled t then begin
+          Trace.count t "plan_cache.hit" 1;
+          Trace.event t "plan-cache" (Printf.sprintf "hit strategy=%s" (fst key))
+        end;
+        Some plan
+    | stale ->
+        if Trace.enabled t then begin
+          Trace.count t "plan_cache.miss" 1;
+          Trace.event t "plan-cache"
+            (Printf.sprintf "miss strategy=%s%s" (fst key)
+               (if stale = None then "" else " (invalidated)"))
+        end;
+        None
+  end
 
 let store_plan cat key plan =
   if cat.options.plan_caching then
@@ -136,12 +170,16 @@ let store_plan cat key plan =
    starts empty: its validity token is tied to this catalog's own
    version counters. *)
 let copy cat =
+  let db = Sqldb.Database.copy cat.db in
+  let obs = Trace.create () in
+  Sqldb.Database.set_observe db obs;
   {
-    db = Sqldb.Database.copy cat.db;
+    db;
     views = Hashtbl.copy cat.views;
     routines = Hashtbl.copy cat.routines;
     native_table_funs = Hashtbl.copy cat.native_table_funs;
     options = { cat.options with hash_joins = cat.options.hash_joins };
+    obs;
     generation = cat.generation;
     plan_cache = Hashtbl.create 16;
   }

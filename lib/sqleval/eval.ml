@@ -78,6 +78,9 @@ let new_scope () =
 
 let create_env ?(now = Date.of_ymd ~y:2011 ~m:1 ~d:1) ?(tt_mode = `Current) cat
     =
+  (* Sync the trace sink's enabled flag to [options.observe] once per
+     statement; the hot paths below then test [Trace.enabled] directly. *)
+  ignore (Catalog.trace cat);
   {
     cat;
     now;
@@ -981,6 +984,27 @@ and eval_select env (s : select) : Result_set.t =
           find_period_plan i
         else None)
   in
+  (* One plan event per SELECT evaluation: the join order with the
+     statically-chosen access path at each level.  (A period plan can
+     still fall back at runtime on a non-date bound; that shows up as a
+     [scan.residual_fallback] counter.) *)
+  if Trace.enabled env.cat.Catalog.obs && n > 0 then begin
+    let path i =
+      let (_, _, src), left_on = sources_arr.(i) in
+      match src with
+      | `Lateral _ | `Lateral_sub _ -> "lateral"
+      | `Rows _ | `Scan _ -> (
+          match hash_plans.(i) with
+          | Some (col, _, _)
+            when left_on = None && env.cat.Catalog.options.Catalog.hash_joins ->
+              "hash(" ^ col ^ ")"
+          | _ -> if period_plans.(i) <> None then "index" else "full")
+    in
+    let parts =
+      List.init n (fun i -> bindings_arr.(i).b_alias ^ ":" ^ path i)
+    in
+    Trace.event env.cat.Catalog.obs "join" ("order=" ^ String.concat "," parts)
+  end;
   (* Run level i's period plan, if any: evaluate the bound expressions
      (declining unless every one yields a DATE) and query the interval
      index.  Candidates come back in scan order, so downstream results
@@ -989,6 +1013,7 @@ and eval_select env (s : select) : Result_set.t =
      implies every upper conjunct, e > max l_i every lower one) — valid
      only when the index has no residual rows, since residuals are
      returned unchecked. *)
+  let obs = env.cat.Catalog.obs in
   let period_scan i =
     match period_plans.(i) with
     | None -> None
@@ -1018,12 +1043,35 @@ and eval_select env (s : select) : Result_set.t =
                   (ubs @ lbs)
               else []
             in
+            if Trace.enabled obs then begin
+              let tname = Table.name sc.sc_table in
+              Trace.count obs "scan.indexed" 1;
+              Trace.count obs ("scan.indexed:" ^ tname) 1;
+              Trace.count obs "rows.probed" (List.length cands);
+              let bound d inf =
+                if d = min_int || d = max_int then inf else Date.to_string d
+              in
+              Trace.event obs "scan"
+                (Printf.sprintf
+                   "indexed table=%s window=(%s,%s) probes=%d elided=%d" tname
+                   (bound l "-inf") (bound u "+inf") (List.length cands)
+                   (List.length satisfied))
+            end;
             Some
               ( (match sc.sc_tt_filter with
                 | Some p -> List.filter p cands
                 | None -> cands),
                 satisfied )
-        | _ -> None)
+        | _ ->
+            (* A bound did not evaluate to a DATE: fall back to the full
+               scan rather than trust the window. *)
+            if Trace.enabled obs then begin
+              Trace.count obs "scan.residual_fallback" 1;
+              Trace.event obs "scan"
+                (Printf.sprintf "fallback table=%s (non-date bound)"
+                   (Table.name sc.sc_table))
+            end;
+            None)
   in
   (* Push the new frame for this SELECT. *)
   let saved_frames = env.frames in
@@ -1088,7 +1136,13 @@ and eval_select env (s : select) : Result_set.t =
               let rows =
                 match period_scan i with
                 | Some (cands, _) -> cands
-                | None -> all_rows ()
+                | None ->
+                    let rows = all_rows () in
+                    if Trace.enabled obs then begin
+                      Trace.count obs "scan.full" 1;
+                      Trace.count obs "rows.probed" (List.length rows)
+                    end;
+                    rows
               in
               List.iter
                 (fun row ->
@@ -1099,7 +1153,10 @@ and eval_select env (s : select) : Result_set.t =
                       List.for_all
                         (fun c -> truthy (eval_expr env c))
                         level_conjuncts.(i)
-                    then extend (i + 1)
+                    then begin
+                      Trace.count obs "rows.matched" 1;
+                      extend (i + 1)
+                    end
                   end)
                 rows;
               if not !matched then begin
@@ -1117,7 +1174,13 @@ and eval_select env (s : select) : Result_set.t =
                  sources always scan. *)
               let candidate_rows, satisfied =
                 match src with
-                | `Lateral _ | `Lateral_sub _ -> (all_rows (), [])
+                | `Lateral _ | `Lateral_sub _ ->
+                    let rows = all_rows () in
+                    if Trace.enabled obs then begin
+                      Trace.count obs "scan.lateral" 1;
+                      Trace.count obs "rows.probed" (List.length rows)
+                    end;
+                    (rows, [])
                 | `Rows _ | `Scan _ -> (
                     let hash_plan =
                       if env.cat.Catalog.options.Catalog.hash_joins then
@@ -1126,19 +1189,37 @@ and eval_select env (s : select) : Result_set.t =
                     in
                     match hash_plan with
                     | Some (col, probe, used) ->
-                        let k = eval_expr env probe in
-                        if Value.is_null k then ([], [ used ])
-                        else
-                          ( (match
-                               Hashtbl.find_opt (get_index i col (all_rows ())) k
-                             with
+                        let rows =
+                          let k = eval_expr env probe in
+                          if Value.is_null k then []
+                          else
+                            match
+                              Hashtbl.find_opt (get_index i col (all_rows ())) k
+                            with
                             | Some rs -> rs
-                            | None -> []),
-                            [ used ] )
+                            | None -> []
+                        in
+                        if Trace.enabled obs then begin
+                          Trace.count obs "scan.hash" 1;
+                          Trace.count obs "rows.probed" (List.length rows)
+                        end;
+                        (rows, [ used ])
                     | None -> (
                         match period_scan i with
                         | Some (cands, sat) -> (cands, sat)
-                        | None -> (all_rows (), [])))
+                        | None ->
+                            let rows = all_rows () in
+                            if Trace.enabled obs then begin
+                              let tname =
+                                match src with
+                                | `Scan sc -> Table.name sc.sc_table
+                                | _ -> b.b_alias
+                              in
+                              Trace.count obs "scan.full" 1;
+                              Trace.count obs ("scan.full:" ^ tname) 1;
+                              Trace.count obs "rows.probed" (List.length rows)
+                            end;
+                            (rows, [])))
               in
               let checks =
                 match satisfied with
@@ -1148,11 +1229,16 @@ and eval_select env (s : select) : Result_set.t =
                       (fun c -> not (List.memq c sat))
                       level_conjuncts.(i)
               in
+              if Trace.enabled obs && satisfied <> [] then
+                Trace.count obs "conjuncts.elided" (List.length satisfied);
               List.iter
                 (fun row ->
                   b.b_row <- row;
-                  if List.for_all (fun c -> truthy (eval_expr env c)) checks then
-                    extend (i + 1))
+                  if List.for_all (fun c -> truthy (eval_expr env c)) checks
+                  then begin
+                    Trace.count obs "rows.matched" 1;
+                    extend (i + 1)
+                  end)
                 candidate_rows
         end
       in
@@ -1386,11 +1472,14 @@ and invoke_scalar_function env (r : routine) argv : Value.t =
     ~finally:(fun () -> decr env.depth)
     (fun () ->
       env.calls <- env.calls + 1;
-      let renv = routine_env env in
-      bind_params renv r argv;
-      match exec_stmts renv r.r_body with
-      | () -> sql_error "function %s ended without RETURN" r.r_name
-      | exception Return_value v -> v)
+      let obs = env.cat.Catalog.obs in
+      Trace.count obs "routine.calls" 1;
+      Trace.time obs "routine.seconds" (fun () ->
+          let renv = routine_env env in
+          bind_params renv r argv;
+          match exec_stmts renv r.r_body with
+          | () -> sql_error "function %s ended without RETURN" r.r_name
+          | exception Return_value v -> v))
 
 and invoke_routine_table env (r : routine) argv : Result_set.t =
   incr env.depth;
@@ -1399,13 +1488,16 @@ and invoke_routine_table env (r : routine) argv : Result_set.t =
     ~finally:(fun () -> decr env.depth)
     (fun () ->
       env.calls <- env.calls + 1;
-      let renv = routine_env env in
-      bind_params renv r argv;
-      match exec_stmts renv r.r_body with
-      | () -> sql_error "table function %s ended without RETURN" r.r_name
-      | exception Return_table rs -> rs
-      | exception Return_value _ ->
-          sql_error "table function %s returned a scalar" r.r_name)
+      let obs = env.cat.Catalog.obs in
+      Trace.count obs "routine.calls" 1;
+      Trace.time obs "routine.seconds" (fun () ->
+          let renv = routine_env env in
+          bind_params renv r argv;
+          match exec_stmts renv r.r_body with
+          | () -> sql_error "table function %s ended without RETURN" r.r_name
+          | exception Return_table rs -> rs
+          | exception Return_value _ ->
+              sql_error "table function %s returned a scalar" r.r_name))
 
 and invoke_procedure env (r : routine) (args : expr list) : unit =
   incr env.depth;
@@ -1414,6 +1506,7 @@ and invoke_procedure env (r : routine) (args : expr list) : unit =
     ~finally:(fun () -> decr env.depth)
     (fun () ->
       env.calls <- env.calls + 1;
+      Trace.count env.cat.Catalog.obs "routine.calls" 1;
       if List.length r.r_params <> List.length args then
         sql_error "%s expects %d argument(s), got %d" r.r_name
           (List.length r.r_params) (List.length args);
