@@ -407,6 +407,15 @@ let ablation () =
      work in both strategies;\n the temporal index turns period-overlap \
      scans into O(log n + k) probes)\n"
 
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
 (* The PR's headline ablation: interval-indexed period-overlap scans
    against full scans, on MAX sequenced evaluation at the 1-year
    context, with a bit-identical-results check over all 16 queries and
@@ -514,15 +523,6 @@ let index_ablation () =
   in
   Printf.printf "geometric-mean speedup: %.2fx (%d/%d queries ok)\n" geomean
     (List.length ok_points) (List.length points);
-  let json_escape s =
-    String.concat ""
-      (List.map
-         (function
-           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
-           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
-           | c -> String.make 1 c)
-         (List.init (String.length s) (String.get s)))
-  in
   let oc = open_out "BENCH_pr1.json" in
   Printf.fprintf oc
     "{\n\
@@ -554,6 +554,181 @@ let index_ablation () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote BENCH_pr1.json\n%!"
+
+(* This PR's A/B: the price of fault tolerance.  Guards-off disables
+   every limit check and the undo journal; guards-on arms generous
+   limits (none of which fire) plus atomic journaling — i.e. the
+   steady-state overhead a production configuration would pay.  Records
+   the per-query overhead and its geomean in BENCH_pr3.json. *)
+let guards_bench () =
+  let title =
+    "Resource-guard overhead — guards+journal on (generous limits) vs \
+     off (DS1-SMALL, MAX, 1-month context)"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let e0 = Datasets.load { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  Queries.install e0;
+  let days = 30 in
+  let run ~on (q : Queries.t) =
+    let e = Engine.copy e0 in
+    let g = Engine.guards e in
+    if on then begin
+      g.Guard.deadline_seconds <- Some 3600.0;
+      g.Guard.row_budget <- Some max_int;
+      g.Guard.loop_cap <- Some max_int;
+      g.Guard.atomic <- true
+    end
+    else begin
+      g.Guard.deadline_seconds <- None;
+      g.Guard.row_budget <- None;
+      g.Guard.loop_cap <- None;
+      g.Guard.atomic <- false
+    end;
+    run_query e q ~strategy:Stratum.Max ~days
+  in
+  Printf.printf "%-5s %12s %12s %9s\n" "query" "guards off" "guards on"
+    "overhead";
+  let points =
+    List.map
+      (fun (q : Queries.t) ->
+        let t_off = time_run ~runs:5 (run ~on:false q) in
+        let t_on = time_run ~runs:5 (run ~on:true q) in
+        let ov = (t_on /. t_off) -. 1.0 in
+        Printf.printf "%-5s %12.4f %12.4f %8.2f%%\n%!" q.Queries.id t_off t_on
+          (100.0 *. ov);
+        (q.Queries.id, t_off, t_on))
+      Queries.all
+  in
+  let geomean_ratio =
+    exp
+      (List.fold_left (fun acc (_, off, on) -> acc +. log (on /. off)) 0.0 points
+      /. float_of_int (max 1 (List.length points)))
+  in
+  Printf.printf "geometric-mean overhead: %.2f%% (target < 2%%)\n"
+    (100.0 *. (geomean_ratio -. 1.0));
+  let oc = open_out "BENCH_pr3.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"guard-overhead\",\n\
+    \  \"dataset\": \"DS1-SMALL\",\n\
+    \  \"strategy\": \"MAX\",\n\
+    \  \"context_days\": %d,\n\
+    \  \"geomean_overhead_pct\": %.3f,\n\
+    \  \"queries\": [\n"
+    days
+    (100.0 *. (geomean_ratio -. 1.0));
+  List.iteri
+    (fun i (id, off, on) ->
+      Printf.fprintf oc
+        "    { \"query\": \"%s\", \"guards_off_seconds\": %.6f, \
+         \"guards_on_seconds\": %.6f, \"overhead_pct\": %.3f }%s\n"
+        id off on
+        (100.0 *. ((on /. off) -. 1.0))
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_pr3.json\n%!"
+
+(* Fault-injection sweep: seeded faults across all 16 queries and both
+   strategies must (a) surface as typed errors and (b) leave the
+   database bit-identical to its pre-statement state; a PERST run with
+   fallback enabled must additionally match MAX's clean answer.  Exits
+   nonzero on any violation — this is the CI smoke gate. *)
+let faults_sweep () =
+  let title =
+    "Fault-injection sweep — atomicity and PERST fallback under seeded \
+     faults (DS1-SMALL, 1-month context)"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let e0 = Datasets.load { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  Queries.install e0;
+  let context = context_of 30 in
+  let violations = ref 0 and fired = ref 0 and clean = ref 0 in
+  let seeds = List.init 8 (fun i -> i) in
+  List.iter
+    (fun (q : Queries.t) ->
+      let sql = Queries.sequenced ~context q in
+      List.iter
+        (fun strategy ->
+          if strategy = Stratum.Max || q.Queries.perst_supported then
+            List.iter
+              (fun seed ->
+                let e = Engine.copy e0 in
+                let pre = Sqldb.Database.copy (Engine.database e) in
+                Fault.arm_seeded ~seed;
+                (match Stratum.exec_sql ~strategy e sql with
+                | _ -> incr clean
+                | exception exn -> (
+                    let te = Taupsm.Resilient.classify exn in
+                    if Fault.fired () then incr fired
+                    else begin
+                      incr violations;
+                      Printf.printf "UNTYPED/UNEXPECTED %s/%s seed=%d: %s\n%!"
+                        q.Queries.id
+                        (Stratum.strategy_to_string strategy)
+                        seed
+                        (Taupsm_error.to_string te)
+                    end;
+                    match
+                      Taupsm.Resilient.db_diff pre (Engine.database e)
+                    with
+                    | None -> ()
+                    | Some diff ->
+                        incr violations;
+                        Printf.printf "NOT ATOMIC %s/%s seed=%d: %s\n%!"
+                          q.Queries.id
+                          (Stratum.strategy_to_string strategy)
+                          seed diff));
+                Fault.disarm ())
+              seeds)
+        [ Stratum.Max; Stratum.Perst ])
+    Queries.all;
+  (* PERST→MAX graceful degradation: a fault mid-PERST with fallback on
+     must still produce MAX's clean answer. *)
+  let fallback_checked = ref 0 in
+  List.iter
+    (fun (q : Queries.t) ->
+      if q.Queries.perst_supported then begin
+        let sql = Queries.sequenced ~context q in
+        let clean_max =
+          let e = Engine.copy e0 in
+          match Stratum.exec_sql ~strategy:Stratum.Max e sql with
+          | Eval.Rows rs -> Some rs.Sqleval.Result_set.rows
+          | _ -> None
+        in
+        let e = Engine.copy e0 in
+        (Engine.guards e).Guard.fallback_to_max <- true;
+        Fault.arm ~site:Fault.Routine_call ~countdown:1;
+        (match Stratum.exec_sql ~strategy:Stratum.Perst e sql with
+        | Eval.Rows rs ->
+            incr fallback_checked;
+            let same =
+              match clean_max with
+              | Some rows ->
+                  List.length rows = List.length rs.Sqleval.Result_set.rows
+                  && List.for_all2
+                       (fun a b -> Array.for_all2 Sqldb.Value.equal a b)
+                       rows rs.Sqleval.Result_set.rows
+              | None -> false
+            in
+            if not same then begin
+              incr violations;
+              Printf.printf "FALLBACK MISMATCH %s\n%!" q.Queries.id
+            end
+        | _ -> ()
+        | exception exn ->
+            incr violations;
+            Printf.printf "FALLBACK RAISED %s: %s\n%!" q.Queries.id
+              (Printexc.to_string exn));
+        Fault.disarm ()
+      end)
+    Queries.all;
+  Printf.printf
+    "fault points fired: %d; runs untouched by the fault: %d; fallback \
+     equivalences checked: %d; violations: %d\n%!"
+    !fired !clean !fallback_checked !violations;
+  if !violations > 0 then exit 1
 
 (* Nontemporal baseline: the 16 conventional queries on the snapshot
    database — the paper's PSM benchmark — versus their sequenced
@@ -692,12 +867,15 @@ let () =
       | "bechamel" -> bechamel ()
       | "ablation" -> ablation ()
       | "index" -> index_ablation ()
+      | "guards" -> guards_bench ()
+      | "faults" -> faults_sweep ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
-             heuristic|nontemporal|ablation|index|bechamel|correctness)\n"
+             heuristic|nontemporal|ablation|index|guards|faults|bechamel|\
+             correctness)\n"
             other;
           exit 2)
     targets

@@ -94,6 +94,55 @@ let seed_arg =
     & opt int Datasets.default_seed
     & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for data generation.")
 
+(* Resource-guard flags (run/repl): limits land in the engine catalog's
+   guard and are enforced at evaluator step boundaries. *)
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock deadline per statement.")
+
+let max_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rows" ] ~docv:"N"
+        ~doc:"Row budget per statement (rows produced or inserted).")
+
+let loop_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "loop-cap" ] ~docv:"N"
+        ~doc:"Iteration cap for a single PSM loop.")
+
+let fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "fallback-to-max" ]
+        ~doc:
+          "Retry a PERST execution that fails recoverably (unsupported \
+           shape, guard, injected fault) under MAX after rolling back.")
+
+let no_atomic_arg =
+  Arg.(
+    value & flag
+    & info [ "no-atomic" ]
+        ~doc:
+          "Disable atomic statement execution (failed statements may \
+           leave partial effects).")
+
+let set_guards e deadline max_rows loop_cap fallback no_atomic =
+  let g =
+    (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.guards
+  in
+  g.Guard.deadline_seconds <- deadline;
+  g.Guard.row_budget <- max_rows;
+  g.Guard.loop_cap <- loop_cap;
+  if fallback then g.Guard.fallback_to_max <- true;
+  if no_atomic then g.Guard.atomic <- false
+
 let make_engine ~empty ~seed spec =
   if empty then begin
     let e = Engine.create () in
@@ -106,28 +155,22 @@ let make_engine ~empty ~seed spec =
     e
   end
 
+(* Every failure — including engine invariant violations — prints a
+   structured one-liner (code, message, routine/statement/period context
+   when known) and exits nonzero; nothing escapes as a raw backtrace. *)
 let handle_errors f =
   try
     f ();
     0
   with
-  | Eval.Sql_error msg ->
-      Printf.eprintf "SQL error: %s\n" msg;
-      1
-  | Sqlparse.Parser.Parse_error (msg, line) ->
-      Printf.eprintf "parse error (line %d): %s\n" line msg;
-      1
-  | Sqlparse.Lexer.Lex_error (msg, line) ->
-      Printf.eprintf "lexical error (line %d): %s\n" line msg;
-      1
   | Taupsm.Perst_slicing.Perst_unsupported msg ->
       Printf.eprintf "PERST does not apply: %s (MAX always does)\n" msg;
       1
   | Taupsm.Max_slicing.Max_unsupported msg ->
       Printf.eprintf "unsupported under sequenced semantics: %s\n" msg;
       1
-  | Taupsm.Transform_util.Semantic_error msg ->
-      Printf.eprintf "semantic error: %s\n" msg;
+  | exn ->
+      Printf.eprintf "%s\n" (Taupsm.Resilient.error_message exn);
       1
 
 (* ------------------------------------------------------------------ *)
@@ -169,24 +212,31 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
   in
-  let run strategy dataset empty seed stmts =
+  let run strategy dataset empty seed deadline max_rows loop_cap fallback
+      no_atomic stmts =
     handle_errors (fun () ->
         let e = make_engine ~empty ~seed dataset in
+        set_guards e deadline max_rows loop_cap fallback no_atomic;
         List.iter
           (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
           stmts)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute temporal statements and print the results.")
-    Term.(const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg $ stmts_arg)
+    Term.(
+      const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
+      $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
+      $ no_atomic_arg $ stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let repl_cmd =
-  let run strategy dataset empty seed =
+  let run strategy dataset empty seed deadline max_rows loop_cap fallback
+      no_atomic =
     let e = make_engine ~empty ~seed dataset in
+    set_guards e deadline max_rows loop_cap fallback no_atomic;
     Printf.printf
       "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
       (if empty then "empty database" else Datasets.spec_to_string dataset);
@@ -211,7 +261,10 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive Temporal SQL/PSM prompt.")
-    Term.(const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg)
+    Term.(
+      const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
+      $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
+      $ no_atomic_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)

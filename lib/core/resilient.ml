@@ -1,0 +1,79 @@
+module Database = Sqldb.Database
+module Table = Sqldb.Table
+module Value = Sqldb.Value
+module Eval = Sqleval.Eval
+module Catalog = Sqleval.Catalog
+
+let make = Taupsm_error.make
+
+let classify : exn -> Taupsm_error.t = function
+  | Taupsm_error.Error e -> e
+  | Eval.Sql_error m -> make Taupsm_error.Sql m
+  | Database.No_such_table n -> make Taupsm_error.Unknown_object ("no such table " ^ n)
+  | Database.Duplicate_table n ->
+      make Taupsm_error.Duplicate_object ("table " ^ n ^ " already exists")
+  | Catalog.No_such_routine n ->
+      make Taupsm_error.Unknown_object ("no such routine " ^ n)
+  | Catalog.Duplicate_routine n ->
+      make Taupsm_error.Duplicate_object ("routine " ^ n ^ " already exists")
+  | Max_slicing.Max_unsupported m ->
+      make Taupsm_error.Unsupported ("MAX: " ^ m)
+  | Perst_slicing.Perst_unsupported m ->
+      make Taupsm_error.Unsupported ("PERST: " ^ m)
+  | Transform_util.Semantic_error m -> make Taupsm_error.Semantic m
+  | Sqlparse.Parser.Parse_error (m, line) ->
+      make Taupsm_error.Parse (Printf.sprintf "line %d: %s" line m)
+  | Sqlparse.Lexer.Lex_error (m, line) ->
+      make Taupsm_error.Parse (Printf.sprintf "line %d: %s" line m)
+  | exn -> Taupsm_error.of_exn exn
+
+let error_message exn = Taupsm_error.to_string (classify exn)
+
+(* ------------------------------------------------------------------ *)
+(* Database content equality                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings h =
+  Hashtbl.fold (fun k t acc -> (k, t) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let table_diff label (a : Table.t) (b : Table.t) =
+  if Table.schema a <> Table.schema b then
+    Some (Printf.sprintf "%s: schemas differ" label)
+  else begin
+    let ra = Table.to_list a and rb = Table.to_list b in
+    if List.length ra <> List.length rb then
+      Some
+        (Printf.sprintf "%s: %d row(s) vs %d row(s)" label (List.length ra)
+           (List.length rb))
+    else
+      let row_eq x y =
+        Array.length x = Array.length y
+        && Array.for_all2 (fun u v -> Value.equal u v) x y
+      in
+      if List.for_all2 row_eq ra rb then None
+      else Some (Printf.sprintf "%s: row contents differ" label)
+  end
+
+let db_diff (a : Database.t) (b : Database.t) =
+  let compare_side kind ha hb =
+    let ba = sorted_bindings ha and bb = sorted_bindings hb in
+    let names l = List.map fst l in
+    if names ba <> names bb then
+      Some
+        (Printf.sprintf "%s tables differ: {%s} vs {%s}" kind
+           (String.concat "," (names ba))
+           (String.concat "," (names bb)))
+    else
+      List.fold_left2
+        (fun acc (k, ta) (_, tb) ->
+          match acc with
+          | Some _ -> acc
+          | None -> table_diff (kind ^ " table " ^ k) ta tb)
+        None ba bb
+  in
+  match compare_side "base" a.Database.tables b.Database.tables with
+  | Some d -> Some d
+  | None -> compare_side "temp" a.Database.temp_tables b.Database.temp_tables
+
+let db_equal a b = db_diff a b = None

@@ -1,0 +1,22 @@
+(** Cross-layer error classification and state-equality checks.
+
+    [classify] maps every exception the stack can raise — storage,
+    parser, evaluator, stratum — onto the typed {!Taupsm_error.t}
+    taxonomy; [db_equal] decides whether two databases hold the same
+    visible state, which is what the fault-injection suite asserts after
+    a rolled-back execution. *)
+
+val classify : exn -> Taupsm_error.t
+(** Total: unknown exceptions classify as [Internal]. *)
+
+val error_message : exn -> string
+(** [Taupsm_error.to_string (classify exn)]. *)
+
+val db_equal : Sqldb.Database.t -> Sqldb.Database.t -> bool
+(** Content equality: same base and temporary table names, and for each
+    table the same schema and the same rows in the same order.  Version
+    counters are deliberately ignored — rollback bumps them. *)
+
+val db_diff : Sqldb.Database.t -> Sqldb.Database.t -> string option
+(** [None] when equal; otherwise a one-line description of the first
+    difference found, for test diagnostics. *)

@@ -66,6 +66,7 @@ let constant_periods_native : Catalog.native_table_fun =
                 | [ _ ] | [] -> []
               in
               let rows = pairs pts in
+              List.iter (fun _ -> Fault.hit Fault.Period_slice) rows;
               let obs = cat.Catalog.obs in
               if Trace.enabled obs then begin
                 Trace.count obs "constant_periods.calls" 1;
@@ -312,6 +313,7 @@ let sequenced_delete (e : Engine.t) ~context tname where : Eval.exec_result =
          t);
   List.iter
     (fun (row, p) ->
+      Fault.hit Fault.Period_slice;
       List.iter
         (fun (piece : Period.t) ->
           let row' = Array.copy row in
@@ -432,6 +434,7 @@ let sequenced_update (e : Engine.t) ~context tname sets where : Eval.exec_result
          t);
   List.iter
     (fun (row, p) ->
+      Fault.hit Fault.Period_slice;
       (* Unchanged parts outside the context. *)
       List.iter
         (fun (piece : Period.t) ->
@@ -460,10 +463,8 @@ let sequenced_update (e : Engine.t) ~context tname sets where : Eval.exec_result
 (* End-to-end execution                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Execute a temporal statement end to end.  Sequenced modifications
-   (VALIDTIME INSERT/DELETE/UPDATE) bypass the slicing transformations
-   and use valid-time splicing directly. *)
-let exec ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
+(* One execution attempt under a fixed strategy. *)
+let exec_once ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
   match (ts.t_modifier, ts.t_stmt) with
   | Mod_sequenced ctx, Sinsert (t, cols, src) ->
       sequenced_insert e ~context:ctx t cols src
@@ -471,6 +472,54 @@ let exec ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
   | Mod_sequenced ctx, Supdate (t, sets, where) ->
       sequenced_update e ~context:ctx t sets where
   | _ -> exec_plan ~tt_mode:(tt_mode_of e ts) e (transform ?strategy e ts)
+
+(* Failures a PERST attempt may gracefully degrade from: statement
+   shapes PERST cannot express, a resource guard firing mid-flight, or
+   an injected fault.  Genuine SQL/semantic errors do not retry — MAX
+   would fail identically. *)
+let perst_recoverable = function
+  | Perst_slicing.Perst_unsupported _ -> true
+  | Taupsm_error.Error
+      { code = Taupsm_error.Resource_exhausted _ | Taupsm_error.Injected_fault; _ }
+    ->
+      true
+  | _ -> false
+
+(* Execute a temporal statement end to end.  Sequenced modifications
+   (VALIDTIME INSERT/DELETE/UPDATE) bypass the slicing transformations
+   and use valid-time splicing directly.
+
+   When the catalog's guard has [atomic] on (the default), the whole
+   statement — including the multi-phase splicing of sequenced DML and
+   every statement of a MAX/PERST plan — commits or rolls back as one
+   unit.  With [fallback_to_max] on, a PERST attempt that fails
+   recoverably is rolled back and retried under MAX with a fresh guard
+   window, recording a trace event. *)
+let exec ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
+  let cat = Engine.catalog e in
+  let g = cat.Catalog.options.Catalog.guards in
+  let atomic f =
+    if g.Guard.atomic then Database.with_atomic cat.Catalog.db f else f ()
+  in
+  let attempt ?strategy () =
+    Guard.enter g;
+    Fun.protect
+      ~finally:(fun () -> Guard.leave g)
+      (fun () -> atomic (fun () -> exec_once ?strategy e ts))
+  in
+  match attempt ?strategy () with
+  | r -> r
+  | exception exn
+    when strategy = Some Perst
+         && g.Guard.fallback_to_max && perst_recoverable exn ->
+      let obs = Catalog.trace cat in
+      if Trace.enabled obs then begin
+        Trace.count obs "fallback.perst_to_max" 1;
+        Trace.event obs "fallback"
+          (Printf.sprintf "perst->max: %s"
+             (Taupsm_error.to_string (Taupsm_error.of_exn exn)))
+      end;
+      attempt ~strategy:Max ()
 
 let exec_sql ?strategy (e : Engine.t) (sql : string) : Eval.exec_result =
   exec ?strategy e (Sqlparse.Parser.parse_temporal_stmt sql)

@@ -115,12 +115,14 @@ let current_date = Fun_call ("current_date", [])
 (* Fold FIRST_INSTANCE / LAST_INSTANCE over several time expressions
    (paper Figure 4): the later of all begins, the earlier of all ends. *)
 let last_instance = function
-  | [] -> invalid_arg "last_instance: empty"
+  | [] ->
+      Taupsm_error.raise_error Taupsm_error.Internal "last_instance: empty"
   | e :: es ->
       List.fold_left (fun acc e -> Fun_call ("last_instance", [ acc; e ])) e es
 
 let first_instance = function
-  | [] -> invalid_arg "first_instance: empty"
+  | [] ->
+      Taupsm_error.raise_error Taupsm_error.Internal "first_instance: empty"
   | e :: es ->
       List.fold_left (fun acc e -> Fun_call ("first_instance", [ acc; e ])) e es
 

@@ -1,0 +1,56 @@
+type site = Table_mutation | Index_rebuild | Routine_call | Period_slice
+
+let site_name = function
+  | Table_mutation -> "table_mutation"
+  | Index_rebuild -> "index_rebuild"
+  | Routine_call -> "routine_call"
+  | Period_slice -> "period_slice"
+
+let all_sites = [| Table_mutation; Index_rebuild; Routine_call; Period_slice |]
+
+type armed_point = { site : site; mutable countdown : int }
+
+let state : armed_point option ref = ref None
+let enabled = ref false
+let has_fired = ref false
+
+let arm ~site ~countdown =
+  state := Some { site; countdown = max 1 countdown };
+  enabled := true;
+  has_fired := false
+
+let mix seed =
+  (* xorshift-multiply scrambler over OCaml's native int *)
+  let z = seed + 0x1f123bb5159a55e5 in
+  let z = (z lxor (z lsr 30)) * 0x27d4eb2f165667c5 in
+  let z = (z lxor (z lsr 27)) * 0x2545f4914f6cdd1d in
+  z lxor (z lsr 31)
+
+let arm_seeded ~seed =
+  let h = mix seed in
+  let site = all_sites.(abs h mod Array.length all_sites) in
+  let countdown = 1 + (abs (mix h) mod 8) in
+  arm ~site ~countdown
+
+let armed () =
+  match !state with Some a -> Some (a.site, a.countdown) | None -> None
+
+let disarm () =
+  state := None;
+  enabled := false
+
+let fired () = !has_fired
+
+let hit site =
+  if !enabled then
+    match !state with
+    | Some a when a.site = site ->
+        if a.countdown <= 1 then begin
+          state := None;
+          enabled := false;
+          has_fired := true;
+          Taupsm_error.raise_error Taupsm_error.Injected_fault
+            "injected fault at %s" (site_name site)
+        end
+        else a.countdown <- a.countdown - 1
+    | _ -> ()

@@ -1,0 +1,34 @@
+(** Deterministic fault injection.
+
+    A single global fault point (the engine is single-threaded) can be
+    armed at one of four sites with a countdown: the nth time execution
+    passes that site, a typed [Injected_fault] error is raised and the
+    point disarms (one fault per arming, so a rollback-and-retry runs
+    clean).  When disarmed, [hit] costs one load-and-branch. *)
+
+type site =
+  | Table_mutation  (** start of any [Table] mutating operation *)
+  | Index_rebuild  (** interval-index (re)build on version mismatch *)
+  | Routine_call  (** entry of any routine invocation *)
+  | Period_slice  (** per constant period / splice step in the stratum *)
+
+val site_name : site -> string
+val all_sites : site array
+
+val arm : site:site -> countdown:int -> unit
+(** Fire on the [countdown]-th hit of [site] (1 = next hit). *)
+
+val arm_seeded : seed:int -> unit
+(** Derive (site, countdown) deterministically from [seed] via a
+    splitmix-style hash; used for seed sweeps. *)
+
+val armed : unit -> (site * int) option
+(** Currently armed point and remaining countdown, if any. *)
+
+val disarm : unit -> unit
+val fired : unit -> bool
+(** Whether the last armed point has fired since arming. *)
+
+val hit : site -> unit
+(** Execution hook: raises [Taupsm_error.Error] with code
+    [Injected_fault] when the armed countdown reaches zero. *)

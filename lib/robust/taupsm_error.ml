@@ -1,0 +1,93 @@
+type resource = Deadline | Row_budget | Loop_iterations | Recursion_depth
+
+type code =
+  | Sql
+  | Parse
+  | Semantic
+  | Unknown_object
+  | Duplicate_object
+  | Unsupported
+  | Resource_exhausted of resource
+  | Injected_fault
+  | Internal
+
+type t = {
+  code : code;
+  message : string;
+  routine : string option;
+  statement : string option;
+  period : (int * int) option;
+}
+
+exception Error of t
+
+let make ?routine ?statement ?period code message =
+  { code; message; routine; statement; period }
+
+let raise_error ?routine ?statement ?period code fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error (make ?routine ?statement ?period code message)))
+    fmt
+
+let resource_string = function
+  | Deadline -> "deadline"
+  | Row_budget -> "row_budget"
+  | Loop_iterations -> "loop_iterations"
+  | Recursion_depth -> "recursion_depth"
+
+let code_string = function
+  | Sql -> "sql"
+  | Parse -> "parse"
+  | Semantic -> "semantic"
+  | Unknown_object -> "unknown_object"
+  | Duplicate_object -> "duplicate_object"
+  | Unsupported -> "unsupported"
+  | Resource_exhausted r -> "resource." ^ resource_string r
+  | Injected_fault -> "injected_fault"
+  | Internal -> "internal"
+
+(* Days-since-epoch -> YYYY-MM-DD, proleptic Gregorian.  Duplicates the
+   tiny civil-calendar conversion from [Sqldb.Date] because this library
+   sits below sqldb in the dependency order. *)
+let day_string d =
+  let z = d + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let dd = doy - (((153 * mp) + 2) / 5) + 1 in
+  let mm = if mp < 10 then mp + 3 else mp - 9 in
+  let yy = if mm <= 2 then y + 1 else y in
+  Printf.sprintf "%04d-%02d-%02d" yy mm dd
+
+let to_string e =
+  let ctx =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun r -> "routine=" ^ r) e.routine;
+        Option.map (fun s -> "statement=" ^ s) e.statement;
+        Option.map
+          (fun (b, en) ->
+            Printf.sprintf "period=[%s, %s)" (day_string b) (day_string en))
+          e.period;
+      ]
+  in
+  let ctx = if ctx = [] then "" else " (" ^ String.concat ", " ctx ^ ")" in
+  Printf.sprintf "taupsm error [%s]: %s%s" (code_string e.code) e.message ctx
+
+let with_routine name f =
+  try f () with
+  | Error e when e.routine = None -> raise (Error { e with routine = Some name })
+
+let with_period p f =
+  try f () with
+  | Error e when e.period = None -> raise (Error { e with period = Some p })
+
+let of_exn = function
+  | Error e -> e
+  | Failure m -> make Internal m
+  | Invalid_argument m -> make Internal m
+  | exn -> make Internal (Printexc.to_string exn)

@@ -1,0 +1,71 @@
+(** Typed error taxonomy for the temporal stratum.
+
+    Every layer (storage, evaluator, stratum, CLI) can raise and classify
+    errors through a single structured type instead of bare [Failure] /
+    [Invalid_argument] strings.  An error carries optional execution
+    context: the routine being invoked, the statement being executed and
+    the constant period being sliced when the error arose. *)
+
+(** Which resource guard fired. *)
+type resource = Deadline | Row_budget | Loop_iterations | Recursion_depth
+
+type code =
+  | Sql  (** runtime SQL failure (evaluation, constraint, cast) *)
+  | Parse  (** lexer / parser failure *)
+  | Semantic  (** static semantic analysis failure *)
+  | Unknown_object  (** missing table / routine / column / query *)
+  | Duplicate_object  (** name already bound *)
+  | Unsupported  (** statement shape outside MAX / PERST coverage *)
+  | Resource_exhausted of resource  (** a resource guard fired *)
+  | Injected_fault  (** deterministic fault-injection harness fired *)
+  | Internal  (** invariant violation inside the engine itself *)
+
+type t = {
+  code : code;
+  message : string;
+  routine : string option;  (** routine being invoked, if any *)
+  statement : string option;  (** statement kind being executed, if any *)
+  period : (int * int) option;
+      (** constant period being sliced, as days since 1970-01-01,
+          half-open [b, e) *)
+}
+
+exception Error of t
+
+val make :
+  ?routine:string ->
+  ?statement:string ->
+  ?period:int * int ->
+  code ->
+  string ->
+  t
+
+val raise_error :
+  ?routine:string ->
+  ?statement:string ->
+  ?period:int * int ->
+  code ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [raise_error code fmt ...] raises {!Error} with a formatted message. *)
+
+val code_string : code -> string
+(** Stable machine-readable tag, e.g. ["resource.deadline"]. *)
+
+val to_string : t -> string
+(** One-line rendering:
+    [taupsm error [code]: message (routine=.., statement=.., period=..)]. *)
+
+val with_routine : string -> (unit -> 'a) -> 'a
+(** Run a thunk; if it raises {!Error} with no routine context, re-raise
+    with the routine field filled in.  Other exceptions pass through. *)
+
+val with_period : int * int -> (unit -> 'a) -> 'a
+(** Same as {!with_routine} for the period field. *)
+
+val of_exn : exn -> t
+(** Best-effort classification of an arbitrary exception.  [Error e]
+    returns [e]; [Failure] / [Invalid_argument] map to {!Internal};
+    anything else maps to {!Internal} with [Printexc.to_string].  Layers
+    that know richer exception types should classify before falling back
+    to this. *)

@@ -1,0 +1,54 @@
+type t = {
+  mutable active : bool;
+  mutable entries : (unit -> unit) list;
+  mutable n : int;
+  mutable serial : int;
+  is_null : bool;
+}
+
+type savepoint = int
+
+let create () =
+  { active = false; entries = []; n = 0; serial = 0; is_null = false }
+
+let null = { active = false; entries = []; n = 0; serial = 0; is_null = true }
+
+let is_active t = t.active
+
+let activate t =
+  if not t.is_null then begin
+    t.active <- true;
+    t.serial <- t.serial + 1
+  end
+
+let deactivate t = t.active <- false
+
+let clear t =
+  t.entries <- [];
+  t.n <- 0;
+  t.serial <- t.serial + 1
+
+let serial t = t.serial
+
+let savepoint t =
+  t.serial <- t.serial + 1;
+  t.n
+
+let top _ = 0
+
+let log t undo =
+  if t.active then begin
+    t.entries <- undo :: t.entries;
+    t.n <- t.n + 1
+  end
+
+let rollback_to t sp =
+  while t.n > sp do
+    match t.entries with
+    | [] -> t.n <- sp
+    | u :: rest ->
+        t.entries <- rest;
+        t.n <- t.n - 1;
+        u ()
+  done;
+  t.serial <- t.serial + 1

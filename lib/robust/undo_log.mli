@@ -1,0 +1,49 @@
+(** Closure-based undo journal with savepoints.
+
+    One journal serves a whole database.  While the journal is active,
+    mutating operations append undo closures; [rollback_to] replays them
+    newest-first back to a savepoint.  Undo closures must restore state
+    directly (never through the logging mutators) so that replay does not
+    journal itself.
+
+    The [serial] counter advances on every activation, savepoint,
+    rollback and clear.  Callers that want at most one journal entry per
+    savepoint scope (e.g. one table snapshot per statement) remember the
+    serial at which they last logged and skip logging until it moves. *)
+
+type t
+
+type savepoint
+
+val create : unit -> t
+
+val null : t
+(** Permanently inactive journal; [activate] on it is a no-op.  Used as
+    the initial value for tables not yet attached to a database. *)
+
+val is_active : t -> bool
+
+val activate : t -> unit
+(** Start journaling.  Bumps [serial]. *)
+
+val deactivate : t -> unit
+
+val clear : t -> unit
+(** Drop all entries (commit).  Bumps [serial]. *)
+
+val serial : t -> int
+
+val savepoint : t -> savepoint
+(** Mark the current journal position.  Bumps [serial] so per-scope
+    logging dedup restarts inside the new scope. *)
+
+val top : t -> savepoint
+(** The empty-journal position: rolling back to [top] undoes
+    everything. *)
+
+val log : t -> (unit -> unit) -> unit
+(** Append an undo closure.  No-op when inactive. *)
+
+val rollback_to : t -> savepoint -> unit
+(** Run and pop entries newest-first down to the savepoint.
+    Bumps [serial]. *)

@@ -8,11 +8,14 @@
    unchanged schema — the per-execution churn of the stratum's own
    taupsm_ts/taupsm_cp scratch tables — deliberately does not bump it,
    so cached transformed plans survive their own execution. *)
+(* [undo] is the database-wide undo journal; it is propagated onto every
+   table added here (like [obs]) and driven by {!with_atomic}. *)
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   temp_tables : (string, Table.t) Hashtbl.t;
   mutable version : int;
   mutable obs : Trace.t;  (* propagated onto every table added here *)
+  undo : Undo_log.t;
 }
 
 let create () =
@@ -21,6 +24,7 @@ let create () =
     temp_tables = Hashtbl.create 16;
     version = 0;
     obs = Trace.null;
+    undo = Undo_log.create ();
   }
 
 (* Point this database — and every table it holds now or later — at
@@ -54,6 +58,10 @@ let add_table db table =
   if Hashtbl.mem db.tables k then raise (Duplicate_table (Table.name table));
   db.version <- db.version + 1;
   Table.set_observe table db.obs;
+  Table.set_undo table db.undo;
+  Undo_log.log db.undo (fun () ->
+      Hashtbl.remove db.tables k;
+      db.version <- db.version + 1);
   Hashtbl.replace db.tables k table
 
 (* Temporary tables shadow base tables and may be re-created freely.
@@ -69,22 +77,41 @@ let add_temp_table db table =
   if visible_schema <> Some (Table.schema table) then
     db.version <- db.version + 1;
   Table.set_observe table db.obs;
+  Table.set_undo table db.undo;
+  (if Undo_log.is_active db.undo then
+     let prev = Hashtbl.find_opt db.temp_tables k in
+     Undo_log.log db.undo (fun () ->
+         (match prev with
+         | None -> Hashtbl.remove db.temp_tables k
+         | Some t -> Hashtbl.replace db.temp_tables k t);
+         db.version <- db.version + 1));
   Hashtbl.replace db.temp_tables k table
 
 let drop_table db name =
   let k = key name in
-  if Hashtbl.mem db.temp_tables k then begin
+  let drop_from tables =
     db.version <- db.version + 1;
-    Hashtbl.remove db.temp_tables k
-  end
-  else if Hashtbl.mem db.tables k then begin
-    db.version <- db.version + 1;
-    Hashtbl.remove db.tables k
-  end
+    (if Undo_log.is_active db.undo then
+       let prev = Hashtbl.find tables k in
+       Undo_log.log db.undo (fun () ->
+           Hashtbl.replace tables k prev;
+           db.version <- db.version + 1));
+    Hashtbl.remove tables k
+  in
+  if Hashtbl.mem db.temp_tables k then drop_from db.temp_tables
+  else if Hashtbl.mem db.tables k then drop_from db.tables
   else raise (No_such_table name)
 
 let drop_temp_tables db =
-  if Hashtbl.length db.temp_tables > 0 then db.version <- db.version + 1;
+  if Hashtbl.length db.temp_tables > 0 then begin
+    db.version <- db.version + 1;
+    if Undo_log.is_active db.undo then begin
+      let prev = Hashtbl.fold (fun k t acc -> (k, t) :: acc) db.temp_tables [] in
+      Undo_log.log db.undo (fun () ->
+          List.iter (fun (k, t) -> Hashtbl.replace db.temp_tables k t) prev;
+          db.version <- db.version + 1)
+    end
+  end;
   Hashtbl.reset db.temp_tables
 
 let table_names db =
@@ -95,8 +122,45 @@ let table_names db =
    the same workload against multiple strategies without interference. *)
 let copy db =
   let db' = create () in
-  Hashtbl.iter (fun k t -> Hashtbl.replace db'.tables k (Table.copy t)) db.tables;
+  let clone t =
+    let t' = Table.copy t in
+    Table.set_undo t' db'.undo;
+    t'
+  in
+  Hashtbl.iter (fun k t -> Hashtbl.replace db'.tables k (clone t)) db.tables;
   Hashtbl.iter
-    (fun k t -> Hashtbl.replace db'.temp_tables k (Table.copy t))
+    (fun k t -> Hashtbl.replace db'.temp_tables k (clone t))
     db.temp_tables;
   db'
+
+let undo db = db.undo
+
+(* Run [f] as an atomic unit against this database.  The outermost call
+   activates the undo journal: on success the journal is discarded
+   (commit), on any exception the journal is replayed so the database —
+   rows, temp-table bindings, catalog entries logged by upper layers —
+   returns to its pre-call state (with version counters bumped, never
+   rewound).  A nested call degrades to a savepoint: rollback on
+   exception, nothing on success (the enclosing unit owns the commit). *)
+let with_atomic db f =
+  let j = db.undo in
+  if Undo_log.is_active j then begin
+    let sp = Undo_log.savepoint j in
+    try f ()
+    with e ->
+      Undo_log.rollback_to j sp;
+      raise e
+  end
+  else begin
+    Undo_log.activate j;
+    match f () with
+    | r ->
+        Undo_log.deactivate j;
+        Undo_log.clear j;
+        r
+    | exception e ->
+        Undo_log.rollback_to j (Undo_log.top j);
+        Undo_log.deactivate j;
+        Undo_log.clear j;
+        raise e
+  end

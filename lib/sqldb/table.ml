@@ -11,12 +11,20 @@ type row = Value.t array
 (* [obs] is the trace sink index maintenance reports into; tables start
    on the shared null sink and are pointed at an engine's sink when
    added to its database (see {!Database.set_observe}). *)
+(* [undo] is the database-wide undo journal this table participates in
+   (see {!Database.with_atomic}); tables start on the shared inert
+   journal and are pointed at a database's journal when added to it.
+   [undo_mark] / [undo_full] implement at-most-one journal entry per
+   savepoint scope (see [log_undo]). *)
 type t = {
   schema : Schema.t;
   rows : row Vec.t;
   mutable version : int;
   indexes : (int * int, int * row Interval_index.t) Hashtbl.t;
   mutable obs : Trace.t;
+  mutable undo : Undo_log.t;
+  mutable undo_mark : int;
+  mutable undo_full : bool;
 }
 
 let create schema =
@@ -26,11 +34,56 @@ let create schema =
     version = 0;
     indexes = Hashtbl.create 2;
     obs = Trace.null;
+    undo = Undo_log.null;
+    undo_mark = 0;
+    undo_full = false;
   }
 
 let set_observe t obs = t.obs <- obs
+let set_undo t undo = t.undo <- undo
 
-let touch t = t.version <- t.version + 1
+(* Journal an undo entry for the mutation about to happen — at most one
+   per savepoint scope per table.  A destructive mutation snapshots the
+   live row-pointer array (shallow: sound because every mutator copies a
+   row before modifying it); an append-only mutation logs a cheaper
+   truncate-to-previous-length entry, upgraded to a full snapshot if a
+   destructive mutation follows in the same scope (rollback then runs the
+   snapshot restore first, newest-first, and the truncate second, which
+   yields the original prefix).  Undo *bumps* [version] instead of
+   restoring it so a rolled-back mutation can never revalidate a stale
+   interval index or cached plan. *)
+let log_undo t ~full =
+  if Undo_log.is_active t.undo then begin
+    let snapshot_entry () =
+      let saved = Vec.snapshot t.rows in
+      Undo_log.log t.undo (fun () ->
+          Vec.restore t.rows saved;
+          t.version <- t.version + 1)
+    in
+    let mark = Undo_log.serial t.undo in
+    if t.undo_mark < mark then begin
+      t.undo_mark <- mark;
+      t.undo_full <- full;
+      if full then snapshot_entry ()
+      else begin
+        let len = Vec.length t.rows in
+        Undo_log.log t.undo (fun () ->
+            Vec.truncate t.rows len;
+            t.version <- t.version + 1)
+      end
+    end
+    else if full && not t.undo_full then begin
+      t.undo_full <- true;
+      snapshot_entry ()
+    end
+  end
+
+(* Every mutator passes through here: fault-injection point, undo
+   journaling, then the version bump that invalidates derived caches. *)
+let touch ?(append = false) t =
+  Fault.hit Fault.Table_mutation;
+  log_undo t ~full:(not append);
+  t.version <- t.version + 1
 
 let of_rows schema rows =
   let t = create schema in
@@ -50,7 +103,7 @@ let check_row t (r : row) =
 
 let insert t r =
   check_row t r;
-  touch t;
+  touch ~append:true t;
   Vec.push t.rows r
 
 let iter f t = Vec.iter f t.rows
@@ -108,6 +161,7 @@ let interval_index t ~bi ~ei =
   match Hashtbl.find_opt t.indexes (bi, ei) with
   | Some (v, idx) when v = t.version -> idx
   | stale ->
+      Fault.hit Fault.Index_rebuild;
       let snapshot = Array.make (Vec.length t.rows) [||] in
       Vec.iteri (fun i r -> snapshot.(i) <- r) t.rows;
       let extract (r : row) =

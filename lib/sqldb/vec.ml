@@ -76,6 +76,17 @@ let map_in_place f v =
 
 let clear v = v.len <- 0
 
+(* Shallow copy of the live prefix; O(len).  Elements are shared. *)
+let snapshot v = Array.sub v.data 0 v.len
+
+(* Replace the contents with [arr], taking ownership of the array. *)
+let restore v arr =
+  v.data <- arr;
+  v.len <- Array.length arr
+
+(* Drop elements beyond the first [n]; no-op if already shorter. *)
+let truncate v n = if n >= 0 && n < v.len then v.len <- n
+
 let exists p v =
   let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
   go 0

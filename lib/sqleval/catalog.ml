@@ -52,6 +52,10 @@ and options = {
       (* execution tracing and metrics (spans, counters, events) into
          {!t.obs}; off by default — when off, instrumentation costs one
          flag test per site *)
+  guards : Guard.t;
+      (* resource limits (deadline, row budget, loop cap, recursion
+         depth) plus the atomic-execution and PERST→MAX fallback
+         switches; checked at evaluator step boundaries *)
 }
 
 exception No_such_routine of string
@@ -64,6 +68,7 @@ let default_options () =
     temporal_index = true;
     plan_caching = true;
     observe = false;
+    guards = Guard.default ();
   }
 
 let create () =
@@ -90,10 +95,23 @@ let trace cat =
 
 let key = String.lowercase_ascii
 
+(* View / routine registration journals an undo entry through the
+   database's journal whenever the definition *semantically* changes, so
+   a rolled-back execution also restores the catalog (and re-bumps the
+   generation, keeping cached plans conservatively invalid). *)
 let add_view cat name q =
   let k = key name in
-  if Hashtbl.find_opt cat.views k <> Some q then
+  let prev = Hashtbl.find_opt cat.views k in
+  if prev <> Some q then begin
     cat.generation <- cat.generation + 1;
+    Undo_log.log
+      (Sqldb.Database.undo cat.db)
+      (fun () ->
+        (match prev with
+        | None -> Hashtbl.remove cat.views k
+        | Some v -> Hashtbl.replace cat.views k v);
+        cat.generation <- cat.generation + 1)
+  end;
   Hashtbl.replace cat.views k q
 
 let find_view cat name = Hashtbl.find_opt cat.views (key name)
@@ -102,8 +120,17 @@ let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
   let k = key r.Sqlast.Ast.r_name in
   if (not replace) && Hashtbl.mem cat.routines k then
     raise (Duplicate_routine r.Sqlast.Ast.r_name);
-  if Hashtbl.find_opt cat.routines k <> Some (kind, r) then
+  let prev = Hashtbl.find_opt cat.routines k in
+  if prev <> Some (kind, r) then begin
     cat.generation <- cat.generation + 1;
+    Undo_log.log
+      (Sqldb.Database.undo cat.db)
+      (fun () ->
+        (match prev with
+        | None -> Hashtbl.remove cat.routines k
+        | Some x -> Hashtbl.replace cat.routines k x);
+        cat.generation <- cat.generation + 1)
+  end;
   Hashtbl.replace cat.routines k (kind, r)
 
 let find_routine cat name = Hashtbl.find_opt cat.routines (key name)
@@ -178,7 +205,8 @@ let copy cat =
     views = Hashtbl.copy cat.views;
     routines = Hashtbl.copy cat.routines;
     native_table_funs = Hashtbl.copy cat.native_table_funs;
-    options = { cat.options with hash_joins = cat.options.hash_joins };
+    (* fresh Guard: copies must not share running guard state *)
+    options = { cat.options with guards = Guard.copy cat.options.guards };
     obs;
     generation = cat.generation;
     plan_cache = Hashtbl.create 16;

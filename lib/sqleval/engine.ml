@@ -14,6 +14,7 @@ let create ?(now = default_now) () = { cat = Catalog.create (); now }
 
 let catalog t = t.cat
 let database t = t.cat.Catalog.db
+let guards t = t.cat.Catalog.options.Catalog.guards
 let set_now t d = t.now <- d
 let now t = t.now
 

@@ -18,6 +18,11 @@ val create : ?now:Sqldb.Date.t -> unit -> t
 val catalog : t -> Catalog.t
 val database : t -> Sqldb.Database.t
 
+val guards : t -> Guard.t
+(** The catalog's resource guard: tune limits (deadline, row budget,
+    loop cap, recursion depth) and the atomic / PERST-fallback switches
+    in place. *)
+
 val set_now : t -> Sqldb.Date.t -> unit
 val now : t -> Sqldb.Date.t
 

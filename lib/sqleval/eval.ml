@@ -71,6 +71,7 @@ type env = {
      key = (function name, argument values). *)
   tf_cache : (string * Value.t list, Result_set.t) Hashtbl.t;
   mutable calls : int;  (* statistics: routine invocations *)
+  guard : Guard.t;  (* the catalog's resource guard, bound once *)
 }
 
 let new_scope () =
@@ -90,14 +91,13 @@ let create_env ?(now = Date.of_ymd ~y:2011 ~m:1 ~d:1) ?(tt_mode = `Current) cat
     depth = ref 0;
     tf_cache = Hashtbl.create 64;
     calls = 0;
+    guard = cat.Catalog.options.Catalog.guards;
   }
 
 (* A child environment for a routine body: fresh frames and scopes so the
    routine cannot see the caller's columns or variables. *)
 let routine_env env =
   { env with frames = []; scopes = [ new_scope () ] }
-
-let max_depth = 200
 
 let find_var env name =
   let name = String.lowercase_ascii name in
@@ -276,6 +276,45 @@ exception Return_table of Result_set.t
 exception Leave_loop of string
 exception Iterate_loop of string
 exception Not_found_condition
+
+(* Control-flow exceptions are success paths: the savepoint machinery
+   below must let them pass without rolling anything back. *)
+let control_exn = function
+  | Return_value _ | Return_table _ | Leave_loop _ | Iterate_loop _
+  | Not_found_condition ->
+      true
+  | _ -> false
+
+(* Run [f] as an atomic unit when the guard's atomic switch is on.  The
+   outermost call (per engine) activates the database undo journal and
+   commits or rolls back the whole unit; a nested call — a routine body
+   inside an already-atomic statement — degrades to a savepoint that
+   rolls back only the routine's own effects on failure. *)
+let atomically env f =
+  if not env.guard.Guard.atomic then f ()
+  else begin
+    let j = Database.undo env.cat.Catalog.db in
+    if Undo_log.is_active j then begin
+      let sp = Undo_log.savepoint j in
+      try f ()
+      with e when not (control_exn e) ->
+        Undo_log.rollback_to j sp;
+        raise e
+    end
+    else begin
+      Undo_log.activate j;
+      match f () with
+      | r ->
+          Undo_log.deactivate j;
+          Undo_log.clear j;
+          r
+      | exception e ->
+          if not (control_exn e) then Undo_log.rollback_to j (Undo_log.top j);
+          Undo_log.deactivate j;
+          Undo_log.clear j;
+          raise e
+    end
+  end
 
 type exec_result = Rows of Result_set.t | Affected of int | Unit
 
@@ -1091,6 +1130,7 @@ and eval_select env (s : select) : Result_set.t =
       let snapshots = ref [] in
       let flat_rows = ref [] in
       let emit () =
+        Guard.charge_rows env.guard 1;
         if grouped then
           (* Snapshot the joined row for later grouping. *)
           snapshots := Array.map (fun b -> b.b_row) bindings_arr :: !snapshots
@@ -1466,42 +1506,51 @@ and bind_params env (r : routine) argv =
   List.iter2 (fun p v -> declare_var env p.p_name v) r.r_params argv
 
 and invoke_scalar_function env (r : routine) argv : Value.t =
+  Fault.hit Fault.Routine_call;
   incr env.depth;
-  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Guard.check_depth env.guard !(env.depth);
   Fun.protect
     ~finally:(fun () -> decr env.depth)
     (fun () ->
       env.calls <- env.calls + 1;
       let obs = env.cat.Catalog.obs in
       Trace.count obs "routine.calls" 1;
-      Trace.time obs "routine.seconds" (fun () ->
-          let renv = routine_env env in
-          bind_params renv r argv;
-          match exec_stmts renv r.r_body with
-          | () -> sql_error "function %s ended without RETURN" r.r_name
-          | exception Return_value v -> v))
+      Taupsm_error.with_routine r.r_name (fun () ->
+          atomically env (fun () ->
+              Trace.time obs "routine.seconds" (fun () ->
+                  let renv = routine_env env in
+                  bind_params renv r argv;
+                  match exec_stmts renv r.r_body with
+                  | () -> sql_error "function %s ended without RETURN" r.r_name
+                  | exception Return_value v -> v))))
 
 and invoke_routine_table env (r : routine) argv : Result_set.t =
+  Fault.hit Fault.Routine_call;
   incr env.depth;
-  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Guard.check_depth env.guard !(env.depth);
   Fun.protect
     ~finally:(fun () -> decr env.depth)
     (fun () ->
       env.calls <- env.calls + 1;
       let obs = env.cat.Catalog.obs in
       Trace.count obs "routine.calls" 1;
-      Trace.time obs "routine.seconds" (fun () ->
-          let renv = routine_env env in
-          bind_params renv r argv;
-          match exec_stmts renv r.r_body with
-          | () -> sql_error "table function %s ended without RETURN" r.r_name
-          | exception Return_table rs -> rs
-          | exception Return_value _ ->
-              sql_error "table function %s returned a scalar" r.r_name))
+      Taupsm_error.with_routine r.r_name (fun () ->
+          atomically env (fun () ->
+              Trace.time obs "routine.seconds" (fun () ->
+                  let renv = routine_env env in
+                  bind_params renv r argv;
+                  match exec_stmts renv r.r_body with
+                  | () ->
+                      sql_error "table function %s ended without RETURN"
+                        r.r_name
+                  | exception Return_table rs -> rs
+                  | exception Return_value _ ->
+                      sql_error "table function %s returned a scalar" r.r_name))))
 
 and invoke_procedure env (r : routine) (args : expr list) : unit =
+  Fault.hit Fault.Routine_call;
   incr env.depth;
-  if !(env.depth) > max_depth then sql_error "routine recursion too deep";
+  Guard.check_depth env.guard !(env.depth);
   Fun.protect
     ~finally:(fun () -> decr env.depth)
     (fun () ->
@@ -1510,6 +1559,8 @@ and invoke_procedure env (r : routine) (args : expr list) : unit =
       if List.length r.r_params <> List.length args then
         sql_error "%s expects %d argument(s), got %d" r.r_name
           (List.length r.r_params) (List.length args);
+      Taupsm_error.with_routine r.r_name @@ fun () ->
+      atomically env @@ fun () ->
       let renv = routine_env env in
       (* IN params: by value.  OUT/INOUT: the argument must be a variable
          of the caller; copy back after the body runs. *)
@@ -1565,6 +1616,7 @@ and not_found env vars =
         vars
 
 and exec_stmt env (s : stmt) : exec_result =
+  Guard.step env.guard;
   match s with
   | Squery q -> Rows (eval_query env q)
   | Sinsert (tname, cols, src) -> exec_insert env tname cols src
@@ -1685,8 +1737,11 @@ and exec_stmt env (s : stmt) : exec_result =
         ~finally:(fun () -> env.frames <- saved)
         (fun () ->
           (try
+             let iters = ref 0 in
              List.iter
                (fun row ->
+                 incr iters;
+                 Guard.check_loop env.guard !iters;
                  b.b_row <- row;
                  try exec_stmts env f.for_body
                  with Iterate_loop l
@@ -1753,21 +1808,22 @@ and exec_stmt env (s : stmt) : exec_result =
          routines containing VALIDTIME are only invocable from a \
          nonsequenced context (the stratum rejects or rewrites them)"
 
-and exec_loop _env label step =
+and exec_loop env label step =
   let matches l =
     match label with
     | Some l' -> String.lowercase_ascii l = String.lowercase_ascii l'
     | None -> false
   in
-  let rec go () =
+  let rec go iters =
+    Guard.check_loop env.guard iters;
     let continue_ =
       try step () with
       | Iterate_loop l when matches l -> true
       | Leave_loop l when matches l -> false
     in
-    if continue_ then go ()
+    if continue_ then go (iters + 1)
   in
-  go ()
+  go 1
 
 and exec_insert env tname cols src : exec_result =
   let t = Database.find_table_exn env.cat.Catalog.db tname in
@@ -1820,6 +1876,7 @@ and exec_insert env tname cols src : exec_result =
       row.(Schema.tt_begin_index schema) <- Value.Date env.now;
       row.(Schema.tt_end_index schema) <- Value.Date Date.forever
     end;
+    Guard.charge_rows env.guard 1;
     Table.insert t row
   in
   match src with
@@ -2045,4 +2102,7 @@ let exec_toplevel ?now ?tt_mode cat (s : stmt) : exec_result =
   (* A top-level statement may be a bare PSM block (used by generated
      code); give it a scope. *)
   env.scopes <- [ new_scope () ];
-  exec_stmt env s
+  Guard.enter env.guard;
+  Fun.protect
+    ~finally:(fun () -> Guard.leave env.guard)
+    (fun () -> atomically env (fun () -> exec_stmt env s))

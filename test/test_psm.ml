@@ -143,10 +143,17 @@ let test_recursion_guard () =
     "CREATE FUNCTION boom (x INTEGER) RETURNS INTEGER BEGIN RETURN boom(x); \
      END";
   match rows e "SELECT boom(1) FROM nums WHERE n = 1" with
-  | exception Eval.Sql_error msg ->
+  | exception
+      Taupsm_error.Error
+        {
+          code = Taupsm_error.Resource_exhausted Taupsm_error.Recursion_depth;
+          message;
+          routine;
+          _;
+        } ->
       Alcotest.(check bool) "mentions recursion" true
-        (Astring.String.is_infix ~affix:"recursion" msg
-         || String.length msg > 0)
+        (Astring.String.is_infix ~affix:"recursion" message);
+      Alcotest.(check (option string)) "routine context" (Some "boom") routine
   | _ -> Alcotest.fail "unbounded recursion should be stopped"
 
 let test_table_function () =
