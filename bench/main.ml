@@ -416,6 +416,127 @@ let json_escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* ------------------------------------------------------------------ *)
+(* Unified BENCH_*.json schema                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every BENCH_pr<N>.json shares one top-level shape:
+
+     { "pr": <int>, "commit": <short sha>, "target": <bench target>,
+       "geomean": <headline geometric-mean ratio>, ...extras...,
+       "queries": [ { "query": <id>, ... }, ... ] }
+
+   [geomean] is always a ratio (speedup, on/off overhead, ...) so CI
+   can gate on one key regardless of target; target-specific context
+   (dataset, sync policy, recovery rates) rides along as extra fields.
+   [write_bench] validates the assembled document against this schema
+   before anything touches disk — a bench refactor that drops a
+   required key fails loudly instead of publishing a malformed file. *)
+
+type json =
+  | Jint of int
+  | Jfloat of float
+  | Jstr of string
+  | Jraw of string  (* pre-rendered JSON, e.g. Observe.metrics_to_json *)
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let rec json_render = function
+  | Jint i -> string_of_int i
+  | Jfloat f -> Printf.sprintf "%.6f" f
+  | Jstr s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Jraw s -> s
+  | Jlist l -> "[" ^ String.concat ", " (List.map json_render l) ^ "]"
+  | Jobj fields ->
+      "{ "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (json_render v))
+             fields)
+      ^ " }"
+
+let bench_schema_check ~file = function
+  | Jobj fields ->
+      let fail msg =
+        Printf.eprintf "BENCH schema violation (%s): %s\n%!" file msg;
+        exit 3
+      in
+      let need name pred =
+        match List.assoc_opt name fields with
+        | None -> fail ("missing required field \"" ^ name ^ "\"")
+        | Some v -> if not (pred v) then fail ("bad type for \"" ^ name ^ "\"")
+      in
+      need "pr" (function Jint n -> n >= 0 | _ -> false);
+      need "commit" (function Jstr s -> s <> "" | _ -> false);
+      need "target" (function Jstr s -> s <> "" | _ -> false);
+      need "geomean" (function
+        | Jfloat f -> Float.is_finite f && f > 0.0
+        | _ -> false);
+      need "queries" (function
+        | Jlist (_ :: _ as qs) ->
+            List.for_all
+              (function
+                | Jobj qf -> (
+                    match List.assoc_opt "query" qf with
+                    | Some (Jstr _) -> true
+                    | _ -> false)
+                | _ -> false)
+              qs
+        | _ -> false)
+  | _ ->
+      Printf.eprintf "BENCH schema violation (%s): not an object\n%!" file;
+      exit 3
+
+let git_commit () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with
+  | Some sha -> sha
+  | None | (exception _) -> "unknown"
+
+let write_bench ~pr ~target ~geomean ~extra ~queries file =
+  let doc =
+    Jobj
+      ([
+         ("pr", Jint pr);
+         ("commit", Jstr (git_commit ()));
+         ("target", Jstr target);
+         ("geomean", Jfloat geomean);
+       ]
+      @ extra
+      @ [ ("queries", Jlist queries) ])
+  in
+  bench_schema_check ~file doc;
+  let oc = open_out file in
+  (* top-level fields one per line, one line per query entry *)
+  (match doc with
+  | Jobj fields ->
+      Printf.fprintf oc "{\n";
+      let n = List.length fields in
+      List.iteri
+        (fun i (k, v) ->
+          let sep = if i = n - 1 then "" else "," in
+          match v with
+          | Jlist items when k = "queries" ->
+              Printf.fprintf oc "  \"queries\": [\n";
+              let m = List.length items in
+              List.iteri
+                (fun j item ->
+                  Printf.fprintf oc "    %s%s\n" (json_render item)
+                    (if j = m - 1 then "" else ","))
+                items;
+              Printf.fprintf oc "  ]%s\n" sep
+          | _ -> Printf.fprintf oc "  \"%s\": %s%s\n" k (json_render v) sep)
+        fields;
+      Printf.fprintf oc "}\n"
+  | _ -> assert false);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 (* The PR's headline ablation: interval-indexed period-overlap scans
    against full scans, on MAX sequenced evaluation at the 1-year
    context, with a bit-identical-results check over all 16 queries and
@@ -523,37 +644,33 @@ let index_ablation () =
   in
   Printf.printf "geometric-mean speedup: %.2fx (%d/%d queries ok)\n" geomean
     (List.length ok_points) (List.length points);
-  let oc = open_out "BENCH_pr1.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"temporal-index-ablation\",\n\
-    \  \"dataset\": \"DS1-SMALL\",\n\
-    \  \"strategy\": \"MAX\",\n\
-    \  \"context_days\": %d,\n\
-    \  \"identical_results\": \"%d/%d\",\n\
-    \  \"geomean_speedup\": %.3f,\n\
-    \  \"queries\": [\n"
-    days !identical !checked geomean;
-  List.iteri
-    (fun i (id, r) ->
-      let body =
-        match r with
-        | Ok (t_on, t_off, m) ->
-            Printf.sprintf
-              "\"indexed_seconds\": %.6f, \"unindexed_seconds\": %.6f, \
-               \"speedup\": %.3f, \"metrics\": %s"
-              t_on t_off (t_off /. t_on)
-              (match m with
-              | Some m -> Taupsm.Observe.metrics_to_json m
-              | None -> "null")
-        | Error msg -> Printf.sprintf "\"error\": \"%s\"" (json_escape msg)
-      in
-      Printf.fprintf oc "    { \"query\": \"%s\", %s }%s\n" id body
-        (if i = List.length points - 1 then "" else ","))
-    points;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote BENCH_pr1.json\n%!"
+  write_bench ~pr:1 ~target:"index" ~geomean
+    ~extra:
+      [
+        ("dataset", Jstr "DS1-SMALL");
+        ("strategy", Jstr "MAX");
+        ("context_days", Jint days);
+        ("identical_results", Jstr (Printf.sprintf "%d/%d" !identical !checked));
+      ]
+    ~queries:
+      (List.map
+         (fun (id, r) ->
+           match r with
+           | Ok (t_on, t_off, m) ->
+               Jobj
+                 [
+                   ("query", Jstr id);
+                   ("indexed_seconds", Jfloat t_on);
+                   ("unindexed_seconds", Jfloat t_off);
+                   ("speedup", Jfloat (t_off /. t_on));
+                   ( "metrics",
+                     match m with
+                     | Some m -> Jraw (Taupsm.Observe.metrics_to_json m)
+                     | None -> Jraw "null" );
+                 ]
+           | Error msg -> Jobj [ ("query", Jstr id); ("error", Jstr msg) ])
+         points)
+    "BENCH_pr1.json"
 
 (* This PR's A/B: the price of fault tolerance.  Guards-off disables
    every limit check and the undo journal; guards-on arms generous
@@ -606,29 +723,26 @@ let guards_bench () =
   in
   Printf.printf "geometric-mean overhead: %.2f%% (target < 2%%)\n"
     (100.0 *. (geomean_ratio -. 1.0));
-  let oc = open_out "BENCH_pr3.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"guard-overhead\",\n\
-    \  \"dataset\": \"DS1-SMALL\",\n\
-    \  \"strategy\": \"MAX\",\n\
-    \  \"context_days\": %d,\n\
-    \  \"geomean_overhead_pct\": %.3f,\n\
-    \  \"queries\": [\n"
-    days
-    (100.0 *. (geomean_ratio -. 1.0));
-  List.iteri
-    (fun i (id, off, on) ->
-      Printf.fprintf oc
-        "    { \"query\": \"%s\", \"guards_off_seconds\": %.6f, \
-         \"guards_on_seconds\": %.6f, \"overhead_pct\": %.3f }%s\n"
-        id off on
-        (100.0 *. ((on /. off) -. 1.0))
-        (if i = List.length points - 1 then "" else ","))
-    points;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote BENCH_pr3.json\n%!"
+  write_bench ~pr:3 ~target:"guards" ~geomean:geomean_ratio
+    ~extra:
+      [
+        ("dataset", Jstr "DS1-SMALL");
+        ("strategy", Jstr "MAX");
+        ("context_days", Jint days);
+        ("geomean_overhead_pct", Jfloat (100.0 *. (geomean_ratio -. 1.0)));
+      ]
+    ~queries:
+      (List.map
+         (fun (id, off, on) ->
+           Jobj
+             [
+               ("query", Jstr id);
+               ("guards_off_seconds", Jfloat off);
+               ("guards_on_seconds", Jfloat on);
+               ("overhead_pct", Jfloat (100.0 *. ((on /. off) -. 1.0)));
+             ])
+         points)
+    "BENCH_pr3.json"
 
 (* Fault-injection sweep: seeded faults across all 16 queries and both
    strategies must (a) surface as typed errors and (b) leave the
@@ -728,6 +842,264 @@ let faults_sweep () =
     "fault points fired: %d; runs untouched by the fault: %d; fallback \
      equivalences checked: %d; violations: %d\n%!"
     !fired !clean !fallback_checked !violations;
+  if !violations > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Durability benchmarks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let dir_bytes dir =
+  Array.fold_left
+    (fun acc f ->
+      acc + try (Unix.stat (Filename.concat dir f)).Unix.st_size with _ -> 0)
+    0 (Sys.readdir dir)
+
+(* The price of durability: every query under MAX with a WAL attached
+   at batch sync versus fully volatile, plus the recovery rate for the
+   durable state each query run leaves behind.  Records the A/B in
+   BENCH_pr4.json and exits nonzero when the geomean overhead breaks
+   the 10% gate — the CI contract for the durable stratum. *)
+let wal_bench () =
+  let title =
+    "WAL overhead — durable store at batch sync vs volatile (DS1-SMALL, \
+     MAX, 1-month context)"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let e0 = Datasets.load { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  Queries.install e0;
+  let days = 30 in
+  Printf.printf "%-5s %12s %12s %9s %12s\n" "query" "volatile" "wal on"
+    "overhead" "recover s/MB";
+  let points =
+    List.map
+      (fun (q : Queries.t) ->
+        let t_vol =
+          let e = Engine.copy e0 in
+          time_run ~runs:5 (run_query e q ~strategy:Stratum.Max ~days)
+        in
+        let e = Engine.copy e0 in
+        let dir = Filename.temp_dir "taupsm_walbench" "" in
+        let h =
+          Sqleval.Persist.attach ~policy:(Durable.Wal.Batch 16) ~dir e
+        in
+        let t_wal = time_run ~runs:5 (run_query e q ~strategy:Stratum.Max ~days) in
+        Sqleval.Persist.detach h;
+        (* recovery rate over the durable bytes the timed runs produced *)
+        let bytes = dir_bytes dir in
+        let _, report = Sqleval.Persist.recover ~dir () in
+        rm_rf dir;
+        let mb = float_of_int bytes /. (1024.0 *. 1024.0) in
+        let spm = report.Durable.Store.seconds /. Float.max 1e-9 mb in
+        let ov = (t_wal /. t_vol) -. 1.0 in
+        Printf.printf "%-5s %12.4f %12.4f %8.2f%% %12.3f\n%!" q.Queries.id
+          t_vol t_wal (100.0 *. ov) spm;
+        (q.Queries.id, t_vol, t_wal, bytes, report.Durable.Store.seconds))
+      Queries.all
+  in
+  let geomean_ratio =
+    exp
+      (List.fold_left (fun acc (_, vol, wal, _, _) -> acc +. log (wal /. vol))
+         0.0 points
+      /. float_of_int (max 1 (List.length points)))
+  in
+  let total_bytes =
+    List.fold_left (fun acc (_, _, _, b, _) -> acc + b) 0 points
+  in
+  let total_rec_seconds =
+    List.fold_left (fun acc (_, _, _, _, s) -> acc +. s) 0.0 points
+  in
+  let total_mb = float_of_int total_bytes /. (1024.0 *. 1024.0) in
+  Printf.printf
+    "geometric-mean overhead: %.2f%% (gate < 10%%); recovery: %.1f MB in \
+     %.3fs (%.3f s/MB)\n"
+    (100.0 *. (geomean_ratio -. 1.0))
+    total_mb total_rec_seconds
+    (total_rec_seconds /. Float.max 1e-9 total_mb);
+  write_bench ~pr:4 ~target:"wal" ~geomean:geomean_ratio
+    ~extra:
+      [
+        ("dataset", Jstr "DS1-SMALL");
+        ("strategy", Jstr "MAX");
+        ("context_days", Jint days);
+        ("sync_policy", Jstr "batch:16");
+        ("geomean_overhead_pct", Jfloat (100.0 *. (geomean_ratio -. 1.0)));
+        ("recovered_mb", Jfloat total_mb);
+        ( "recovery_seconds_per_mb",
+          Jfloat (total_rec_seconds /. Float.max 1e-9 total_mb) );
+      ]
+    ~queries:
+      (List.map
+         (fun (id, vol, wal, bytes, rec_s) ->
+           Jobj
+             [
+               ("query", Jstr id);
+               ("volatile_seconds", Jfloat vol);
+               ("wal_seconds", Jfloat wal);
+               ("overhead_pct", Jfloat (100.0 *. ((wal /. vol) -. 1.0)));
+               ("durable_bytes", Jint bytes);
+               ("recovery_seconds", Jfloat rec_s);
+             ])
+         points)
+    "BENCH_pr4.json";
+  if geomean_ratio >= 1.10 then begin
+    Printf.printf "WAL OVERHEAD GATE FAILED: %.2f%% >= 10%%\n%!"
+      (100.0 *. (geomean_ratio -. 1.0));
+    exit 1
+  end
+
+(* Crash-point fuzzing at benchmark scale: on each of DS1–DS3 a
+   workload of temporal DDL, sequenced DML and benchmark queries runs
+   against a durable store whose every write is under a seeded byte
+   budget; recovery from the resulting torn directory must always
+   reproduce the database exactly as of some committed-statement
+   prefix.  >= 200 crash points; exits nonzero on any violation — the
+   CI smoke gate for the durable stratum. *)
+let recovery_fuzz () =
+  let title = "Recovery fuzz — seeded crash points across DS1-DS3 workloads" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let context = context_of 30 in
+  (* per-dataset workload: scratch-table DDL + sequenced DML (valid on
+     any dataset) followed by benchmark queries (temp-table churn) *)
+  let dml =
+    [
+      "CREATE TABLE fuzz_tariff (name VARCHAR(10), pct DOUBLE) WITH VALIDTIME";
+      "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01') INSERT INTO \
+       fuzz_tariff VALUES ('base', 5.0)";
+      "VALIDTIME [DATE '2010-02-01', DATE '2010-06-01') INSERT INTO \
+       fuzz_tariff VALUES ('extra', 2.0)";
+      "CREATE VIEW fuzz_cheap AS SELECT name FROM fuzz_tariff WHERE pct < 3.0";
+      "VALIDTIME [DATE '2010-03-01', DATE '2010-04-01') UPDATE fuzz_tariff \
+       SET pct = 9.9 WHERE name = 'base'";
+      "VALIDTIME [DATE '2010-04-01', DATE '2010-05-01') DELETE FROM \
+       fuzz_tariff WHERE name = 'extra'";
+    ]
+  in
+  let workload_of qids =
+    dml
+    @ List.map
+        (fun id -> Queries.sequenced ~context (Queries.find id))
+        qids
+  in
+  let all_ids = List.map (fun (q : Queries.t) -> q.Queries.id) Queries.all in
+  let plan =
+    [
+      (Datasets.DS1, workload_of all_ids, 120);
+      (Datasets.DS2, workload_of [ "q2"; "q5"; "q8"; "q11"; "q17"; "q19" ], 90);
+      (Datasets.DS3, workload_of [ "q3"; "q6"; "q9"; "q14"; "q17b"; "q20" ], 90);
+    ]
+  in
+  let policy = Durable.Wal.Batch 8 and snapshot_every = 8 in
+  let violations = ref 0 and trials = ref 0 and vacuous = ref 0 in
+  List.iter
+    (fun (ds, workload, n_points) ->
+      let base = Datasets.load { Datasets.ds; size = Heuristic.Small } in
+      Queries.install base;
+      (* golden run: prefix states keyed by commit serial *)
+      let golden_dir = Filename.temp_dir "taupsm_fuzz_gold" "" in
+      let e = Engine.copy base in
+      let h = Sqleval.Persist.attach ~policy ~snapshot_every ~dir:golden_dir e in
+      let prefixes = Hashtbl.create 64 in
+      let record () =
+        Hashtbl.replace prefixes
+          (Durable.Store.serial (Sqleval.Persist.store h))
+          (Sqldb.Database.copy (Engine.database e))
+      in
+      record ();
+      List.iter
+        (fun sql ->
+          ignore (Stratum.exec_sql e sql);
+          record ())
+        workload;
+      Sqleval.Persist.detach h;
+      rm_rf golden_dir;
+      (* total durable bytes, via a huge armed budget that never fires *)
+      let total =
+        let big = 1 lsl 30 in
+        Fault.arm_crash ~at_bytes:big;
+        let dir = Filename.temp_dir "taupsm_fuzz_measure" "" in
+        let e = Engine.copy base in
+        let h = Sqleval.Persist.attach ~policy ~snapshot_every ~dir e in
+        List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload;
+        Sqleval.Persist.detach h;
+        rm_rf dir;
+        let remaining =
+          match Fault.crash_armed () with Some r -> r | None -> 0
+        in
+        Fault.disarm_crash ();
+        big - remaining
+      in
+      Printf.printf "%s-SMALL: %d statements, %d durable bytes, %d crash \
+                     points\n%!"
+        (Datasets.ds_to_string ds)
+        (List.length workload) total n_points;
+      let rng = Random.State.make [| 0x7a5; Hashtbl.hash ds |] in
+      for _ = 1 to n_points do
+        incr trials;
+        let at_bytes = Random.State.int rng total in
+        let dir = Filename.temp_dir "taupsm_fuzz" "" in
+        Fault.arm_crash ~at_bytes;
+        let crashed_in_attach = ref false in
+        (try
+           let e = Engine.copy base in
+           let h =
+             try Sqleval.Persist.attach ~policy ~snapshot_every ~dir e
+             with Fault.Crash _ ->
+               crashed_in_attach := true;
+               raise Exit
+           in
+           (try
+              List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload
+            with Fault.Crash _ -> ());
+           if not (Durable.Store.is_dead (Sqleval.Persist.store h)) then
+             Sqleval.Persist.detach h
+         with Exit -> ());
+        Fault.disarm_crash ();
+        if !crashed_in_attach && not (Durable.Store.exists dir) then
+          (* died before the first snapshot landed: durably nothing *)
+          incr vacuous
+        else begin
+          match Sqleval.Persist.recover ~dir () with
+          | e', report -> (
+              let s = report.Durable.Store.last_serial in
+              match Hashtbl.find_opt prefixes s with
+              | None ->
+                  incr violations;
+                  Printf.printf
+                    "VIOLATION %s crash@%d: serial %d is not a committed \
+                     prefix\n%!"
+                    (Datasets.ds_to_string ds) at_bytes s
+              | Some g -> (
+                  match
+                    Taupsm.Resilient.db_diff g (Engine.database e')
+                  with
+                  | None -> ()
+                  | Some diff ->
+                      incr violations;
+                      Printf.printf
+                        "VIOLATION %s crash@%d serial=%d: %s\n%!"
+                        (Datasets.ds_to_string ds) at_bytes s diff))
+          | exception exn ->
+              incr violations;
+              Printf.printf "VIOLATION %s crash@%d: recovery raised %s\n%!"
+                (Datasets.ds_to_string ds) at_bytes (Printexc.to_string exn)
+        end;
+        rm_rf dir;
+        if !trials mod 20 = 0 then
+          Printf.printf "  %d crash points done (%d violations)\n%!" !trials
+            !violations
+      done)
+    plan;
+  Printf.printf
+    "crash points: %d (%d pre-durability, vacuous); prefix violations: %d\n%!"
+    !trials !vacuous !violations;
   if !violations > 0 then exit 1
 
 (* Nontemporal baseline: the 16 conventional queries on the snapshot
@@ -869,13 +1241,15 @@ let () =
       | "index" -> index_ablation ()
       | "guards" -> guards_bench ()
       | "faults" -> faults_sweep ()
+      | "wal" -> wal_bench ()
+      | "recovery-fuzz" -> recovery_fuzz ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
-             heuristic|nontemporal|ablation|index|guards|faults|bechamel|\
-             correctness)\n"
+             heuristic|nontemporal|ablation|index|guards|faults|wal|\
+             recovery-fuzz|bechamel|correctness)\n"
             other;
           exit 2)
     targets

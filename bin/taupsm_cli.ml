@@ -21,6 +21,7 @@
 open Cmdliner
 module Engine = Sqleval.Engine
 module Eval = Sqleval.Eval
+module Persist = Sqleval.Persist
 module Stratum = Taupsm.Stratum
 module Datasets = Taubench.Datasets
 module Queries = Taubench.Queries
@@ -155,6 +156,73 @@ let make_engine ~empty ~seed spec =
     e
   end
 
+(* Durability flags (run/repl): a --db-dir holding a store is recovered
+   and resumed (the dataset flags are then moot — the store *is* the
+   data); an empty or absent one is initialised from the loaded
+   dataset.  Either way every committed statement is then
+   write-ahead-logged. *)
+let db_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable store directory.  Recovered (snapshot + WAL replay) if \
+           it already holds a store, otherwise initialised from the loaded \
+           dataset; committed statements are write-ahead-logged to it.")
+
+let wal_sync_conv =
+  let parse = function
+    | "always" -> Ok Durable.Wal.Always
+    | "batch" -> Ok (Durable.Wal.Batch 16)
+    | "off" -> Ok Durable.Wal.Off
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown sync policy %S (always|batch|off)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Durable.Wal.Always -> "always"
+      | Durable.Wal.Batch _ -> "batch"
+      | Durable.Wal.Off -> "off")
+  in
+  Arg.conv (parse, print)
+
+let wal_sync_arg =
+  Arg.(
+    value
+    & opt wal_sync_conv (Durable.Wal.Batch 16)
+    & info [ "wal-sync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL fsync policy: $(b,always) (fsync every commit), $(b,batch) \
+           (fsync every 16 commits, the default), or $(b,off).")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Rotate to a fresh snapshot + WAL pair every $(docv) committed \
+           statements (older generations are kept as recovery fallbacks).")
+
+let make_durable_engine ~empty ~seed ~policy ~snapshot_every spec db_dir =
+  match db_dir with
+  | None -> (make_engine ~empty ~seed spec, None)
+  | Some dir ->
+      if Durable.Store.exists dir then begin
+        let e, report = Persist.recover ~dir () in
+        let h = Persist.resume ~policy ?snapshot_every ~dir e report in
+        Stratum.install e;
+        Printf.eprintf "%s\n%!" (Persist.report_to_string report);
+        (e, Some h)
+      end
+      else begin
+        let e = make_engine ~empty ~seed spec in
+        let h = Persist.attach ~policy ?snapshot_every ~dir e in
+        (e, Some h)
+      end
+
 (* Every failure — including engine invariant violations — prints a
    structured one-liner (code, message, routine/statement/period context
    when known) and exits nonzero; nothing escapes as a raw backtrace. *)
@@ -213,20 +281,27 @@ let run_cmd =
       & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
   in
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic stmts =
+      no_atomic db_dir policy snapshot_every stmts =
     handle_errors (fun () ->
-        let e = make_engine ~empty ~seed dataset in
-        set_guards e deadline max_rows loop_cap fallback no_atomic;
-        List.iter
-          (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
-          stmts)
+        let e, h =
+          make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
+            db_dir
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Persist.detach h)
+          (fun () ->
+            set_guards e deadline max_rows loop_cap fallback no_atomic;
+            List.iter
+              (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
+              stmts))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute temporal statements and print the results.")
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ stmts_arg)
+      $ no_atomic_arg $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg
+      $ stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
@@ -234,12 +309,17 @@ let run_cmd =
 
 let repl_cmd =
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic =
-    let e = make_engine ~empty ~seed dataset in
+      no_atomic db_dir policy snapshot_every =
+    let e, h =
+      make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset db_dir
+    in
     set_guards e deadline max_rows loop_cap fallback no_atomic;
     Printf.printf
       "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
-      (if empty then "empty database" else Datasets.spec_to_string dataset);
+      (match db_dir with
+      | Some dir when h <> None -> Printf.sprintf "durable store %s" dir
+      | _ ->
+          if empty then "empty database" else Datasets.spec_to_string dataset);
     let buf = Buffer.create 256 in
     (try
        while true do
@@ -257,6 +337,7 @@ let repl_cmd =
          end
        done
      with End_of_file -> ());
+    Option.iter Persist.detach h;
     0
   in
   Cmd.v
@@ -264,7 +345,40 @@ let repl_cmd =
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg)
+      $ no_atomic_arg $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg)
+
+(* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recover_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "db-dir" ] ~docv:"DIR" ~doc:"Durable store directory to recover.")
+  in
+  let run dir =
+    handle_errors (fun () ->
+        let e, report = Persist.recover ~dir () in
+        print_endline (Persist.report_to_string report);
+        let db = Engine.database e in
+        Printf.printf "engine clock: %s\n"
+          (Sqldb.Date.to_string (Engine.now e));
+        Printf.printf "%-16s %10s\n" "table" "rows";
+        List.iter
+          (fun name ->
+            Printf.printf "%-16s %10d\n" name
+              (Sqldb.Table.row_count (Sqldb.Database.find_table_exn db name)))
+          (Sqldb.Database.table_names db))
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Recover a durable store (latest intact snapshot + WAL replay to \
+          the last intact commit marker) and report what was rebuilt, \
+          without going live.")
+    Term.(const run $ dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -388,4 +502,4 @@ let explain_cmd =
 let () =
   let doc = "Temporal SQL/PSM: the stratum of Snodgrass et al. (ICDE 2012)" in
   let info = Cmd.info "taupsm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ transform_cmd; run_cmd; repl_cmd; gen_cmd; explain_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ transform_cmd; run_cmd; repl_cmd; gen_cmd; explain_cmd; recover_cmd ]))

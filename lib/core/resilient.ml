@@ -25,6 +25,9 @@ let classify : exn -> Taupsm_error.t = function
       make Taupsm_error.Parse (Printf.sprintf "line %d: %s" line m)
   | Sqlparse.Lexer.Lex_error (m, line) ->
       make Taupsm_error.Parse (Printf.sprintf "line %d: %s" line m)
+  | Fault.Crash m -> make Taupsm_error.Durability m
+  | Durable.Codec.Corrupt m ->
+      make Taupsm_error.Durability ("corrupt WAL payload: " ^ m)
   | exn -> Taupsm_error.of_exn exn
 
 let error_message exn = Taupsm_error.to_string (classify exn)

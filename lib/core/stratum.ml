@@ -499,7 +499,20 @@ let exec ?strategy (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result =
   let cat = Engine.catalog e in
   let g = cat.Catalog.options.Catalog.guards in
   let atomic f =
-    if g.Guard.atomic then Database.with_atomic cat.Catalog.db f else f ()
+    if g.Guard.atomic then Database.with_atomic cat.Catalog.db f
+    else begin
+      (* Non-atomic execution has no rollback: partial effects are real,
+         so the WAL buffer commits at the statement boundary whether the
+         statement succeeded or not — durability mirrors memory. *)
+      let db = cat.Catalog.db in
+      match f () with
+      | r ->
+          Database.wal_commit db;
+          r
+      | exception e ->
+          Database.wal_commit db;
+          raise e
+    end
   in
   let attempt ?strategy () =
     Guard.enter g;

@@ -1,0 +1,295 @@
+(* Little-endian binary codec for WAL record payloads and snapshot
+   bodies.  See codec.mli for the wire grammar; the golden-vector tests
+   in test_durable pin the exact byte layout, so any change here is a
+   format break and needs a new magic at the file layer. *)
+
+open Sqldb
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers (into a Buffer)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let w_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+let w_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+let w_f64 b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers (cursor over an immutable payload)                *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { s : string; mutable pos : int }
+
+let cursor s = { s; pos = 0 }
+
+let need c n =
+  if n < 0 || c.pos + n > String.length c.s then
+    corrupt "truncated payload: need %d byte(s) at offset %d of %d" n c.pos
+      (String.length c.s)
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let r_i64 c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c =
+  let n = r_u32 c in
+  need c n;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+(* Read [n] elements with [f]; each element read re-checks bounds, so a
+   corrupt (huge) count fails fast instead of pre-allocating. *)
+let r_list c n f =
+  let rec go acc i = if i = n then List.rev acc else go (f c :: acc) (i + 1) in
+  go [] 0
+
+let at_end c =
+  if c.pos <> String.length c.s then
+    corrupt "trailing garbage: %d byte(s) after payload"
+      (String.length c.s - c.pos)
+
+(* ------------------------------------------------------------------ *)
+(* Values, rows, schemas                                               *)
+(* ------------------------------------------------------------------ *)
+
+let w_value b = function
+  | Value.Null -> w_u8 b 0
+  | Value.Int n ->
+      w_u8 b 1;
+      w_i64 b n
+  | Value.Float f ->
+      w_u8 b 2;
+      w_f64 b f
+  | Value.Str s ->
+      w_u8 b 3;
+      w_str b s
+  | Value.Bool v ->
+      w_u8 b 4;
+      w_u8 b (if v then 1 else 0)
+  | Value.Date d ->
+      w_u8 b 5;
+      w_i64 b d
+
+let r_value c =
+  match r_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (r_i64 c)
+  | 2 -> Value.Float (r_f64 c)
+  | 3 -> Value.Str (r_str c)
+  | 4 -> Value.Bool (r_u8 c <> 0)
+  | 5 -> Value.Date (r_i64 c)
+  | t -> corrupt "unknown value tag %d" t
+
+let w_row b (r : Value.t array) =
+  w_u32 b (Array.length r);
+  Array.iter (w_value b) r
+
+let r_row c =
+  let n = r_u32 c in
+  Array.of_list (r_list c n r_value)
+
+let ty_tag = function
+  | Value.Tint -> 0
+  | Value.Tfloat -> 1
+  | Value.Tstring -> 2
+  | Value.Tbool -> 3
+  | Value.Tdate -> 4
+
+let tag_ty = function
+  | 0 -> Value.Tint
+  | 1 -> Value.Tfloat
+  | 2 -> Value.Tstring
+  | 3 -> Value.Tbool
+  | 4 -> Value.Tdate
+  | t -> corrupt "unknown type tag %d" t
+
+(* The schema record is serialised field-for-field (not re-derived via
+   Schema.make, which appends timestamp columns): decode must rebuild
+   the exact column list the table carried. *)
+let w_schema b (s : Schema.t) =
+  w_str b s.Schema.name;
+  w_u32 b (List.length s.Schema.columns);
+  List.iter
+    (fun col ->
+      w_str b col.Schema.col_name;
+      w_u8 b (ty_tag col.Schema.col_ty))
+    s.Schema.columns;
+  w_u8 b (if s.Schema.temporal then 1 else 0);
+  w_u8 b (if s.Schema.transaction then 1 else 0)
+
+let r_schema c =
+  let name = r_str c in
+  let ncols = r_u32 c in
+  let columns =
+    r_list c ncols (fun c ->
+        let col_name = r_str c in
+        let col_ty = tag_ty (r_u8 c) in
+        { Schema.col_name; col_ty })
+  in
+  let temporal = r_u8 c <> 0 in
+  let transaction = r_u8 c <> 0 in
+  { Schema.name; columns; temporal; transaction }
+
+(* ------------------------------------------------------------------ *)
+(* WAL records                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type record = Revent of Wal_hook.event | Rcommit of int
+
+let encode_event ev =
+  let b = Buffer.create 64 in
+  (match ev with
+  | Wal_hook.Row_insert (t, row) ->
+      w_u8 b 1;
+      w_str b t;
+      w_row b row
+  | Wal_hook.Rows_delete (t, pos) ->
+      w_u8 b 2;
+      w_str b t;
+      w_u32 b (Array.length pos);
+      Array.iter (w_u32 b) pos
+  | Wal_hook.Rows_update (t, pairs) ->
+      w_u8 b 3;
+      w_str b t;
+      w_u32 b (Array.length pairs);
+      Array.iter
+        (fun (p, row) ->
+          w_u32 b p;
+          w_row b row)
+        pairs
+  | Wal_hook.Table_clear t ->
+      w_u8 b 4;
+      w_str b t
+  | Wal_hook.Table_create (sch, temp, rows) ->
+      w_u8 b 5;
+      w_schema b sch;
+      w_u8 b (if temp then 1 else 0);
+      w_u32 b (List.length rows);
+      List.iter (w_row b) rows
+  | Wal_hook.Table_drop t ->
+      w_u8 b 6;
+      w_str b t
+  | Wal_hook.Temp_tables_drop -> w_u8 b 7
+  | Wal_hook.Catalog_ddl sql ->
+      w_u8 b 8;
+      w_str b sql);
+  Buffer.contents b
+
+let encode_commit ~serial =
+  let b = Buffer.create 9 in
+  w_u8 b 9;
+  w_i64 b serial;
+  Buffer.contents b
+
+let decode_record payload =
+  let c = cursor payload in
+  let r =
+    match r_u8 c with
+    | 1 ->
+        let t = r_str c in
+        Revent (Wal_hook.Row_insert (t, r_row c))
+    | 2 ->
+        let t = r_str c in
+        let n = r_u32 c in
+        Revent (Wal_hook.Rows_delete (t, Array.of_list (r_list c n r_u32)))
+    | 3 ->
+        let t = r_str c in
+        let n = r_u32 c in
+        let pairs =
+          r_list c n (fun c ->
+              let p = r_u32 c in
+              (p, r_row c))
+        in
+        Revent (Wal_hook.Rows_update (t, Array.of_list pairs))
+    | 4 -> Revent (Wal_hook.Table_clear (r_str c))
+    | 5 ->
+        let sch = r_schema c in
+        let temp = r_u8 c <> 0 in
+        let n = r_u32 c in
+        Revent (Wal_hook.Table_create (sch, temp, r_list c n r_row))
+    | 6 -> Revent (Wal_hook.Table_drop (r_str c))
+    | 7 -> Revent Wal_hook.Temp_tables_drop
+    | 8 -> Revent (Wal_hook.Catalog_ddl (r_str c))
+    | 9 -> Rcommit (r_i64 c)
+    | t -> corrupt "unknown record tag %d" t
+  in
+  at_end c;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  serial : int;
+  now : int;
+  ddl : string list;
+  base : (Schema.t * Value.t array list) list;
+  temp : (Schema.t * Value.t array list) list;
+}
+
+let w_tables b tables =
+  w_u32 b (List.length tables);
+  List.iter
+    (fun (sch, rows) ->
+      w_schema b sch;
+      w_u32 b (List.length rows);
+      List.iter (w_row b) rows)
+    tables
+
+let r_tables c =
+  let n = r_u32 c in
+  r_list c n (fun c ->
+      let sch = r_schema c in
+      let nrows = r_u32 c in
+      (sch, r_list c nrows r_row))
+
+let encode_snapshot s =
+  let b = Buffer.create 4096 in
+  w_i64 b s.serial;
+  w_i64 b s.now;
+  w_u32 b (List.length s.ddl);
+  List.iter (w_str b) s.ddl;
+  w_tables b s.base;
+  w_tables b s.temp;
+  Buffer.contents b
+
+let decode_snapshot payload =
+  let c = cursor payload in
+  let serial = r_i64 c in
+  let now = r_i64 c in
+  let nddl = r_u32 c in
+  let ddl = r_list c nddl r_str in
+  let base = r_tables c in
+  let temp = r_tables c in
+  at_end c;
+  { serial; now; ddl; base; temp }

@@ -1,0 +1,44 @@
+(** Binary codec for write-ahead-log records and snapshot bodies.
+
+    Everything is little-endian.  A record payload is a tag byte
+    followed by tag-specific fields; primitives are:
+
+    - [u8] — one byte
+    - [u32] — 4-byte unsigned little-endian (lengths, counts, positions)
+    - [i64] — 8-byte signed little-endian (ints, dates, serials)
+    - [f64] — IEEE-754 double as its 8-byte bit pattern
+    - [str] — [u32] byte length + raw bytes
+
+    The framing around a payload ([u32] length, [u32] CRC-32) is the
+    WAL layer's job (see {!Wal}); this module only produces and
+    consumes payloads, so the codec round-trip property
+    ([decode_record (encode_* x) = x]) is testable without touching
+    the filesystem. *)
+
+exception Corrupt of string
+(** A payload that passed its CRC but does not parse — truncated
+    field, unknown tag, impossible count.  Recovery maps this to a
+    [Taupsm_error] with code [Durability]. *)
+
+(** A decoded WAL record: a buffered storage event, or the commit
+    marker sealing every event since the previous marker into one
+    atomic statement (the serial is the store-wide statement number). *)
+type record = Revent of Sqldb.Wal_hook.event | Rcommit of int
+
+val encode_event : Sqldb.Wal_hook.event -> string
+val encode_commit : serial:int -> string
+val decode_record : string -> record
+
+(** A full-database snapshot: the last committed serial, the engine
+    clock, view/routine definitions as re-parseable SQL, and every
+    base and temporary table with its rows. *)
+type snapshot = {
+  serial : int;
+  now : int;  (** engine "current date", days since 1970-01-01 *)
+  ddl : string list;  (** catalog DDL in definition order *)
+  base : (Sqldb.Schema.t * Sqldb.Value.t array list) list;
+  temp : (Sqldb.Schema.t * Sqldb.Value.t array list) list;
+}
+
+val encode_snapshot : snapshot -> string
+val decode_snapshot : string -> snapshot

@@ -1,0 +1,26 @@
+(* Table-driven CRC-32 (IEEE), one byte at a time.  OCaml's native ints
+   are 63-bit on every platform we target, so the 32-bit arithmetic is
+   done in plain ints with a final mask — no boxing, no Int32. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc :=
+      t.((!crc lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let digest s = update 0 s 0 (String.length s)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) — the
+    checksum guarding every write-ahead-log record and snapshot body.
+
+    The on-disk format pins this exact polynomial and bit order: the
+    golden-vector tests in [test_durable] assert
+    [digest "123456789" = 0xCBF43926], the check value every standard
+    CRC-32 implementation agrees on. *)
+
+val digest : string -> int
+(** CRC-32 of a whole string, as a non-negative int in [0, 2^32). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum ([digest s] is
+    [update 0 s 0 (String.length s)]). *)

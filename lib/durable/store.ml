@@ -1,0 +1,376 @@
+(* The durable store: snapshot + WAL pairs in a directory, the
+   Wal_hook implementation that feeds them, and the recovery path.
+   See store.mli for the protocol and guarantees. *)
+
+open Sqldb
+
+let snap_magic = "TPSMSNP1"
+let snap_name id = Printf.sprintf "snap-%08d.bin" id
+let wal_name id = Printf.sprintf "wal-%08d.log" id
+
+type t = {
+  dir : string;
+  policy : Wal.sync_policy;
+  snapshot_every : int option;
+  obs : Trace.t;
+  db : Database.t;
+  now : unit -> int;
+  ddl : unit -> string list;
+  mutable wal : Wal.t;
+  mutable snap_id : int;
+  mutable serial : int;
+  mutable commits_since_snap : int;
+  mutable buffer : string list;  (* encoded event payloads, newest first *)
+  mutable dead : bool;
+}
+
+type report = {
+  snapshot_id : int;
+  commits_replayed : int;
+  records_scanned : int;
+  bytes_scanned : int;
+  stop : string;
+  last_serial : int;
+  snapshot_now : int;
+  wal_good_offset : int;
+  seconds : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Directory plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Make the rename of a snapshot itself durable.  Some filesystems
+   refuse fsync on a directory fd; that only weakens real-crash
+   durability, never the simulated-crash model, so errors are ignored. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Snapshot generations present in [dir], newest first. *)
+let snapshot_ids dir =
+  (if Sys.file_exists dir then Sys.readdir dir else [||])
+  |> Array.to_list
+  |> List.filter_map (fun f ->
+         Scanf.sscanf_opt f "snap-%d.bin%!" (fun i -> i))
+  |> List.sort (fun a b -> compare b a)
+
+let exists dir = snapshot_ids dir <> []
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot write / read                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dump_tables tables =
+  List.map (fun t -> (Table.schema t, Table.to_list t)) tables
+
+(* Write snapshot [id] atomically: tmp file, fsync, rename, dir fsync.
+   A crash at any point leaves either no snap-[id] (older generations
+   still recoverable) or a complete one. *)
+let write_snapshot ~dir ~obs ~id ~serial ~now ~ddl ~db =
+  let body =
+    Codec.encode_snapshot
+      {
+        Codec.serial;
+        now;
+        ddl;
+        base = dump_tables (Database.base_tables db);
+        temp = dump_tables (Database.temp_tables db);
+      }
+  in
+  let final = Filename.concat dir (snap_name id) in
+  let tmp = final ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  (try
+     Wal.write_durable fd
+       ~site:("snapshot write " ^ snap_name id)
+       (snap_magic ^ Wal.frame body);
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.rename tmp final;
+  fsync_dir dir;
+  Trace.count obs "wal.snapshots" 1;
+  Trace.count obs "wal.snapshot_bytes" (String.length body)
+
+(* Read and validate snapshot [id]; None when missing, torn or corrupt
+   (recovery then falls back to the previous generation). *)
+let load_snapshot ~dir ~id =
+  let path = Filename.concat dir (snap_name id) in
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error _ -> None
+  | s -> (
+      let m = String.length snap_magic in
+      if String.length s < m + 8 || String.sub s 0 m <> snap_magic then None
+      else
+        let blen = Int32.to_int (String.get_int32_le s m) land 0xFFFFFFFF in
+        let crc = Int32.to_int (String.get_int32_le s (m + 4)) land 0xFFFFFFFF in
+        if m + 8 + blen <> String.length s then None
+        else
+          let body = String.sub s (m + 8) blen in
+          if Crc32.digest body <> crc then None
+          else match Codec.decode_snapshot body with
+            | snap -> Some snap
+            | exception Codec.Corrupt _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The durability hook                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Encode at emit time: the row arrays inside events alias live table
+   storage, which later statements mutate in place.  Taking the bytes
+   now makes the buffered event immutable for free. *)
+let emit st ev =
+  if not st.dead then st.buffer <- Codec.encode_event ev :: st.buffer
+
+let abort st = st.buffer <- []
+
+let rec commit st =
+  if not st.dead then begin
+    let evs = List.rev st.buffer in
+    st.buffer <- [];
+    if evs <> [] then begin
+      (match
+         st.serial <- st.serial + 1;
+         List.iter (Wal.append st.wal) evs;
+         Wal.append st.wal (Codec.encode_commit ~serial:st.serial);
+         Wal.commit_done st.wal
+       with
+      | () -> ()
+      | exception e ->
+          st.dead <- true;
+          raise e);
+      st.commits_since_snap <- st.commits_since_snap + 1;
+      match st.snapshot_every with
+      | Some n when st.commits_since_snap >= max 1 n -> rotate st
+      | _ -> ()
+    end
+  end
+
+(* Rotate to generation [snap_id + 1]: close the old WAL (it ends on
+   the commit just written and stays on disk as a fallback), write the
+   new snapshot, open the new WAL.  A crash inside here is safe at
+   every point — either the old pair or the new pair is recoverable. *)
+and rotate st =
+  match
+    Wal.close st.wal;
+    let id = st.snap_id + 1 in
+    write_snapshot ~dir:st.dir ~obs:st.obs ~id ~serial:st.serial
+      ~now:(st.now ()) ~ddl:(st.ddl ()) ~db:st.db;
+    let wal =
+      Wal.create ~policy:st.policy ~obs:st.obs
+        (Filename.concat st.dir (wal_name id))
+    in
+    st.wal <- wal;
+    st.snap_id <- id;
+    st.commits_since_snap <- 0
+  with
+  | () -> ()
+  | exception e ->
+      st.dead <- true;
+      raise e
+
+let hook st =
+  {
+    Wal_hook.emit = emit st;
+    commit = (fun () -> commit st);
+    abort = (fun () -> abort st);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Attach / recover / resume                                           *)
+(* ------------------------------------------------------------------ *)
+
+let init ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir ~db
+    ~now ~ddl () =
+  mkdir_p dir;
+  let id = match snapshot_ids dir with [] -> 0 | i :: _ -> i + 1 in
+  write_snapshot ~dir ~obs ~id ~serial:0 ~now:(now ()) ~ddl:(ddl ()) ~db;
+  let wal = Wal.create ~policy ~obs (Filename.concat dir (wal_name id)) in
+  fsync_dir dir;
+  let st =
+    {
+      dir;
+      policy;
+      snapshot_every;
+      obs;
+      db;
+      now;
+      ddl;
+      wal;
+      snap_id = id;
+      serial = 0;
+      commits_since_snap = 0;
+      buffer = [];
+      dead = false;
+    }
+  in
+  Database.set_wal db (Some (hook st));
+  st
+
+(* Apply one replayed event to the recovering database.  Positional
+   delete/update records replay against the same row numbering the
+   original run saw, so no predicate re-evaluation is needed (or
+   possible — predicates are long gone). *)
+let apply_event db ~on_ddl ev =
+  match ev with
+  | Wal_hook.Row_insert (tname, row) ->
+      Table.insert (Database.find_table_exn db tname) row
+  | Wal_hook.Rows_delete (tname, positions) ->
+      let t = Database.find_table_exn db tname in
+      let doomed = Hashtbl.create (Array.length positions) in
+      Array.iter (fun p -> Hashtbl.replace doomed p ()) positions;
+      let i = ref (-1) in
+      ignore
+        (Table.delete_where
+           (fun _ ->
+             incr i;
+             Hashtbl.mem doomed !i)
+           t)
+  | Wal_hook.Rows_update (tname, pairs) ->
+      let t = Database.find_table_exn db tname in
+      let repl = Hashtbl.create (Array.length pairs) in
+      Array.iter (fun (p, row) -> Hashtbl.replace repl p row) pairs;
+      let i = ref (-1) in
+      ignore
+        (Table.update_where
+           (fun _ ->
+             incr i;
+             Hashtbl.mem repl !i)
+           (fun _ -> Hashtbl.find repl !i)
+           t)
+  | Wal_hook.Table_clear tname -> Table.clear (Database.find_table_exn db tname)
+  | Wal_hook.Table_create (sch, temp, rows) ->
+      let t = Table.of_rows sch rows in
+      if temp then Database.add_temp_table db t else Database.add_table db t
+  | Wal_hook.Table_drop tname -> Database.drop_table db tname
+  | Wal_hook.Temp_tables_drop -> Database.drop_temp_tables db
+  | Wal_hook.Catalog_ddl sql -> on_ddl sql
+
+let recover ?(obs = Trace.null) ~dir ~db ~on_ddl ~on_now () =
+  let t0 = Mono_clock.now () in
+  Trace.with_span obs "recover" (fun () ->
+      let ids = snapshot_ids dir in
+      if ids = [] then
+        Taupsm_error.raise_error Taupsm_error.Durability
+          "no durable store in %s" dir;
+      (* newest intact snapshot, falling back generation by generation *)
+      let rec pick = function
+        | [] ->
+            Taupsm_error.raise_error Taupsm_error.Durability
+              "no intact snapshot in %s (%d generation(s), all corrupt)" dir
+              (List.length ids)
+        | id :: rest -> (
+            match load_snapshot ~dir ~id with
+            | Some snap -> (id, snap)
+            | None ->
+                Trace.count obs "recover.snapshots_skipped" 1;
+                pick rest)
+      in
+      let id, snap = pick ids in
+      Trace.with_span obs "recover.load_snapshot" (fun () ->
+          List.iter
+            (fun (sch, rows) -> Database.add_table db (Table.of_rows sch rows))
+            snap.Codec.base;
+          List.iter
+            (fun (sch, rows) ->
+              Database.add_temp_table db (Table.of_rows sch rows))
+            snap.Codec.temp;
+          List.iter on_ddl snap.Codec.ddl;
+          on_now snap.Codec.now);
+      (* Replay: buffer each record group, apply only on its intact
+         commit marker.  An uncommitted suffix — torn tail, corrupt
+         record, or simply no marker yet — is never applied, which is
+         the whole committed-prefix guarantee. *)
+      let pending = ref [] in
+      let commits = ref 0 in
+      let serial = ref snap.Codec.serial in
+      let scan =
+        Trace.with_span obs "recover.replay" (fun () ->
+            Wal.scan
+              (Filename.concat dir (wal_name id))
+              ~f:(fun payload ->
+                match Codec.decode_record payload with
+                | Codec.Revent ev -> pending := ev :: !pending
+                | Codec.Rcommit s ->
+                    List.iter (apply_event db ~on_ddl) (List.rev !pending);
+                    pending := [];
+                    incr commits;
+                    serial := s))
+      in
+      let seconds = Mono_clock.now () -. t0 in
+      Trace.count obs "recover.commits_replayed" !commits;
+      Trace.count obs "recover.records" scan.Wal.records;
+      Trace.count obs "recover.bytes" scan.Wal.bytes;
+      {
+        snapshot_id = id;
+        commits_replayed = !commits;
+        records_scanned = scan.Wal.records;
+        bytes_scanned = scan.Wal.bytes;
+        stop = Wal.stop_string scan.Wal.stop;
+        last_serial = !serial;
+        snapshot_now = snap.Codec.now;
+        wal_good_offset = scan.Wal.good_offset;
+        seconds;
+      })
+
+let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir
+    ~db ~now ~ddl (r : report) =
+  let path = Filename.concat dir (wal_name r.snapshot_id) in
+  let wal =
+    if Sys.file_exists path && r.stop <> Wal.stop_string Wal.Bad_magic then
+      Wal.reopen ~policy ~obs path ~good_offset:r.wal_good_offset
+    else Wal.create ~policy ~obs path
+  in
+  let st =
+    {
+      dir;
+      policy;
+      snapshot_every;
+      obs;
+      db;
+      now;
+      ddl;
+      wal;
+      snap_id = r.snapshot_id;
+      serial = r.last_serial;
+      commits_since_snap = r.commits_replayed;
+      buffer = [];
+      dead = false;
+    }
+  in
+  Database.set_wal db (Some (hook st));
+  st
+
+let snapshot st = if not st.dead then rotate st
+
+let detach st =
+  if not st.dead then begin
+    Database.set_wal st.db None;
+    Wal.close st.wal;
+    st.dead <- true
+  end
+
+let serial st = st.serial
+let is_dead st = st.dead

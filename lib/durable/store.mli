@@ -1,0 +1,105 @@
+(** The durable store: a directory of paired snapshot and WAL files
+    giving the engine crash-safe persistence with a committed-prefix
+    guarantee.
+
+    Layout of a store directory:
+
+    - [snap-%08d.bin] — full-database snapshot [K]: magic ["TPSMSNP1"]
+      plus one CRC-framed {!Codec.snapshot} body, written to a [.tmp]
+      and renamed into place.
+    - [wal-%08d.log] — records of every statement committed after
+      snapshot [K] (see {!Wal}).
+
+    Protocol: storage events buffered by the {!Sqldb.Wal_hook} are
+    encoded {e at emit time} (rows are mutated in place by later
+    statements, so the bytes must be taken before control returns) and
+    appended — followed by a commit marker — only when the outermost
+    atomic unit commits.  A rolled-back statement leaves no bytes on
+    disk; a crash mid-append leaves a torn tail that recovery cuts at
+    the last intact commit marker.  Recovery therefore always
+    reconstructs the database exactly as of {e some prefix} of the
+    committed statements, never a partial statement.
+
+    After a simulated crash ({!Fault.Crash}) the store is dead: every
+    hook call no-ops, mirroring a process that is gone.  The harness
+    then recovers from disk into a fresh engine. *)
+
+type t
+
+type report = {
+  snapshot_id : int;  (** snapshot generation recovery loaded *)
+  commits_replayed : int;  (** commit markers applied from the WAL *)
+  records_scanned : int;
+  bytes_scanned : int;  (** WAL file size at recovery time *)
+  stop : string;  (** {!Wal.stop_string} of why the scan ended *)
+  last_serial : int;  (** store-wide serial of the last replayed commit *)
+  snapshot_now : int;  (** engine clock stored in the snapshot *)
+  wal_good_offset : int;  (** byte offset of the last intact record *)
+  seconds : float;  (** recovery wall time (monotonic clock) *)
+}
+
+val exists : string -> bool
+(** Whether [dir] holds at least one snapshot (i.e. a store to recover). *)
+
+val init :
+  ?policy:Wal.sync_policy ->
+  ?snapshot_every:int ->
+  ?obs:Trace.t ->
+  dir:string ->
+  db:Sqldb.Database.t ->
+  now:(unit -> int) ->
+  ddl:(unit -> string list) ->
+  unit ->
+  t
+(** Fresh attach: create [dir] if needed, write a snapshot of the
+    database as it stands, open a new WAL and install the durability
+    hook on [db].  [now] and [ddl] are polled at snapshot time (the
+    engine clock and the catalog's view/routine definitions).
+    [snapshot_every n] rotates to a fresh snapshot + WAL pair every
+    [n] commits; omitted means WAL-only until {!snapshot} is called. *)
+
+val recover :
+  ?obs:Trace.t ->
+  dir:string ->
+  db:Sqldb.Database.t ->
+  on_ddl:(string -> unit) ->
+  on_now:(int -> unit) ->
+  unit ->
+  report
+(** Rebuild state into the (empty, fresh) [db]: load the newest intact
+    snapshot — falling back to older generations if the newest is
+    corrupt — then replay its WAL, applying each record group only
+    when its commit marker is intact, and stop at the first torn or
+    corrupt record.  DDL statements (from the snapshot and from
+    [Catalog_ddl] records) are handed to [on_ddl]; the snapshot's
+    engine clock to [on_now].  Raises [Taupsm_error.Error] with code
+    [Durability] when no snapshot generation is loadable. *)
+
+val resume :
+  ?policy:Wal.sync_policy ->
+  ?snapshot_every:int ->
+  ?obs:Trace.t ->
+  dir:string ->
+  db:Sqldb.Database.t ->
+  now:(unit -> int) ->
+  ddl:(unit -> string list) ->
+  report ->
+  t
+(** Attach after {!recover}: truncate the recovered WAL to its last
+    intact record ([wal_good_offset]) and append from there, keeping
+    serial numbers continuous.  If the WAL file is missing or had a
+    foreign header, a fresh one is created instead. *)
+
+val snapshot : t -> unit
+(** Force a rotation now: write snapshot [K+1] (old generations are
+    retained as recovery fallbacks) and start WAL [K+1]. *)
+
+val detach : t -> unit
+(** Uninstall the hook from the database and close the WAL.  The store
+    is dead afterwards. *)
+
+val serial : t -> int
+(** Serial of the last committed statement. *)
+
+val is_dead : t -> bool
+(** True after a crash, an I/O error, or {!detach}. *)

@@ -1,0 +1,179 @@
+(* Append-only WAL file with CRC-framed records.  Every durable byte
+   goes through [write_durable], the single funnel the crash-point
+   harness (Fault.arm_crash) tears writes at. *)
+
+type sync_policy = Always | Batch of int | Off
+
+let magic = "TPSMWAL1"
+let header_len = String.length magic
+
+(* Sanity cap on a single record: a frame whose length field exceeds
+   this is treated as corruption rather than an allocation request.
+   Generous — the largest real records are snapshots of DS3-size
+   tables, well under a few MiB. *)
+let max_record = 1 lsl 26
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  policy : sync_policy;
+  obs : Trace.t;
+  mutable offset : int;
+  mutable pending_commits : int;  (* commits since the last fsync *)
+  mutable dead : bool;
+}
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let write_durable fd ~site s =
+  let n = String.length s in
+  let k = Fault.crash_allowance n in
+  if k > 0 then write_all fd s 0 k;
+  if k < n then begin
+    (* torn write persisted; now die like the machine would *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Fault.crash_now ~site
+  end
+
+let guarded t site f =
+  if t.dead then ()
+  else
+    try f () with
+    | Fault.Crash _ as e ->
+        t.dead <- true;
+        raise e
+    | Unix.Unix_error (err, fn, _) ->
+        t.dead <- true;
+        Taupsm_error.raise_error Taupsm_error.Durability "%s failed: %s in %s"
+          site (Unix.error_message err) fn
+
+let fsync_now t =
+  Unix.fsync t.fd;
+  t.pending_commits <- 0;
+  Trace.count t.obs "wal.fsyncs" 1
+
+let create ?(policy = Batch 16) ?(obs = Trace.null) path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  let t = { fd; path; policy; obs; offset = 0; pending_commits = 0; dead = false } in
+  guarded t "wal create" (fun () ->
+      write_durable t.fd ~site:("wal create " ^ Filename.basename path) magic;
+      t.offset <- header_len;
+      fsync_now t);
+  t
+
+let reopen ?(policy = Batch 16) ?(obs = Trace.null) path ~good_offset =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 in
+  let t = { fd; path; policy; obs; offset = good_offset; pending_commits = 0; dead = false } in
+  guarded t "wal reopen" (fun () ->
+      Unix.ftruncate t.fd good_offset;
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+      fsync_now t);
+  t
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_int32_le b (Int32.of_int (Crc32.digest payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let append t payload =
+  guarded t "wal append" (fun () ->
+      let r = frame payload in
+      write_durable t.fd ~site:("wal append " ^ Filename.basename t.path) r;
+      t.offset <- t.offset + String.length r;
+      if Trace.enabled t.obs then begin
+        Trace.count t.obs "wal.records" 1;
+        Trace.count t.obs "wal.bytes" (String.length r)
+      end)
+
+let commit_done t =
+  guarded t "wal commit" (fun () ->
+      Trace.count t.obs "wal.commits" 1;
+      match t.policy with
+      | Always -> fsync_now t
+      | Off -> ()
+      | Batch n ->
+          t.pending_commits <- t.pending_commits + 1;
+          if t.pending_commits >= max 1 n then fsync_now t)
+
+let offset t = t.offset
+
+let close t =
+  if not t.dead then begin
+    t.dead <- true;
+    (try if t.policy <> Off then Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stop = Eof | Torn_tail | Bad_crc | Bad_record | Bad_magic | Missing
+
+let stop_string = function
+  | Eof -> "eof"
+  | Torn_tail -> "torn_tail"
+  | Bad_crc -> "bad_crc"
+  | Bad_record -> "bad_record"
+  | Bad_magic -> "bad_magic"
+  | Missing -> "missing"
+
+type scan = { good_offset : int; records : int; bytes : int; stop : stop }
+
+let scan path ~f =
+  if not (Sys.file_exists path) then
+    { good_offset = header_len; records = 0; bytes = 0; stop = Missing }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    if len < header_len || String.sub s 0 header_len <> magic then
+      { good_offset = header_len; records = 0; bytes = len; stop = Bad_magic }
+    else begin
+      let pos = ref header_len in
+      let good = ref header_len in
+      let records = ref 0 in
+      let stop = ref Eof in
+      (try
+         while !pos < len do
+           if !pos + 8 > len then begin
+             stop := Torn_tail;
+             raise Exit
+           end;
+           let rlen = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+           let crc = Int32.to_int (String.get_int32_le s (!pos + 4)) land 0xFFFFFFFF in
+           if rlen > max_record then begin
+             stop := Bad_crc;
+             raise Exit
+           end;
+           if !pos + 8 + rlen > len then begin
+             stop := Torn_tail;
+             raise Exit
+           end;
+           let payload = String.sub s (!pos + 8) rlen in
+           if Crc32.digest payload <> crc then begin
+             stop := Bad_crc;
+             raise Exit
+           end;
+           (match f payload with
+           | () -> ()
+           | exception _ ->
+               stop := Bad_record;
+               raise Exit);
+           pos := !pos + 8 + rlen;
+           good := !pos;
+           incr records
+         done
+       with Exit -> ());
+      { good_offset = !good; records = !records; bytes = len; stop = !stop }
+    end
+  end

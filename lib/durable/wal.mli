@@ -1,0 +1,85 @@
+(** The write-ahead-log file layer: append-only framed records with
+    per-record CRC-32, crash-point-aware writes, and a recovery scanner
+    tolerant of torn tails.
+
+    On-disk layout: an 8-byte magic ["TPSMWAL1"], then zero or more
+    records, each framed as
+
+    {v
+      +----------------+----------------+------------------+
+      | u32 LE length  | u32 LE CRC-32  |  payload bytes   |
+      +----------------+----------------+------------------+
+    v}
+
+    with the CRC taken over the payload alone.  Payloads are opaque
+    here — {!Codec} gives them meaning. *)
+
+type sync_policy =
+  | Always  (** fsync after every commit marker *)
+  | Batch of int  (** fsync every [n] commit markers *)
+  | Off  (** never fsync; the OS flushes when it pleases *)
+
+type t
+
+val magic : string
+val header_len : int
+
+val create : ?policy:sync_policy -> ?obs:Trace.t -> string -> t
+(** Create (truncating) a fresh WAL file: writes the magic and fsyncs. *)
+
+val reopen : ?policy:sync_policy -> ?obs:Trace.t -> string -> good_offset:int -> t
+(** Reopen an existing WAL for appending after recovery, truncating the
+    file to [good_offset] first so a torn or corrupt tail can never be
+    misread as valid once fresh records are appended after it. *)
+
+val append : t -> string -> unit
+(** Frame and append one record payload.  All bytes pass through
+    {!Fault.crash_allowance}: under an armed crash point the permitted
+    prefix is written (a torn record) and {!Fault.Crash} is raised,
+    after which this WAL is dead and every further operation no-ops. *)
+
+val commit_done : t -> unit
+(** Note that a commit marker was just appended and apply the fsync
+    policy. *)
+
+val offset : t -> int
+(** Bytes written so far, including the magic header. *)
+
+val close : t -> unit
+(** Fsync (unless the policy is [Off]) and close.  Idempotent; no-op on
+    a dead WAL. *)
+
+val write_durable : Unix.file_descr -> site:string -> string -> unit
+(** Crash-point-aware whole-string write used for every durable byte in
+    this layer (the snapshot writer shares it).  On a crash the fd is
+    closed before {!Fault.Crash} is raised — a real crash would drop
+    the descriptor too. *)
+
+val frame : string -> string
+(** The framed bytes ([length ^ crc ^ payload]) for one payload —
+    exposed so tests can pin the format and build corrupt files. *)
+
+(** {1 Recovery scan} *)
+
+type stop =
+  | Eof  (** clean end of file *)
+  | Torn_tail  (** trailing partial record (normal after a crash) *)
+  | Bad_crc  (** checksum mismatch or impossible length *)
+  | Bad_record  (** CRC passed but the payload did not parse *)
+  | Bad_magic  (** missing or foreign header *)
+  | Missing  (** no such file (e.g. crash between snapshot and WAL creation) *)
+
+val stop_string : stop -> string
+
+type scan = {
+  good_offset : int;  (** end of the last intact, parsed record *)
+  records : int;
+  bytes : int;  (** file size as read *)
+  stop : stop;
+}
+
+val scan : string -> f:(string -> unit) -> scan
+(** Read the file once, invoking [f] on every intact record payload in
+    order, stopping (without raising) at the first torn, corrupt or
+    unparseable record.  [Missing] and [Bad_magic] report zero records
+    and [good_offset = header_len]. *)

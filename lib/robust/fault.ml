@@ -54,3 +54,50 @@ let hit site =
         end
         else a.countdown <- a.countdown - 1
     | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash points: simulated process death mid-durable-write             *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the error sites above, a crash is not an exception the program
+   under test may observe and recover from in-process: it models the
+   machine dying with a possibly torn write on disk.  The durable layer
+   funnels every WAL/snapshot write through {!crash_allowance}; when the
+   armed byte budget runs out the writer persists only the permitted
+   prefix of its buffer (a torn write) and raises {!Crash}, which the
+   fuzzing harness catches *outside* the engine, discards all in-memory
+   state, and then exercises recovery from the on-disk files. *)
+
+exception Crash of string
+
+(* [crash_point]: bytes of durable write still permitted, if armed. *)
+let crash_point : int option ref = ref None
+let crash_has_fired = ref false
+
+let arm_crash ~at_bytes =
+  crash_point := Some (max 0 at_bytes);
+  crash_has_fired := false
+
+let disarm_crash () = crash_point := None
+let crash_armed () = !crash_point
+let crash_fired () = !crash_has_fired
+
+(* How many of [n] requested bytes may be written.  Returns [n] when no
+   crash point is armed.  When the budget truncates the request, the
+   caller must write exactly the returned prefix and then raise
+   {!Crash} via {!crash_now} — the two-step shape lets the caller get
+   the torn bytes onto disk first. *)
+let crash_allowance n =
+  match !crash_point with
+  | None -> n
+  | Some budget when n <= budget ->
+      crash_point := Some (budget - n);
+      n
+  | Some budget ->
+      crash_point := Some 0;
+      budget
+
+let crash_now ~site =
+  crash_point := None;
+  crash_has_fired := true;
+  raise (Crash (Printf.sprintf "simulated crash during %s" site))

@@ -32,3 +32,34 @@ val fired : unit -> bool
 val hit : site -> unit
 (** Execution hook: raises [Taupsm_error.Error] with code
     [Injected_fault] when the armed countdown reaches zero. *)
+
+(** {1 Crash points}
+
+    Simulated process death during a durable write.  A crash point is a
+    byte budget: the durable layer asks {!crash_allowance} before every
+    WAL/snapshot write, persists only the permitted prefix (a torn
+    write) and raises {!Crash} via {!crash_now} when the budget runs
+    out.  The fuzzing harness catches [Crash] outside the engine,
+    abandons all in-memory state — as a real crash would — and
+    exercises recovery from the on-disk files. *)
+
+exception Crash of string
+
+val arm_crash : at_bytes:int -> unit
+(** Permit exactly [at_bytes] further bytes of durable writing; the
+    write that would exceed the budget is torn at the boundary. *)
+
+val disarm_crash : unit -> unit
+val crash_armed : unit -> int option
+(** Remaining byte budget, if a crash point is armed. *)
+
+val crash_fired : unit -> bool
+(** Whether the last armed crash point has fired. *)
+
+val crash_allowance : int -> int
+(** [crash_allowance n] is how many of [n] requested bytes may be
+    written ([n] itself when disarmed).  A caller receiving [k < n]
+    must write exactly the [k]-byte prefix and then call {!crash_now}. *)
+
+val crash_now : site:string -> 'a
+(** Record the firing and raise {!Crash}. *)

@@ -29,6 +29,9 @@ let copy g = { g with active = 0; expires_at = infinity; rows_used = 0; ticks = 
 
 let exhausted r fmt = Taupsm_error.raise_error (Resource_exhausted r) fmt
 
+(* Deadlines are armed and checked against {!Mono_clock}, not the wall
+   clock: a backward NTP step must not extend a deadline, and a forward
+   step must not fire one that never elapsed. *)
 let enter g =
   if g.active = 0 then begin
     g.rows_used <- 0;
@@ -36,14 +39,14 @@ let enter g =
     g.expires_at <-
       (match g.deadline_seconds with
       | None -> infinity
-      | Some s -> Unix.gettimeofday () +. s)
+      | Some s -> Mono_clock.now () +. s)
   end;
   g.active <- g.active + 1
 
 let leave g = if g.active > 0 then g.active <- g.active - 1
 
 let check_deadline g =
-  if g.expires_at < infinity && Unix.gettimeofday () > g.expires_at then
+  if g.expires_at < infinity && Mono_clock.now () > g.expires_at then
     exhausted Taupsm_error.Deadline "wall-clock deadline of %gs exceeded"
       (match g.deadline_seconds with Some s -> s | None -> 0.)
 

@@ -33,7 +33,9 @@ val copy : t -> t
 
 val enter : t -> unit
 (** Begin a (possibly nested) guarded execution.  The outermost [enter]
-    resets the row count and arms the absolute deadline. *)
+    resets the row count and arms the absolute deadline against
+    {!Mono_clock} (not the wall clock), so clock skew can neither fire
+    a deadline early nor extend one. *)
 
 val leave : t -> unit
 

@@ -1,0 +1,30 @@
+(* A monotonized time source for deadlines and duration measurement.
+
+   [Unix.gettimeofday] is wall-clock time: NTP steps and manual clock
+   changes can move it backward (spuriously extending a deadline's
+   baseline) or forward (firing deadlines that never elapsed in real
+   time).  The stdlib exposes no CLOCK_MONOTONIC, so the next best
+   guarantee is enforced here: readings never decrease.  A backward step
+   in the source freezes the reported time until the source catches up,
+   so an armed deadline can only ever fire *later* than the true
+   monotonic instant — never earlier, and never twice.
+
+   The source is injectable so tests can replay skew scenarios
+   deterministically. *)
+
+let source : (unit -> float) ref = ref Unix.gettimeofday
+let last = ref neg_infinity
+
+let now () =
+  let t = !source () in
+  if t > !last then last := t;
+  !last
+
+let set_source f =
+  source := f;
+  (* A fresh source starts a fresh monotone history: without this, a
+     test source counting from 0 would be pinned at the wall-clock
+     epoch-seconds already observed. *)
+  last := neg_infinity
+
+let use_wall_clock () = set_source Unix.gettimeofday

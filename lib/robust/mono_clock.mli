@@ -1,0 +1,16 @@
+(** A monotonized, injectable time source.
+
+    Readings are seconds from an arbitrary origin and never decrease,
+    even when the underlying source (wall-clock by default) steps
+    backward.  Used by {!Guard} deadlines and by the durable stratum's
+    recovery-time measurements so neither is perturbed by clock skew. *)
+
+val now : unit -> float
+(** The current monotonized reading. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the underlying source (tests).  Resets the monotone
+    history so the new source's scale takes effect immediately. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default [Unix.gettimeofday] source. *)

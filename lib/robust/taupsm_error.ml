@@ -9,6 +9,7 @@ type code =
   | Unsupported
   | Resource_exhausted of resource
   | Injected_fault
+  | Durability
   | Internal
 
 type t = {
@@ -44,6 +45,7 @@ let code_string = function
   | Unsupported -> "unsupported"
   | Resource_exhausted r -> "resource." ^ resource_string r
   | Injected_fault -> "injected_fault"
+  | Durability -> "durability"
   | Internal -> "internal"
 
 (* Days-since-epoch -> YYYY-MM-DD, proleptic Gregorian.  Duplicates the

@@ -18,6 +18,7 @@ type code =
   | Unsupported  (** statement shape outside MAX / PERST coverage *)
   | Resource_exhausted of resource  (** a resource guard fired *)
   | Injected_fault  (** deterministic fault-injection harness fired *)
+  | Durability  (** WAL / snapshot corruption, unreadable durable state *)
   | Internal  (** invariant violation inside the engine itself *)
 
 type t = {

@@ -10,12 +10,17 @@
    so cached transformed plans survive their own execution. *)
 (* [undo] is the database-wide undo journal; it is propagated onto every
    table added here (like [obs]) and driven by {!with_atomic}. *)
+(* [wal] is the durability hook (see {!Wal_hook}), installed by the
+   durable store and propagated onto every table (like [obs] and
+   [undo]).  [copy] deliberately does not carry it: engine copies made
+   by benchmarks and the commutativity checker are volatile. *)
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   temp_tables : (string, Table.t) Hashtbl.t;
   mutable version : int;
   mutable obs : Trace.t;  (* propagated onto every table added here *)
   undo : Undo_log.t;
+  mutable wal : Wal_hook.t option;
 }
 
 let create () =
@@ -25,6 +30,7 @@ let create () =
     version = 0;
     obs = Trace.null;
     undo = Undo_log.create ();
+    wal = None;
   }
 
 (* Point this database — and every table it holds now or later — at
@@ -36,6 +42,29 @@ let set_observe db obs =
   Hashtbl.iter (fun _ t -> Table.set_observe t obs) db.temp_tables
 
 let version db = db.version
+
+(* Point this database — and every table it holds now or later — at the
+   durability hook [wal] (or detach with [None]). *)
+let set_wal db wal =
+  db.wal <- wal;
+  Hashtbl.iter (fun _ t -> Table.set_wal t wal) db.tables;
+  Hashtbl.iter (fun _ t -> Table.set_wal t wal) db.temp_tables
+
+let wal db = db.wal
+
+(* Emit a durability event on behalf of this database or an upper layer
+   (the engine catalog routes view/routine DDL through here).  No-op
+   when no hook is attached. *)
+let wal_emit db ev =
+  match db.wal with None -> () | Some w -> w.Wal_hook.emit ev
+
+(* Statement-boundary notifications for the non-atomic execution path;
+   {!with_atomic} drives these itself for atomic statements. *)
+let wal_commit db =
+  match db.wal with None -> () | Some w -> w.Wal_hook.commit ()
+
+let wal_abort db =
+  match db.wal with None -> () | Some w -> w.Wal_hook.abort ()
 
 let key = String.lowercase_ascii
 
@@ -59,6 +88,9 @@ let add_table db table =
   db.version <- db.version + 1;
   Table.set_observe table db.obs;
   Table.set_undo table db.undo;
+  Table.set_wal table db.wal;
+  wal_emit db
+    (Wal_hook.Table_create (Table.schema table, false, Table.to_list table));
   Undo_log.log db.undo (fun () ->
       Hashtbl.remove db.tables k;
       db.version <- db.version + 1);
@@ -78,6 +110,9 @@ let add_temp_table db table =
     db.version <- db.version + 1;
   Table.set_observe table db.obs;
   Table.set_undo table db.undo;
+  Table.set_wal table db.wal;
+  wal_emit db
+    (Wal_hook.Table_create (Table.schema table, true, Table.to_list table));
   (if Undo_log.is_active db.undo then
      let prev = Hashtbl.find_opt db.temp_tables k in
      Undo_log.log db.undo (fun () ->
@@ -91,6 +126,7 @@ let drop_table db name =
   let k = key name in
   let drop_from tables =
     db.version <- db.version + 1;
+    wal_emit db (Wal_hook.Table_drop name);
     (if Undo_log.is_active db.undo then
        let prev = Hashtbl.find tables k in
        Undo_log.log db.undo (fun () ->
@@ -105,6 +141,7 @@ let drop_table db name =
 let drop_temp_tables db =
   if Hashtbl.length db.temp_tables > 0 then begin
     db.version <- db.version + 1;
+    wal_emit db Wal_hook.Temp_tables_drop;
     if Undo_log.is_active db.undo then begin
       let prev = Hashtbl.fold (fun k t acc -> (k, t) :: acc) db.temp_tables [] in
       Undo_log.log db.undo (fun () ->
@@ -117,6 +154,17 @@ let drop_temp_tables db =
 let table_names db =
   Hashtbl.fold (fun _ t acc -> Table.name t :: acc) db.tables []
   |> List.sort String.compare
+
+(* Direct enumerations for the durable layer's snapshot writer: unlike
+   {!find_table} these never apply temp-over-base shadowing, so a
+   snapshot captures both tables under a shadowed name. *)
+let by_name a b = String.compare (Table.name a) (Table.name b)
+
+let base_tables db =
+  Hashtbl.fold (fun _ t acc -> t :: acc) db.tables [] |> List.sort by_name
+
+let temp_tables db =
+  Hashtbl.fold (fun _ t acc -> t :: acc) db.temp_tables [] |> List.sort by_name
 
 (* A deep copy, used by tests and by the commutativity checker to evaluate
    the same workload against multiple strategies without interference. *)
@@ -141,7 +189,14 @@ let undo db = db.undo
    rows, temp-table bindings, catalog entries logged by upper layers —
    returns to its pre-call state (with version counters bumped, never
    rewound).  A nested call degrades to a savepoint: rollback on
-   exception, nothing on success (the enclosing unit owns the commit). *)
+   exception, nothing on success (the enclosing unit owns the commit).
+
+   The outermost boundary also drives the durability hook: commit on
+   success (the WAL appends the buffered records plus a commit marker),
+   abort on rollback (the buffer is discarded).  Savepoint scopes need
+   no WAL bookkeeping because a nested rollback always re-raises, so
+   the enclosing outermost unit aborts too — an inner unit's buffered
+   events can never outlive its undo. *)
 let with_atomic db f =
   let j = db.undo in
   if Undo_log.is_active j then begin
@@ -157,10 +212,12 @@ let with_atomic db f =
     | r ->
         Undo_log.deactivate j;
         Undo_log.clear j;
+        wal_commit db;
         r
     | exception e ->
         Undo_log.rollback_to j (Undo_log.top j);
         Undo_log.deactivate j;
         Undo_log.clear j;
+        wal_abort db;
         raise e
   end

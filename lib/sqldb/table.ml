@@ -16,6 +16,11 @@ type row = Value.t array
    journal and are pointed at a database's journal when added to it.
    [undo_mark] / [undo_full] implement at-most-one journal entry per
    savepoint scope (see [log_undo]). *)
+(* [wal] is the durability hook (see {!Wal_hook}): when set, every
+   mutation also emits a logical event for the write-ahead log.  Like
+   [obs] and [undo] it is propagated by the owning database; tables not
+   yet registered anywhere stay silent (their rows travel inside the
+   [Table_create] event when they are registered). *)
 type t = {
   schema : Schema.t;
   rows : row Vec.t;
@@ -25,6 +30,7 @@ type t = {
   mutable undo : Undo_log.t;
   mutable undo_mark : int;
   mutable undo_full : bool;
+  mutable wal : Wal_hook.t option;
 }
 
 let create schema =
@@ -37,10 +43,12 @@ let create schema =
     undo = Undo_log.null;
     undo_mark = 0;
     undo_full = false;
+    wal = None;
   }
 
 let set_observe t obs = t.obs <- obs
 let set_undo t undo = t.undo <- undo
+let set_wal t wal = t.wal <- wal
 
 (* Journal an undo entry for the mutation about to happen — at most one
    per savepoint scope per table.  A destructive mutation snapshots the
@@ -104,35 +112,69 @@ let check_row t (r : row) =
 let insert t r =
   check_row t r;
   touch ~append:true t;
+  (match t.wal with
+  | None -> ()
+  | Some w -> w.Wal_hook.emit (Wal_hook.Row_insert (name t, Array.copy r)));
   Vec.push t.rows r
 
 let iter f t = Vec.iter f t.rows
 let fold f init t = Vec.fold_left f init t.rows
 let to_list t = Vec.to_list t.rows
 
-(* Delete rows satisfying [p]; returns the number deleted. *)
+(* Delete rows satisfying [p]; returns the number deleted.  With a WAL
+   hook attached the removed positions (pre-delete numbering) are
+   emitted, so recovery can replay the deletion positionally without
+   re-evaluating the predicate. *)
 let delete_where p t =
   let before = Vec.length t.rows in
   touch t;
-  Vec.filter_in_place (fun r -> not (p r)) t.rows;
+  (match t.wal with
+  | None -> Vec.filter_in_place (fun r -> not (p r)) t.rows
+  | Some w ->
+      let removed = ref [] in
+      let i = ref (-1) in
+      Vec.filter_in_place
+        (fun r ->
+          incr i;
+          let gone = p r in
+          if gone then removed := !i :: !removed;
+          not gone)
+        t.rows;
+      if !removed <> [] then
+        w.Wal_hook.emit
+          (Wal_hook.Rows_delete
+             (name t, Array.of_list (List.rev !removed))));
   before - Vec.length t.rows
 
-(* Update rows satisfying [p] with [f]; returns the number updated. *)
+(* Update rows satisfying [p] with [f]; returns the number updated.
+   With a WAL hook attached the (position, new row) pairs are emitted;
+   positions are stable because updates never reorder the vector. *)
 let update_where p f t =
   let n = ref 0 in
   touch t;
-  Vec.map_in_place
-    (fun r ->
+  let changed = ref [] in
+  let log = t.wal <> None in
+  Vec.iteri
+    (fun i r ->
       if p r then begin
         incr n;
-        f r
-      end
-      else r)
+        let r' = f r in
+        if log then changed := (i, Array.copy r') :: !changed;
+        Vec.set t.rows i r'
+      end)
     t.rows;
+  (match t.wal with
+  | Some w when !changed <> [] ->
+      w.Wal_hook.emit
+        (Wal_hook.Rows_update (name t, Array.of_list (List.rev !changed)))
+  | _ -> ());
   !n
 
 let clear t =
   touch t;
+  (match t.wal with
+  | None -> ()
+  | Some w -> w.Wal_hook.emit (Wal_hook.Table_clear (name t)));
   Vec.clear t.rows
 
 let get_value t r cname = r.(Schema.column_index_exn t.schema cname)

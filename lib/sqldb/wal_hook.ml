@@ -1,0 +1,48 @@
+(* The storage side of the durability contract.
+
+   A hooked database reports every committed-state change as a logical
+   [event]; the durable layer (lib/durable) turns events into
+   checksummed write-ahead-log records.  Keeping the event type here —
+   below the WAL implementation — lets [Table] and [Database] emit
+   without depending on the file format, and lets the engine catalog
+   (one layer up) funnel view/routine DDL through the same channel as
+   opaque SQL text.
+
+   Protocol: [emit] buffers an event for the statement in flight;
+   {!Database.with_atomic} calls [commit] when the outermost atomic
+   unit succeeds (the durable layer then appends the buffered records
+   plus a commit marker) and [abort] when it rolls back (the buffer is
+   discarded — a rolled-back statement leaves no trace on disk).  Undo
+   replay itself emits no events. *)
+
+type event =
+  | Row_insert of string * Value.t array  (* table name, appended row *)
+  | Rows_delete of string * int array
+      (* positions removed, ascending, in pre-delete row numbering *)
+  | Rows_update of string * (int * Value.t array) array
+      (* (position, new row) pairs; positions are stable across the op *)
+  | Table_clear of string
+  | Table_create of Schema.t * bool * Value.t array list
+      (* schema, [temp?], rows present at registration time (CREATE
+         TABLE AS and bulk [of_rows] loads insert before registering) *)
+  | Table_drop of string
+  | Temp_tables_drop  (* Database.drop_temp_tables *)
+  | Catalog_ddl of string
+      (* a view / routine definition as one conventional SQL statement,
+         re-parseable by the recovery path *)
+
+type t = {
+  emit : event -> unit;
+  commit : unit -> unit;
+  abort : unit -> unit;
+}
+
+let event_name = function
+  | Row_insert _ -> "row_insert"
+  | Rows_delete _ -> "rows_delete"
+  | Rows_update _ -> "rows_update"
+  | Table_clear _ -> "table_clear"
+  | Table_create _ -> "table_create"
+  | Table_drop _ -> "table_drop"
+  | Temp_tables_drop -> "temp_tables_drop"
+  | Catalog_ddl _ -> "catalog_ddl"

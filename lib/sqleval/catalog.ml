@@ -98,7 +98,14 @@ let key = String.lowercase_ascii
 (* View / routine registration journals an undo entry through the
    database's journal whenever the definition *semantically* changes, so
    a rolled-back execution also restores the catalog (and re-bumps the
-   generation, keeping cached plans conservatively invalid). *)
+   generation, keeping cached plans conservatively invalid).
+
+   The same semantic-change condition gates durability: the definition
+   is pretty-printed back to one conventional SQL statement and funneled
+   through the database's WAL hook as an opaque [Catalog_ddl] event
+   (recovery re-parses and re-registers it).  Identical re-registration
+   — the MAX plan re-creating its own max_ routines on every execution —
+   writes nothing, keeping the WAL proportional to real DDL. *)
 let add_view cat name q =
   let k = key name in
   let prev = Hashtbl.find_opt cat.views k in
@@ -110,11 +117,40 @@ let add_view cat name q =
         (match prev with
         | None -> Hashtbl.remove cat.views k
         | Some v -> Hashtbl.replace cat.views k v);
-        cat.generation <- cat.generation + 1)
+        cat.generation <- cat.generation + 1);
+    Sqldb.Database.wal_emit cat.db
+      (Sqldb.Wal_hook.Catalog_ddl
+         (Sqlast.Pretty.stmt_to_string (Sqlast.Ast.Screate_view (name, q))))
   end;
   Hashtbl.replace cat.views k q
 
 let find_view cat name = Hashtbl.find_opt cat.views (key name)
+
+(* Every view and routine definition as one re-parseable conventional
+   SQL statement — the catalog half of a durable snapshot.  Sorted for
+   determinism; order between entries is irrelevant because
+   registration never resolves references. *)
+let ddl_dump cat =
+  let views =
+    Hashtbl.fold
+      (fun name q acc ->
+        Sqlast.Pretty.stmt_to_string (Sqlast.Ast.Screate_view (name, q)) :: acc)
+      cat.views []
+    |> List.sort compare
+  in
+  let routines =
+    Hashtbl.fold
+      (fun _ (kind, r) acc ->
+        let stmt =
+          match kind with
+          | Rfunction -> Sqlast.Ast.Screate_function r
+          | Rprocedure -> Sqlast.Ast.Screate_procedure r
+        in
+        Sqlast.Pretty.stmt_to_string stmt :: acc)
+      cat.routines []
+    |> List.sort compare
+  in
+  views @ routines
 
 let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
   let k = key r.Sqlast.Ast.r_name in
@@ -129,7 +165,14 @@ let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
         (match prev with
         | None -> Hashtbl.remove cat.routines k
         | Some x -> Hashtbl.replace cat.routines k x);
-        cat.generation <- cat.generation + 1)
+        cat.generation <- cat.generation + 1);
+    let stmt =
+      match kind with
+      | Rfunction -> Sqlast.Ast.Screate_function r
+      | Rprocedure -> Sqlast.Ast.Screate_procedure r
+    in
+    Sqldb.Database.wal_emit cat.db
+      (Sqldb.Wal_hook.Catalog_ddl (Sqlast.Pretty.stmt_to_string stmt))
   end;
   Hashtbl.replace cat.routines k (kind, r)
 

@@ -307,11 +307,16 @@ let atomically env f =
       | r ->
           Undo_log.deactivate j;
           Undo_log.clear j;
+          Database.wal_commit env.cat.Catalog.db;
           r
       | exception e ->
           if not (control_exn e) then Undo_log.rollback_to j (Undo_log.top j);
           Undo_log.deactivate j;
           Undo_log.clear j;
+          (* control-flow exceptions are success paths: their effects
+             survive in memory, so they must also reach the WAL *)
+          if control_exn e then Database.wal_commit env.cat.Catalog.db
+          else Database.wal_abort env.cat.Catalog.db;
           raise e
     end
   end

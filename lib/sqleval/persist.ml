@@ -1,0 +1,95 @@
+(* Engine-level durability: glue between an {!Engine.t} and the
+   durable store (lib/durable).
+
+   The store itself speaks only storage types — tables, rows, opaque
+   DDL strings.  This module closes the loop at the engine layer:
+   snapshots capture the engine clock and the catalog's view/routine
+   definitions (via {!Catalog.ddl_dump}); recovery re-parses replayed
+   DDL and re-registers it, which also bumps the catalog generation so
+   any plan cached against pre-recovery state is invalid. *)
+
+type handle = { dir : string; store : Durable.Store.t }
+
+(* Re-apply one recovered DDL statement.  The recovering database has
+   no WAL hook installed, so re-registration writes nothing back. *)
+let apply_ddl cat sql =
+  match Sqlparse.Parser.parse_stmt_string sql with
+  | Sqlast.Ast.Screate_view (name, q) -> Catalog.add_view cat name q
+  | Sqlast.Ast.Screate_function r ->
+      Catalog.add_routine ~replace:true cat Catalog.Rfunction r
+  | Sqlast.Ast.Screate_procedure r ->
+      Catalog.add_routine ~replace:true cat Catalog.Rprocedure r
+  | _ ->
+      Taupsm_error.raise_error Taupsm_error.Durability
+        "recovered WAL carries a non-DDL catalog statement: %s" sql
+  | exception e ->
+      Taupsm_error.raise_error Taupsm_error.Durability
+        "recovered DDL does not re-parse (%s): %s" (Printexc.to_string e) sql
+
+let obs_of obs cat = match obs with Some o -> o | None -> Catalog.trace cat
+
+(* Fresh attach: snapshot the engine as it stands and start logging. *)
+let attach ?policy ?snapshot_every ?obs ~dir (e : Engine.t) =
+  let cat = Engine.catalog e in
+  let store =
+    Durable.Store.init ?policy ?snapshot_every ~obs:(obs_of obs cat) ~dir
+      ~db:(Engine.database e)
+      ~now:(fun () -> Engine.now e)
+      ~ddl:(fun () -> Catalog.ddl_dump cat)
+      ()
+  in
+  { dir; store }
+
+(* Rebuild a fresh engine from the durable state in [dir].  The engine
+   is *not* yet attached — a fuzzing harness may want to inspect the
+   recovered state without opening a new WAL; call {!resume} to go
+   live. *)
+let recover ?obs ~dir () =
+  let e = Engine.create () in
+  let cat = Engine.catalog e in
+  let report =
+    Durable.Store.recover ~obs:(obs_of obs cat) ~dir ~db:(Engine.database e)
+      ~on_ddl:(apply_ddl cat)
+      ~on_now:(fun d -> Engine.set_now e d)
+      ()
+  in
+  (e, report)
+
+(* Attach after {!recover}: truncate the torn/corrupt WAL tail and
+   append from the last intact record, serial numbering continuous. *)
+let resume ?policy ?snapshot_every ?obs ~dir (e : Engine.t) report =
+  let cat = Engine.catalog e in
+  let store =
+    Durable.Store.resume ?policy ?snapshot_every ~obs:(obs_of obs cat) ~dir
+      ~db:(Engine.database e)
+      ~now:(fun () -> Engine.now e)
+      ~ddl:(fun () -> Catalog.ddl_dump cat)
+      report
+  in
+  { dir; store }
+
+(* Recover-or-init: the CLI's --db-dir semantics.  An existing store is
+   recovered and resumed; an empty or absent directory starts fresh. *)
+let open_dir ?policy ?snapshot_every ?obs ~dir () =
+  if Durable.Store.exists dir then begin
+    let e, report = recover ?obs ~dir () in
+    let h = resume ?policy ?snapshot_every ?obs ~dir e report in
+    (e, h, Some report)
+  end
+  else begin
+    let e = Engine.create () in
+    let h = attach ?policy ?snapshot_every ?obs ~dir e in
+    (e, h, None)
+  end
+
+let snapshot h = Durable.Store.snapshot h.store
+let detach h = Durable.Store.detach h.store
+let store h = h.store
+
+let report_to_string (r : Durable.Store.report) =
+  Printf.sprintf
+    "recovered snapshot %d + %d commit(s) (%d record(s), %d byte(s), \
+     stop=%s, serial=%d) in %.3fs"
+    r.Durable.Store.snapshot_id r.Durable.Store.commits_replayed
+    r.Durable.Store.records_scanned r.Durable.Store.bytes_scanned
+    r.Durable.Store.stop r.Durable.Store.last_serial r.Durable.Store.seconds

@@ -1,0 +1,679 @@
+(* Durability tests: golden CRC-32 vectors and pinned record bytes (the
+   on-disk format is a contract), qcheck round-trips for the WAL codec,
+   torn-tail / corrupt-record scan behaviour, crash-point fuzzing with
+   the committed-prefix consistency property, snapshot equivalence
+   across the τPSM benchmark queries, snapshot-generation fallback, and
+   the monotonic clock guard fix. *)
+
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module Persist = Sqleval.Persist
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Schema = Sqldb.Schema
+module Database = Sqldb.Database
+module Wal_hook = Sqldb.Wal_hook
+module Crc32 = Durable.Crc32
+module Codec = Durable.Codec
+module Wal = Durable.Wal
+module Store = Durable.Store
+module Stratum = Taupsm.Stratum
+module Resilient = Taupsm.Resilient
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+
+let tmp_dir prefix = Filename.temp_dir ("taupsm_" ^ prefix) ""
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 golden vectors                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_goldens () =
+  let check name expect s =
+    Alcotest.(check int) name expect (Crc32.digest s)
+  in
+  check "empty" 0x00000000 "";
+  check "check value" 0xCBF43926 "123456789";
+  check "single byte" 0xE8B7BE43 "a";
+  check "binary zeros" 0x2144DF1C "\x00\x00\x00\x00";
+  (* incremental update must agree with one-shot digest *)
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let crc_oneshot = Crc32.digest s in
+  Alcotest.(check int) "incremental = one-shot" crc_oneshot
+    (Crc32.update (Crc32.digest (String.sub s 0 17)) s 17 (String.length s - 17))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned on-disk bytes: the format is a contract                      *)
+(* ------------------------------------------------------------------ *)
+
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let test_pinned_record_bytes () =
+  (* commit marker: tag 9, serial as i64 LE *)
+  Alcotest.(check string)
+    "commit marker" "090700000000000000"
+    (hex (Codec.encode_commit ~serial:7));
+  (* row insert: tag 1, table name, row of one Int *)
+  Alcotest.(check string)
+    "row insert" "01010000007401000000010100000000000000"
+    (hex (Codec.encode_event (Wal_hook.Row_insert ("t", [| Value.Int 1 |]))));
+  (* framing: u32 LE length, u32 LE CRC of payload, payload *)
+  let payload = Codec.encode_commit ~serial:1 in
+  let framed = Wal.frame payload in
+  Alcotest.(check int) "frame adds 8 bytes" (String.length payload + 8)
+    (String.length framed);
+  Alcotest.(check string) "frame length field" "09000000"
+    (hex (String.sub framed 0 4));
+  Alcotest.(check int) "frame crc field"
+    (Crc32.digest payload)
+    (Int32.to_int (String.get_int32_le framed 4) land 0xFFFFFFFF);
+  Alcotest.(check string) "wal magic" "TPSMWAL1" Wal.magic
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: codec round-trips                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun n -> Value.Int n) int;
+        map (fun f -> Value.Float f) float;
+        map (fun s -> Value.Str s) (string_size (int_range 0 64));
+        (* long strings and embedded NULs must survive *)
+        map (fun s -> Value.Str s) (string_size (int_range 1000 5000));
+        map (fun b -> Value.Bool b) bool;
+        map (fun d -> Value.Date d) (int_range (-400000) 4000000);
+      ])
+
+let gen_row = QCheck.Gen.(map Array.of_list (list_size (int_range 0 8) gen_value))
+
+let gen_name =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 12))
+
+let gen_schema =
+  QCheck.Gen.(
+    let gen_ty =
+      oneofl [ Value.Tint; Value.Tfloat; Value.Tstring; Value.Tbool; Value.Tdate ]
+    in
+    map
+      (fun (name, cols, temporal, transaction) ->
+        {
+          Schema.name;
+          columns =
+            List.map (fun (n, ty) -> { Schema.col_name = n; col_ty = ty }) cols;
+          temporal;
+          transaction;
+        })
+      (quad gen_name
+         (list_size (int_range 0 6) (pair gen_name gen_ty))
+         bool bool))
+
+let gen_event =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun t r -> Wal_hook.Row_insert (t, r)) gen_name gen_row;
+        map2
+          (fun t ps -> Wal_hook.Rows_delete (t, Array.of_list ps))
+          gen_name
+          (list_size (int_range 0 10) (int_range 0 100000));
+        map2
+          (fun t prs -> Wal_hook.Rows_update (t, Array.of_list prs))
+          gen_name
+          (list_size (int_range 0 6) (pair (int_range 0 100000) gen_row));
+        map (fun t -> Wal_hook.Table_clear t) gen_name;
+        map3
+          (fun sch temp rows -> Wal_hook.Table_create (sch, temp, rows))
+          gen_schema bool
+          (list_size (int_range 0 5) gen_row);
+        map (fun t -> Wal_hook.Table_drop t) gen_name;
+        return Wal_hook.Temp_tables_drop;
+        map (fun s -> Wal_hook.Catalog_ddl s) (string_size (int_range 0 2000));
+      ])
+
+let arb_event = QCheck.make gen_event ~print:Wal_hook.event_name
+
+let prop_event_roundtrip ev =
+  let enc = Codec.encode_event ev in
+  match Codec.decode_record enc with
+  | Codec.Rcommit _ -> QCheck.Test.fail_report "event decoded as commit"
+  | Codec.Revent ev' ->
+      (* structural equality, plus byte equality of a re-encode (the
+         latter also covers NaN floats, where (=) would lie) *)
+      ev' = ev && Codec.encode_event ev' = enc
+
+let prop_commit_roundtrip serial =
+  match Codec.decode_record (Codec.encode_commit ~serial) with
+  | Codec.Rcommit s -> s = serial
+  | Codec.Revent _ -> false
+
+let gen_snapshot =
+  QCheck.Gen.(
+    let gen_table = pair gen_schema (list_size (int_range 0 6) gen_row) in
+    map2
+      (fun (serial, now, ddl) (base, temp) ->
+        { Codec.serial; now; ddl; base; temp })
+      (triple (int_range 0 1000000) (int_range 0 4000000)
+         (list_size (int_range 0 4) (string_size (int_range 0 200))))
+      (pair
+         (list_size (int_range 0 3) gen_table)
+         (list_size (int_range 0 3) gen_table)))
+
+let prop_snapshot_roundtrip snap =
+  let enc = Codec.encode_snapshot snap in
+  let snap' = Codec.decode_snapshot enc in
+  snap' = snap && Codec.encode_snapshot snap' = enc
+
+let codec_qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:300 ~name:"event encode/decode round-trip"
+        arb_event prop_event_roundtrip;
+      QCheck.Test.make ~count:100 ~name:"commit marker round-trip"
+        QCheck.(map abs int)
+        prop_commit_roundtrip;
+      QCheck.Test.make ~count:100 ~name:"snapshot encode/decode round-trip"
+        (QCheck.make gen_snapshot ~print:(fun s ->
+             Printf.sprintf "snapshot serial=%d (%d base, %d temp)"
+               s.Codec.serial (List.length s.Codec.base)
+               (List.length s.Codec.temp)))
+        prop_snapshot_roundtrip;
+    ]
+
+(* corrupt payloads must raise Corrupt, never allocate absurdly or
+   return garbage *)
+let test_codec_rejects_garbage () =
+  let expect_corrupt name payload =
+    match Codec.decode_record payload with
+    | _ -> Alcotest.failf "%s: decoded garbage" name
+    | exception Codec.Corrupt _ -> ()
+  in
+  expect_corrupt "empty payload" "";
+  expect_corrupt "unknown tag" "\xff";
+  expect_corrupt "truncated commit" "\x09\x01\x02";
+  (* huge claimed count fails fast on the first missing byte *)
+  expect_corrupt "huge row count"
+    ("\x01\x01\x00\x00\x00t" ^ "\xff\xff\xff\x7f");
+  let good = Codec.encode_event (Wal_hook.Table_clear "t") in
+  expect_corrupt "trailing garbage" (good ^ "x")
+
+(* ------------------------------------------------------------------ *)
+(* WAL file scan: torn tails and corrupt records                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let build_wal dir payloads =
+  let path = Filename.concat dir "wal-00000000.log" in
+  let w = Wal.create ~policy:Wal.Off path in
+  List.iter (Wal.append w) payloads;
+  Wal.close w;
+  path
+
+let scan_all path =
+  let got = ref [] in
+  let scan = Wal.scan path ~f:(fun p -> got := p :: !got) in
+  (scan, List.rev !got)
+
+let test_wal_scan_clean () =
+  let dir = tmp_dir "wal" in
+  let payloads = [ "alpha"; ""; "gamma-longer-payload"; "\x00\x01\x02" ] in
+  let path = build_wal dir payloads in
+  let scan, got = scan_all path in
+  Alcotest.(check (list string)) "all payloads back" payloads got;
+  Alcotest.(check string) "clean eof" "eof" (Wal.stop_string scan.Wal.stop);
+  Alcotest.(check int) "good offset = file size" scan.Wal.bytes
+    scan.Wal.good_offset
+
+let test_wal_scan_torn_tail () =
+  let dir = tmp_dir "torn" in
+  let payloads = [ "alpha"; "beta"; "gamma" ] in
+  let path = build_wal dir payloads in
+  let whole = read_file path in
+  (* cut inside the final record: every prefix length from just after
+     record 2 up to just before the end must yield exactly two records *)
+  let full_scan, _ = scan_all path in
+  let end2 =
+    Wal.header_len + (8 + 5) + (8 + 4)
+    (* alpha, beta frames *)
+  in
+  Alcotest.(check int) "full file sanity" full_scan.Wal.bytes
+    (end2 + 8 + 5);
+  for cut = end2 + 1 to String.length whole - 1 do
+    write_file path (String.sub whole 0 cut);
+    let scan, got = scan_all path in
+    Alcotest.(check (list string))
+      (Printf.sprintf "cut at %d keeps prefix" cut)
+      [ "alpha"; "beta" ] got;
+    Alcotest.(check string)
+      (Printf.sprintf "cut at %d is torn" cut)
+      "torn_tail"
+      (Wal.stop_string scan.Wal.stop);
+    Alcotest.(check int)
+      (Printf.sprintf "cut at %d good offset" cut)
+      end2 scan.Wal.good_offset
+  done
+
+let test_wal_scan_bad_crc () =
+  let dir = tmp_dir "crc" in
+  let payloads = [ "alpha"; "beta"; "gamma" ] in
+  let path = build_wal dir payloads in
+  let whole = read_file path in
+  (* flip one byte inside record 2's payload *)
+  let off = Wal.header_len + (8 + 5) + 8 + 1 in
+  let b = Bytes.of_string whole in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+  write_file path (Bytes.to_string b);
+  let scan, got = scan_all path in
+  Alcotest.(check (list string)) "stops after record 1" [ "alpha" ] got;
+  Alcotest.(check string) "bad crc" "bad_crc" (Wal.stop_string scan.Wal.stop)
+
+let test_wal_reopen_appends () =
+  let dir = tmp_dir "reopen" in
+  let path = build_wal dir [ "alpha"; "beta" ] in
+  (* simulate a torn tail, then resume at the good offset *)
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole - 2));
+  let scan1, _ = scan_all path in
+  let w = Wal.reopen path ~good_offset:scan1.Wal.good_offset in
+  Wal.append w "gamma";
+  Wal.close w;
+  let scan2, got = scan_all path in
+  Alcotest.(check (list string)) "torn tail replaced" [ "alpha"; "gamma" ] got;
+  Alcotest.(check string) "clean after resume" "eof"
+    (Wal.stop_string scan2.Wal.stop)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point fuzzing: committed-prefix consistency                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small deterministic workload exercising every WAL record kind:
+   table DDL, sequenced and conventional DML, view and routine DDL,
+   a temporal query (temp-table churn), and a drop. *)
+let workload =
+  [
+    "CREATE TABLE tariff (name VARCHAR(10), pct DOUBLE) WITH VALIDTIME";
+    "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01') INSERT INTO tariff \
+     VALUES ('base', 5.0)";
+    "VALIDTIME [DATE '2010-02-01', DATE '2010-06-01') INSERT INTO tariff \
+     VALUES ('extra', 2.0)";
+    "CREATE VIEW cheap AS SELECT name FROM tariff WHERE pct < 3.0";
+    "VALIDTIME [DATE '2010-03-01', DATE '2010-04-01') UPDATE tariff SET pct \
+     = 9.9 WHERE name = 'base'";
+    "CREATE FUNCTION twice (x DOUBLE) RETURNS DOUBLE BEGIN RETURN x * 2.0; \
+     END";
+    "VALIDTIME SELECT name, pct FROM tariff WHERE pct > 1.0";
+    "VALIDTIME [DATE '2010-04-01', DATE '2010-05-01') DELETE FROM tariff \
+     WHERE name = 'extra'";
+    "CREATE TABLE audit (note VARCHAR(20))";
+    "INSERT INTO audit VALUES ('done')";
+    "DROP TABLE audit";
+  ]
+
+(* Golden run: execute the workload with a store attached and no crash
+   point, capturing a deep copy of the database keyed by the store
+   serial after every statement.  Recovery reporting last_serial = s
+   must reproduce exactly prefixes[s]. *)
+let golden_run () =
+  let dir = tmp_dir "golden" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:(Wal.Batch 4) ~snapshot_every:4 ~dir e in
+  let prefixes = Hashtbl.create 16 in
+  Hashtbl.replace prefixes
+    (Store.serial (Persist.store h))
+    (Database.copy (Engine.database e));
+  List.iter
+    (fun sql ->
+      ignore (Stratum.exec_sql e sql);
+      Hashtbl.replace prefixes
+        (Store.serial (Persist.store h))
+        (Database.copy (Engine.database e)))
+    workload;
+  let final_serial = Store.serial (Persist.store h) in
+  Persist.detach h;
+  (prefixes, final_serial)
+
+let golden = lazy (golden_run ())
+
+(* Total durable bytes a clean run writes, measured with a huge armed
+   budget (crash_allowance drains it without firing). *)
+let total_durable_bytes =
+  lazy
+    (let big = 1 lsl 30 in
+     Fault.arm_crash ~at_bytes:big;
+     let dir = tmp_dir "measure" in
+     let e = Engine.create () in
+     Stratum.install e;
+     let h = Persist.attach ~policy:(Wal.Batch 4) ~snapshot_every:4 ~dir e in
+     List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload;
+     Persist.detach h;
+     let remaining =
+       match Fault.crash_armed () with Some r -> r | None -> 0
+     in
+     Fault.disarm_crash ();
+     big - remaining)
+
+let prop_crash_recovers_prefix raw =
+  let prefixes, final_serial = Lazy.force golden in
+  let total = Lazy.force total_durable_bytes in
+  let at_bytes = raw mod total in
+  let dir = tmp_dir "crash" in
+  Fault.arm_crash ~at_bytes;
+  let crashed_in_attach = ref false in
+  let crashed = ref false in
+  (try
+     let e = Engine.create () in
+     Stratum.install e;
+     let h =
+       try Persist.attach ~policy:(Wal.Batch 4) ~snapshot_every:4 ~dir e
+       with Fault.Crash _ ->
+         crashed_in_attach := true;
+         raise Exit
+     in
+     (try
+        List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload
+      with Fault.Crash _ -> crashed := true);
+     if not !crashed then Persist.detach h
+   with Exit -> ());
+  Fault.disarm_crash ();
+  (* in-memory engine is gone; all we have is the directory *)
+  if !crashed_in_attach && not (Store.exists dir) then
+    (* died before the first snapshot landed: durably nothing, vacuous *)
+    true
+  else begin
+    let e', report = Persist.recover ~dir () in
+    let s = report.Store.last_serial in
+    if not !crashed && not !crashed_in_attach then
+      (* clean run: recovery must reproduce the final state *)
+      QCheck.(
+        if s <> final_serial then
+          Test.fail_reportf "clean run recovered serial %d, expected %d" s
+            final_serial);
+    match Hashtbl.find_opt prefixes s with
+    | None ->
+        QCheck.Test.fail_reportf
+          "crash at %d bytes: recovered serial %d is not a committed prefix"
+          at_bytes s
+    | Some golden_db -> (
+        match Resilient.db_diff golden_db (Engine.database e') with
+        | None -> true
+        | Some diff ->
+            QCheck.Test.fail_reportf
+              "crash at %d bytes: recovered state diverges from committed \
+               prefix %d: %s"
+              at_bytes s diff)
+  end
+
+let crash_qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:60 ~name:"crash point => committed prefix"
+        QCheck.(
+          make
+            Gen.(int_range 0 999_983)
+            ~print:(fun r -> Printf.sprintf "offset witness %d" r))
+        prop_crash_recovers_prefix;
+    ]
+
+(* Deterministic corners the uniform fuzz may miss: crash exactly at
+   record boundaries (budget run out with zero torn bytes). *)
+let test_crash_at_exact_boundaries () =
+  let prefixes, _ = Lazy.force golden in
+  (* replay a clean run recording the wal offset after every commit,
+     then crash exactly at each of those offsets *)
+  let total = Lazy.force total_durable_bytes in
+  List.iter
+    (fun frac ->
+      let at_bytes = total * frac / 16 in
+      Alcotest.(check bool)
+        (Printf.sprintf "boundary %d/16" frac)
+        true
+        (let dir = tmp_dir "bound" in
+         Fault.arm_crash ~at_bytes;
+         let crashed_early = ref false in
+         (try
+            let e = Engine.create () in
+            Stratum.install e;
+            let h = Persist.attach ~policy:Wal.Always ~snapshot_every:4 ~dir e in
+            (try List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload
+             with Fault.Crash _ -> ());
+            if not (Store.is_dead (Persist.store h)) then Persist.detach h
+          with Fault.Crash _ -> crashed_early := true);
+         Fault.disarm_crash ();
+         if !crashed_early && not (Store.exists dir) then true
+         else begin
+           let e', report = Persist.recover ~dir () in
+           match Hashtbl.find_opt prefixes report.Store.last_serial with
+           | None -> false
+           | Some g -> Resilient.db_diff g (Engine.database e') = None
+         end))
+    [ 1; 3; 5; 7; 9; 11; 13; 15 ]
+
+(* A corrupt record in the *middle* of the WAL: recovery stops there
+   and still reports a committed prefix. *)
+let test_corrupt_mid_wal () =
+  let prefixes, final_serial = Lazy.force golden in
+  let dir = tmp_dir "midcrc" in
+  let e = Engine.create () in
+  Stratum.install e;
+  (* no rotation: keep everything in wal-0 so the flip lands mid-history *)
+  let h = Persist.attach ~policy:Wal.Off ~dir e in
+  List.iter (fun sql -> ignore (Stratum.exec_sql e sql)) workload;
+  Persist.detach h;
+  let path = Filename.concat dir "wal-00000000.log" in
+  let whole = read_file path in
+  let b = Bytes.of_string whole in
+  let off = String.length whole / 2 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+  write_file path (Bytes.to_string b);
+  let e', report = Persist.recover ~dir () in
+  Alcotest.(check bool)
+    "scan stopped on corruption" true
+    (List.mem report.Store.stop [ "bad_crc"; "bad_record"; "torn_tail" ]);
+  Alcotest.(check bool)
+    "replayed strictly less than everything" true
+    (report.Store.last_serial < final_serial);
+  match Hashtbl.find_opt prefixes report.Store.last_serial with
+  | None -> Alcotest.fail "recovered serial is not a committed prefix"
+  | Some g -> (
+      match Resilient.db_diff g (Engine.database e') with
+      | None -> ()
+      | Some diff -> Alcotest.failf "prefix diverges: %s" diff)
+
+(* Latest snapshot corrupt: recovery falls back a generation and
+   reproduces the rotation-point state. *)
+let test_snapshot_fallback () =
+  let dir = tmp_dir "fallback" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:Wal.Off ~dir e in
+  List.iteri
+    (fun i sql ->
+      ignore (Stratum.exec_sql e sql);
+      if i = 5 then Persist.snapshot h)
+    workload;
+  let at_rotation = ref None in
+  (* re-derive the rotation-point state from a second engine: replaying
+     the first 6 statements volatile gives the same database *)
+  let e2 = Engine.create () in
+  Stratum.install e2;
+  List.iteri
+    (fun i sql -> if i <= 5 then ignore (Stratum.exec_sql e2 sql))
+    workload;
+  at_rotation := Some (Database.copy (Engine.database e2));
+  Persist.detach h;
+  (* corrupt snapshot generation 1 (written by the forced rotation) *)
+  let snap1 = Filename.concat dir "snap-00000001.bin" in
+  let whole = read_file snap1 in
+  let b = Bytes.of_string whole in
+  Bytes.set b (String.length whole - 3)
+    (Char.chr (Char.code (Bytes.get b (String.length whole - 3)) lxor 0xFF));
+  write_file snap1 (Bytes.to_string b);
+  let e', report = Persist.recover ~dir () in
+  Alcotest.(check int) "fell back to generation 0" 0 report.Store.snapshot_id;
+  match
+    Resilient.db_diff (Option.get !at_rotation) (Engine.database e')
+  with
+  | None -> ()
+  | Some diff -> Alcotest.failf "fallback state diverges: %s" diff
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot equivalence across the τPSM benchmark queries              *)
+(* ------------------------------------------------------------------ *)
+
+let small_ds1 =
+  lazy
+    (Datasets.load { Datasets.ds = Datasets.DS1; size = Taupsm.Heuristic.Small })
+
+let ctx = (Date.of_ymd ~y:2010 ~m:3 ~d:1, Date.of_ymd ~y:2010 ~m:4 ~d:15)
+
+(* For every benchmark query: run it live with a store attached,
+   recover into a fresh engine, and demand (a) the recovered database
+   is bit-identical (db_diff) to the live one and (b) the recovered
+   engine — whose views/routines travelled as re-parsed DDL — computes
+   the same answer. *)
+let test_snapshot_equivalence_queries () =
+  List.iter
+    (fun q ->
+      let e = Engine.copy (Lazy.force small_ds1) in
+      Queries.install e;
+      let dir = tmp_dir ("snapeq_" ^ q.Queries.id) in
+      let h = Persist.attach ~policy:Wal.Off ~dir e in
+      let sql = Queries.sequenced ~context:ctx q in
+      let live_rows =
+        match Stratum.exec_sql ~strategy:Stratum.Max e sql with
+        | Eval.Rows rs -> rows_of rs
+        | _ -> Alcotest.failf "%s did not produce rows" q.Queries.id
+      in
+      Persist.detach h;
+      let e', _report = Persist.recover ~dir () in
+      (match Resilient.db_diff (Engine.database e) (Engine.database e') with
+      | None -> ()
+      | Some diff ->
+          Alcotest.failf "%s: recovered database diverges: %s" q.Queries.id
+            diff);
+      let recovered_rows =
+        match Stratum.exec_sql ~strategy:Stratum.Max e' sql with
+        | Eval.Rows rs -> rows_of rs
+        | _ -> Alcotest.failf "%s (recovered) did not produce rows" q.Queries.id
+      in
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "%s: recovered answer = live answer" q.Queries.id)
+        live_rows recovered_rows)
+    Queries.all
+
+(* Sequenced DML against a recovered-and-resumed store must keep
+   working and persisting (serial numbering continuous). *)
+let test_resume_continues () =
+  let dir = tmp_dir "resume" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:(Wal.Batch 2) ~dir e in
+  List.iteri
+    (fun i sql -> if i <= 2 then ignore (Stratum.exec_sql e sql))
+    workload;
+  Persist.detach h;
+  (* first recovery + resume: append more statements *)
+  let e1, r1 = Persist.recover ~dir () in
+  Stratum.install e1;
+  let h1 = Persist.resume ~policy:(Wal.Batch 2) ~dir e1 r1 in
+  ignore
+    (Stratum.exec_sql e1
+       "VALIDTIME [DATE '2010-07-01', DATE '2010-08-01') INSERT INTO tariff \
+        VALUES ('late', 7.5)");
+  let serial_after = Store.serial (Persist.store h1) in
+  Persist.detach h1;
+  Alcotest.(check bool)
+    "serial advanced past recovery" true
+    (serial_after > r1.Store.last_serial);
+  (* second recovery sees the post-resume statement *)
+  let e2, r2 = Persist.recover ~dir () in
+  Alcotest.(check int) "second recovery reaches new serial" serial_after
+    r2.Store.last_serial;
+  match Resilient.db_diff (Engine.database e1) (Engine.database e2) with
+  | None -> ()
+  | Some diff -> Alcotest.failf "post-resume state diverges: %s" diff
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_mono_clock () =
+  (* an injectable source that steps backwards must never make the
+     clock retreat *)
+  let steps = ref [ 10.0; 20.0; 15.0; 5.0; 25.0 ] in
+  Mono_clock.set_source (fun () ->
+      match !steps with
+      | [] -> 30.0
+      | t :: rest ->
+          steps := rest;
+          t);
+  let a = Mono_clock.now () in
+  let b = Mono_clock.now () in
+  let c = Mono_clock.now () in
+  let d = Mono_clock.now () in
+  let e = Mono_clock.now () in
+  Mono_clock.use_wall_clock ();
+  Alcotest.(check (list (float 0.0)))
+    "never decreases"
+    [ 10.0; 20.0; 20.0; 20.0; 25.0 ]
+    [ a; b; c; d; e ];
+  (* back on the wall clock, the guard deadline still fires (and the
+     reset in set_source means history from the test source cannot pin
+     the clock) *)
+  let t1 = Mono_clock.now () in
+  let t2 = Mono_clock.now () in
+  Alcotest.(check bool) "wall clock moves forward" true (t2 >= t1 && t1 > 25.0)
+
+let suite =
+  [
+    ( "durable-codec",
+      [
+        Alcotest.test_case "crc32 golden vectors" `Quick test_crc32_goldens;
+        Alcotest.test_case "pinned record bytes" `Quick test_pinned_record_bytes;
+        Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+      ]
+      @ codec_qcheck_tests );
+    ( "durable-wal",
+      [
+        Alcotest.test_case "scan clean file" `Quick test_wal_scan_clean;
+        Alcotest.test_case "scan torn tail" `Quick test_wal_scan_torn_tail;
+        Alcotest.test_case "scan bad crc" `Quick test_wal_scan_bad_crc;
+        Alcotest.test_case "reopen truncates + appends" `Quick
+          test_wal_reopen_appends;
+      ] );
+    ( "durable-recovery",
+      [
+        Alcotest.test_case "crash at exact boundaries" `Slow
+          test_crash_at_exact_boundaries;
+        Alcotest.test_case "corrupt mid-wal stops at prefix" `Quick
+          test_corrupt_mid_wal;
+        Alcotest.test_case "snapshot generation fallback" `Quick
+          test_snapshot_fallback;
+        Alcotest.test_case "resume continues the log" `Quick
+          test_resume_continues;
+        Alcotest.test_case "snapshot equivalence (16 queries)" `Slow
+          test_snapshot_equivalence_queries;
+      ]
+      @ crash_qcheck_tests );
+    ( "durable-clock",
+      [ Alcotest.test_case "monotonic clock" `Quick test_mono_clock ] );
+  ]
