@@ -1080,7 +1080,43 @@ let recovery_fuzz () =
                   match
                     Taupsm.Resilient.db_diff g (Engine.database e')
                   with
-                  | None -> ()
+                  | None -> (
+                      (* second leg — crash -> recover -> resume ->
+                         commit -> recover.  Catches resume keeping
+                         intact-but-uncommitted orphan records past
+                         the last commit marker: the probe statement's
+                         marker would adopt them and the re-recovered
+                         state would diverge from the live one. *)
+                      match
+                        Stratum.install e';
+                        let h' =
+                          Sqleval.Persist.resume ~policy ~snapshot_every ~dir
+                            e' report
+                        in
+                        ignore
+                          (Stratum.exec_sql e'
+                             "CREATE TABLE fuzz_probe (x INT)");
+                        ignore
+                          (Stratum.exec_sql e'
+                             "INSERT INTO fuzz_probe VALUES (1)");
+                        Sqleval.Persist.detach h';
+                        let e'', _ = Sqleval.Persist.recover ~dir () in
+                        Taupsm.Resilient.db_diff (Engine.database e')
+                          (Engine.database e'')
+                      with
+                      | None -> ()
+                      | Some diff ->
+                          incr violations;
+                          Printf.printf
+                            "VIOLATION %s crash@%d: resume leg diverges: \
+                             %s\n%!"
+                            (Datasets.ds_to_string ds) at_bytes diff
+                      | exception exn ->
+                          incr violations;
+                          Printf.printf
+                            "VIOLATION %s crash@%d: resume leg raised %s\n%!"
+                            (Datasets.ds_to_string ds) at_bytes
+                            (Printexc.to_string exn))
                   | Some diff ->
                       incr violations;
                       Printf.printf

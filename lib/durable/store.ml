@@ -33,6 +33,7 @@ type report = {
   last_serial : int;
   snapshot_now : int;
   wal_good_offset : int;
+  wal_committed_offset : int;
   seconds : float;
 }
 
@@ -146,6 +147,17 @@ let emit st ev =
 
 let abort st = st.buffer <- []
 
+(* Savepoints over the (newest-first) buffer: the mark is the event
+   count at scope entry; rollback drops everything emitted since. *)
+let buffer_savepoint st = List.length st.buffer
+
+let buffer_rollback_to st mark =
+  let rec drop l k = if k <= 0 then l else
+    match l with [] -> [] | _ :: tl -> drop tl (k - 1)
+  in
+  let len = List.length st.buffer in
+  if len > mark then st.buffer <- drop st.buffer (len - mark)
+
 let rec commit st =
   if not st.dead then begin
     let evs = List.rev st.buffer in
@@ -196,6 +208,8 @@ let hook st =
     Wal_hook.emit = emit st;
     commit = (fun () -> commit st);
     abort = (fun () -> abort st);
+    savepoint = (fun () -> buffer_savepoint st);
+    rollback_to = buffer_rollback_to st;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -302,23 +316,49 @@ let recover ?(obs = Trace.null) ~dir ~db ~on_ddl ~on_now () =
       (* Replay: buffer each record group, apply only on its intact
          commit marker.  An uncommitted suffix — torn tail, corrupt
          record, or simply no marker yet — is never applied, which is
-         the whole committed-prefix guarantee. *)
+         the whole committed-prefix guarantee.  [committed] tracks the
+         offset just past the last intact commit marker: that — not
+         the last intact record — is where {!resume} must truncate, or
+         intact-but-uncommitted event records surviving a torn tail
+         would be adopted by the next statement's commit marker. *)
       let pending = ref [] in
       let commits = ref 0 in
       let serial = ref snap.Codec.serial in
+      let committed = ref Wal.header_len in
+      let fatal = ref None in
       let scan =
         Trace.with_span obs "recover.replay" (fun () ->
             Wal.scan
               (Filename.concat dir (wal_name id))
-              ~f:(fun payload ->
+              ~f:(fun ~off payload ->
                 match Codec.decode_record payload with
                 | Codec.Revent ev -> pending := ev :: !pending
                 | Codec.Rcommit s ->
-                    List.iter (apply_event db ~on_ddl) (List.rev !pending);
+                    (* The whole group decoded (every event record's
+                       payload parsed before its marker was reached);
+                       an apply failure here is a semantically bad but
+                       CRC-valid record and must fail recovery loudly:
+                       earlier events of the group are already in, so
+                       silently stopping would hand back a database
+                       with a partially applied statement. *)
+                    (match List.iter (apply_event db ~on_ddl) (List.rev !pending)
+                     with
+                    | () -> ()
+                    | exception e ->
+                        fatal := Some (s, e);
+                        raise e);
                     pending := [];
                     incr commits;
-                    serial := s))
+                    serial := s;
+                    committed := off))
       in
+      (match !fatal with
+      | Some (s, e) ->
+          Taupsm_error.raise_error Taupsm_error.Durability
+            "recovery failed applying committed statement %d — WAL record \
+             is CRC-valid but semantically inconsistent (%s)"
+            s (Printexc.to_string e)
+      | None -> ());
       let seconds = Mono_clock.now () -. t0 in
       Trace.count obs "recover.commits_replayed" !commits;
       Trace.count obs "recover.records" scan.Wal.records;
@@ -332,6 +372,7 @@ let recover ?(obs = Trace.null) ~dir ~db ~on_ddl ~on_now () =
         last_serial = !serial;
         snapshot_now = snap.Codec.now;
         wal_good_offset = scan.Wal.good_offset;
+        wal_committed_offset = !committed;
         seconds;
       })
 
@@ -339,8 +380,12 @@ let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir
     ~db ~now ~ddl (r : report) =
   let path = Filename.concat dir (wal_name r.snapshot_id) in
   let wal =
+    (* Truncate to the last intact COMMIT marker, not the last intact
+       record: a crash mid-statement leaves that statement's event
+       records intact ahead of the marker, and keeping them would let
+       the next commit marker adopt a statement that never committed. *)
     if Sys.file_exists path && r.stop <> Wal.stop_string Wal.Bad_magic then
-      Wal.reopen ~policy ~obs path ~good_offset:r.wal_good_offset
+      Wal.reopen ~policy ~obs path ~good_offset:r.wal_committed_offset
     else Wal.create ~policy ~obs path
   in
   let st =

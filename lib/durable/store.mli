@@ -34,7 +34,11 @@ type report = {
   stop : string;  (** {!Wal.stop_string} of why the scan ended *)
   last_serial : int;  (** store-wide serial of the last replayed commit *)
   snapshot_now : int;  (** engine clock stored in the snapshot *)
-  wal_good_offset : int;  (** byte offset of the last intact record *)
+  wal_good_offset : int;  (** byte offset past the last intact record *)
+  wal_committed_offset : int;
+      (** byte offset past the last intact commit marker — where
+          {!resume} truncates, so intact event records of an
+          uncommitted statement never survive into the resumed log *)
   seconds : float;  (** recovery wall time (monotonic clock) *)
 }
 
@@ -73,7 +77,10 @@ val recover :
     corrupt record.  DDL statements (from the snapshot and from
     [Catalog_ddl] records) are handed to [on_ddl]; the snapshot's
     engine clock to [on_now].  Raises [Taupsm_error.Error] with code
-    [Durability] when no snapshot generation is loadable. *)
+    [Durability] when no snapshot generation is loadable, or when a
+    CRC-valid commit group fails to apply (a semantically inconsistent
+    record must fail recovery loudly, never yield a silently partial
+    database). *)
 
 val resume :
   ?policy:Wal.sync_policy ->
@@ -86,9 +93,11 @@ val resume :
   report ->
   t
 (** Attach after {!recover}: truncate the recovered WAL to its last
-    intact record ([wal_good_offset]) and append from there, keeping
-    serial numbers continuous.  If the WAL file is missing or had a
-    foreign header, a fresh one is created instead. *)
+    intact commit marker ([wal_committed_offset]) — discarding any
+    intact-but-uncommitted event records a mid-statement crash left
+    behind — and append from there, keeping serial numbers continuous.
+    If the WAL file is missing or had a foreign header, a fresh one is
+    created instead. *)
 
 val snapshot : t -> unit
 (** Force a rotation now: write snapshot [K+1] (old generations are

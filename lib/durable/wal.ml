@@ -164,12 +164,13 @@ let scan path ~f =
              stop := Bad_crc;
              raise Exit
            end;
-           (match f payload with
+           let record_end = !pos + 8 + rlen in
+           (match f ~off:record_end payload with
            | () -> ()
            | exception _ ->
                stop := Bad_record;
                raise Exit);
-           pos := !pos + 8 + rlen;
+           pos := record_end;
            good := !pos;
            incr records
          done

@@ -78,8 +78,10 @@ type scan = {
   stop : stop;
 }
 
-val scan : string -> f:(string -> unit) -> scan
+val scan : string -> f:(off:int -> string -> unit) -> scan
 (** Read the file once, invoking [f] on every intact record payload in
-    order, stopping (without raising) at the first torn, corrupt or
-    unparseable record.  [Missing] and [Bad_magic] report zero records
-    and [good_offset = header_len]. *)
+    order — [off] is the byte offset just past that record's frame, so
+    a caller recognising commit markers can remember the exact
+    committed boundary — stopping (without raising) at the first torn,
+    corrupt or unparseable record.  [Missing] and [Bad_magic] report
+    zero records and [good_offset = header_len]. *)

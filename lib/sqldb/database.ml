@@ -66,6 +66,12 @@ let wal_commit db =
 let wal_abort db =
   match db.wal with None -> () | Some w -> w.Wal_hook.abort ()
 
+let wal_savepoint db =
+  match db.wal with None -> 0 | Some w -> w.Wal_hook.savepoint ()
+
+let wal_rollback_to db sp =
+  match db.wal with None -> () | Some w -> w.Wal_hook.rollback_to sp
+
 let key = String.lowercase_ascii
 
 exception No_such_table of string
@@ -193,17 +199,21 @@ let undo db = db.undo
 
    The outermost boundary also drives the durability hook: commit on
    success (the WAL appends the buffered records plus a commit marker),
-   abort on rollback (the buffer is discarded).  Savepoint scopes need
-   no WAL bookkeeping because a nested rollback always re-raises, so
-   the enclosing outermost unit aborts too — an inner unit's buffered
-   events can never outlive its undo. *)
+   abort on rollback (the buffer is discarded).  Savepoint scopes keep
+   the WAL buffer in step with the undo journal: the nested rollback's
+   exception may be swallowed upstream (e.g. a lateral-subquery probe),
+   letting the enclosing unit commit, so the inner unit's buffered
+   events must be dropped here or recovery would replay effects that
+   were undone in memory. *)
 let with_atomic db f =
   let j = db.undo in
   if Undo_log.is_active j then begin
     let sp = Undo_log.savepoint j in
+    let wsp = wal_savepoint db in
     try f ()
     with e ->
       Undo_log.rollback_to j sp;
+      wal_rollback_to db wsp;
       raise e
   end
   else begin

@@ -12,8 +12,13 @@
    {!Database.with_atomic} calls [commit] when the outermost atomic
    unit succeeds (the durable layer then appends the buffered records
    plus a commit marker) and [abort] when it rolls back (the buffer is
-   discarded — a rolled-back statement leaves no trace on disk).  Undo
-   replay itself emits no events. *)
+   discarded — a rolled-back statement leaves no trace on disk).
+   Nested atomic scopes mirror the undo journal's savepoints:
+   [savepoint] marks the buffer position and [rollback_to] drops every
+   event emitted past the mark, so a nested rollback whose exception
+   is later swallowed (the enclosing statement still commits) cannot
+   leak its undone events into the WAL.  Undo replay itself emits no
+   events. *)
 
 type event =
   | Row_insert of string * Value.t array  (* table name, appended row *)
@@ -35,6 +40,8 @@ type t = {
   emit : event -> unit;
   commit : unit -> unit;
   abort : unit -> unit;
+  savepoint : unit -> int;  (* count of events buffered so far *)
+  rollback_to : int -> unit;  (* drop events buffered past the mark *)
 }
 
 let event_name = function

@@ -293,12 +293,19 @@ let control_exn = function
 let atomically env f =
   if not env.guard.Guard.atomic then f ()
   else begin
-    let j = Database.undo env.cat.Catalog.db in
+    let db = env.cat.Catalog.db in
+    let j = Database.undo db in
     if Undo_log.is_active j then begin
       let sp = Undo_log.savepoint j in
+      (* WAL savepoint in step with the undo one: the raise below can
+         be swallowed upstream (try_materialize's lateral-subquery
+         probe) with the outer statement still committing, so the
+         rolled-back scope's buffered events must go too. *)
+      let wsp = Database.wal_savepoint db in
       try f ()
       with e when not (control_exn e) ->
         Undo_log.rollback_to j sp;
+        Database.wal_rollback_to db wsp;
         raise e
     end
     else begin

@@ -13,6 +13,7 @@ module Value = Sqldb.Value
 module Date = Sqldb.Date
 module Schema = Sqldb.Schema
 module Database = Sqldb.Database
+module Table = Sqldb.Table
 module Wal_hook = Sqldb.Wal_hook
 module Crc32 = Durable.Crc32
 module Codec = Durable.Codec
@@ -229,7 +230,7 @@ let build_wal dir payloads =
 
 let scan_all path =
   let got = ref [] in
-  let scan = Wal.scan path ~f:(fun p -> got := p :: !got) in
+  let scan = Wal.scan path ~f:(fun ~off:_ p -> got := p :: !got) in
   (scan, List.rev !got)
 
 let test_wal_scan_clean () =
@@ -612,6 +613,126 @@ let test_resume_continues () =
   | None -> ()
   | Some diff -> Alcotest.failf "post-resume state diverges: %s" diff
 
+let append_raw path s =
+  let oc = open_out_gen [ Open_binary; Open_append ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+(* The crash -> recover -> resume -> recover path.  A mid-statement
+   crash can leave the statement's event records intact with no commit
+   marker (the tear landed on the marker itself); resume must truncate
+   those orphans away.  Were resume to cut only at the last intact
+   *record*, the next statement's commit marker would adopt the
+   orphans, committing a statement that never committed. *)
+let test_resume_discards_uncommitted_tail () =
+  let dir = tmp_dir "orphan" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:Wal.Off ~dir e in
+  List.iteri
+    (fun i sql -> if i <= 2 then ignore (Stratum.exec_sql e sql))
+    workload;
+  Persist.detach h;
+  (* simulate the torn commit: two intact event records, no marker *)
+  let orphan_schema =
+    {
+      Schema.name = "orphan";
+      columns = [ { Schema.col_name = "x"; col_ty = Value.Tint } ];
+      temporal = false;
+      transaction = false;
+    }
+  in
+  let path = Filename.concat dir "wal-00000000.log" in
+  append_raw path
+    (Wal.frame
+       (Codec.encode_event (Wal_hook.Table_create (orphan_schema, false, []))));
+  append_raw path
+    (Wal.frame
+       (Codec.encode_event (Wal_hook.Row_insert ("orphan", [| Value.Int 1 |]))));
+  (* first recovery: the suffix is intact (scan ends at a clean eof)
+     yet uncommitted, so it must not be replayed *)
+  let e1, r1 = Persist.recover ~dir () in
+  Stratum.install e1;
+  Alcotest.(check string) "orphan suffix scans clean" "eof" r1.Store.stop;
+  Alcotest.(check bool)
+    "committed boundary is before the orphans" true
+    (r1.Store.wal_committed_offset < r1.Store.wal_good_offset);
+  Alcotest.(check bool)
+    "orphan table not replayed" false
+    (Database.mem (Engine.database e1) "orphan");
+  (* resume, commit one more statement, crash-recover again *)
+  let h1 = Persist.resume ~policy:Wal.Off ~dir e1 r1 in
+  ignore
+    (Stratum.exec_sql e1
+       "VALIDTIME [DATE '2010-07-01', DATE '2010-08-01') INSERT INTO tariff \
+        VALUES ('late', 7.5)");
+  Persist.detach h1;
+  let e2, r2 = Persist.recover ~dir () in
+  Alcotest.(check bool)
+    "orphans not adopted by the post-resume commit" false
+    (Database.mem (Engine.database e2) "orphan");
+  Alcotest.(check int) "serials continuous" (r1.Store.last_serial + 1)
+    r2.Store.last_serial;
+  match Resilient.db_diff (Engine.database e1) (Engine.database e2) with
+  | None -> ()
+  | Some diff -> Alcotest.failf "post-resume state diverges: %s" diff
+
+(* A nested atomic scope whose rollback is swallowed upstream (the
+   enclosing statement still commits) must not leak its buffered WAL
+   events: recovery would otherwise replay effects the undo journal
+   reverted in memory. *)
+let test_nested_rollback_drops_wal_events () =
+  let dir = tmp_dir "nested" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:Wal.Off ~dir e in
+  ignore (Stratum.exec_sql e "CREATE TABLE nest (x INT)");
+  let db = Engine.database e in
+  let t = Database.find_table_exn db "nest" in
+  Database.with_atomic db (fun () ->
+      Table.insert t [| Value.Int 1 |];
+      (try
+         Database.with_atomic db (fun () ->
+             Table.insert t [| Value.Int 2 |];
+             failwith "probe failure")
+       with Failure _ -> ());
+      Table.insert t [| Value.Int 3 |]);
+  Persist.detach h;
+  let e', _ = Persist.recover ~dir () in
+  (match Resilient.db_diff db (Engine.database e') with
+  | None -> ()
+  | Some diff -> Alcotest.failf "recovered state diverges from live: %s" diff);
+  let rows =
+    List.map
+      (fun r -> Value.to_string r.(0))
+      (Table.to_list (Database.find_table_exn (Engine.database e') "nest"))
+  in
+  Alcotest.(check (list string)) "rolled-back insert absent" [ "1"; "3" ] rows
+
+(* A CRC-valid but semantically impossible commit group (an event
+   referencing a table that does not exist) must fail recovery loudly
+   with a typed Durability error — never return a silently partial
+   database. *)
+let test_bad_group_fails_loudly () =
+  let dir = tmp_dir "badgroup" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Persist.attach ~policy:Wal.Off ~dir e in
+  List.iteri
+    (fun i sql -> if i <= 1 then ignore (Stratum.exec_sql e sql))
+    workload;
+  Persist.detach h;
+  let path = Filename.concat dir "wal-00000000.log" in
+  append_raw path
+    (Wal.frame
+       (Codec.encode_event (Wal_hook.Row_insert ("nosuch", [| Value.Int 1 |]))));
+  append_raw path (Wal.frame (Codec.encode_commit ~serial:99));
+  match Persist.recover ~dir () with
+  | _ -> Alcotest.fail "recovery silently accepted a bad commit group"
+  | exception Taupsm_error.Error err ->
+      Alcotest.(check string) "typed as durability" "durability"
+        (Taupsm_error.code_string err.Taupsm_error.code)
+
 (* ------------------------------------------------------------------ *)
 (* Monotonic clock                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -670,6 +791,12 @@ let suite =
           test_snapshot_fallback;
         Alcotest.test_case "resume continues the log" `Quick
           test_resume_continues;
+        Alcotest.test_case "resume discards uncommitted tail" `Quick
+          test_resume_discards_uncommitted_tail;
+        Alcotest.test_case "nested rollback drops WAL events" `Quick
+          test_nested_rollback_drops_wal_events;
+        Alcotest.test_case "bad commit group fails loudly" `Quick
+          test_bad_group_fails_loudly;
         Alcotest.test_case "snapshot equivalence (16 queries)" `Slow
           test_snapshot_equivalence_queries;
       ]
