@@ -24,6 +24,18 @@ module Date = Sqldb.Date
 
 let ctx_start = Date.of_ymd ~y:2010 ~m:6 ~d:1
 
+(* TAUPSM_JOBS=N runs eligible sequenced-MAX statements across a domain
+   pool in the harness runs that opt in (CI runs the recovery fuzz this
+   way, exercising the pool against the durable stratum). *)
+let env_jobs =
+  match Sys.getenv_opt "TAUPSM_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let apply_env_jobs e =
+  (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.jobs <- env_jobs;
+  e
+
 let context_lengths = [ ("1d", 1); ("1w", 7); ("1m", 30); ("1y", 365) ]
 
 type measurement = {
@@ -1000,7 +1012,9 @@ let recovery_fuzz () =
   let violations = ref 0 and trials = ref 0 and vacuous = ref 0 in
   List.iter
     (fun (ds, workload, n_points) ->
-      let base = Datasets.load { Datasets.ds; size = Heuristic.Small } in
+      let base =
+        apply_env_jobs (Datasets.load { Datasets.ds; size = Heuristic.Small })
+      in
       Queries.install base;
       (* golden run: prefix states keyed by commit serial *)
       let golden_dir = Filename.temp_dir "taupsm_fuzz_gold" "" in
@@ -1255,6 +1269,126 @@ let correctness () =
          else "FAIL"))
     Queries.all
 
+(* ------------------------------------------------------------------ *)
+(* PR5: parallel sequenced evaluation — serial vs domain-pool MAX      *)
+(* ------------------------------------------------------------------ *)
+
+(* Serial-vs-parallel times for every query at jobs ∈ {1, 2, 4} under
+   MAX over the 1-year context, preceded by an equivalence preflight
+   (jobs=4 compared row-for-row against serial; any mismatch aborts the
+   bench).  The headline geomean is the jobs=4 speedup over the queries
+   that actually slice (q11's routine writes, so it stays serial).
+   [host_cores] is recorded alongside: on a single-core runner the
+   domains time-share the CPU and the speedup cannot exceed 1 — the
+   equivalence guarantee, not the ratio, is what CI gates on there. *)
+let parallel_bench () =
+  let title = "Parallel MAX slicing — serial vs domain pool (DS1-SMALL, 1y)" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let module RS = Sqleval.Result_set in
+  let days = 365 in
+  let e0 = Datasets.load { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  Queries.install e0;
+  Stratum.install e0;
+  let fresh () = Engine.copy e0 in
+  let parse (q : Queries.t) =
+    Sqlparse.Parser.parse_temporal_stmt
+      (Queries.sequenced ~context:(context_of days) q)
+  in
+  (* Equivalence preflight: the oracle for everything that follows. *)
+  let mismatches = ref 0 in
+  List.iter
+    (fun (q : Queries.t) ->
+      let sql = Queries.sequenced ~context:(context_of days) q in
+      let run jobs = Stratum.query ~strategy:Stratum.Max ~jobs (fresh ()) sql in
+      let s = run 1 and p = run 4 in
+      if not (s.RS.cols = p.RS.cols && s.RS.rows = p.RS.rows) then begin
+        incr mismatches;
+        Printf.printf "MISMATCH %s: serial %d rows, jobs=4 %d rows\n%!"
+          q.Queries.id (List.length s.RS.rows) (List.length p.RS.rows)
+      end)
+    Queries.all;
+  Printf.printf "equivalence preflight (jobs=4 vs serial): %d/%d identical\n%!"
+    (List.length Queries.all - !mismatches)
+    (List.length Queries.all);
+  if !mismatches > 0 then exit 2;
+  (* Does the query slice at all under the parallelizability gate? *)
+  let slices (q : Queries.t) =
+    let e = fresh () in
+    (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.observe <- true;
+    ignore (Stratum.exec ~strategy:Stratum.Max ~jobs:2 e (parse q));
+    Trace.get_count
+      (Sqleval.Catalog.trace (Engine.catalog e))
+      "parallel.batches"
+    > 0
+  in
+  let jobs_list = [ 1; 2; 4 ] in
+  Printf.printf "%-5s %10s %10s %10s %8s %7s\n" "query" "jobs=1" "jobs=2"
+    "jobs=4" "speedup" "sliced";
+  let points =
+    List.map
+      (fun (q : Queries.t) ->
+        let e = fresh () in
+        let ts = parse q in
+        let times =
+          List.map
+            (fun jobs ->
+              ( jobs,
+                time_run (fun () ->
+                    Stratum.exec ~strategy:Stratum.Max ~jobs e ts) ))
+            jobs_list
+        in
+        let t1 = List.assoc 1 times and t4 = List.assoc 4 times in
+        let sliced = slices q in
+        Printf.printf "%-5s %10.4f %10.4f %10.4f %7.2fx %7s\n%!" q.Queries.id
+          t1 (List.assoc 2 times) t4 (t1 /. t4)
+          (if sliced then "yes" else "no");
+        (q, times, sliced))
+      Queries.all
+  in
+  let sliced_points = List.filter (fun (_, _, s) -> s) points in
+  let geomean =
+    exp
+      (List.fold_left
+         (fun acc (_, times, _) ->
+           acc +. log (List.assoc 1 times /. List.assoc 4 times))
+         0.0 sliced_points
+      /. float_of_int (max 1 (List.length sliced_points)))
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "geometric-mean jobs=4 speedup over sliced queries: %.2fx (%d host \
+     core%s)\n%!"
+    geomean cores
+    (if cores = 1 then "" else "s");
+  write_bench ~pr:5 ~target:"parallel" ~geomean
+    ~extra:
+      [
+        ("dataset", Jstr "DS1-SMALL");
+        ("strategy", Jstr "MAX");
+        ("context_days", Jint days);
+        ("host_cores", Jint cores);
+        ( "equivalence",
+          Jstr
+            (Printf.sprintf "%d/%d"
+               (List.length Queries.all - !mismatches)
+               (List.length Queries.all)) );
+      ]
+    ~queries:
+      (List.map
+         (fun ((q : Queries.t), times, sliced) ->
+           Jobj
+             [
+               ("query", Jstr q.Queries.id);
+               ("jobs1_seconds", Jfloat (List.assoc 1 times));
+               ("jobs2_seconds", Jfloat (List.assoc 2 times));
+               ("jobs4_seconds", Jfloat (List.assoc 4 times));
+               ( "speedup_jobs4",
+                 Jfloat (List.assoc 1 times /. List.assoc 4 times) );
+               ("sliced", Jstr (if sliced then "yes" else "no"));
+             ])
+         points)
+    "BENCH_pr5.json"
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
@@ -1279,13 +1413,14 @@ let () =
       | "faults" -> faults_sweep ()
       | "wal" -> wal_bench ()
       | "recovery-fuzz" -> recovery_fuzz ()
+      | "parallel" -> parallel_bench ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
              heuristic|nontemporal|ablation|index|guards|faults|wal|\
-             recovery-fuzz|bechamel|correctness)\n"
+             recovery-fuzz|parallel|bechamel|correctness)\n"
             other;
           exit 2)
     targets

@@ -134,6 +134,20 @@ let no_atomic_arg =
           "Disable atomic statement execution (failed statements may \
            leave partial effects).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate eligible sequenced-MAX queries across $(docv) domains \
+           (the constant-period set is sliced into per-domain batches; \
+           results are identical to $(docv)=1).")
+
+let set_jobs e jobs =
+  if jobs < 1 then
+    raise (Eval.Sql_error (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs));
+  (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.jobs <- jobs
+
 let set_guards e deadline max_rows loop_cap fallback no_atomic =
   let g =
     (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.guards
@@ -281,7 +295,7 @@ let run_cmd =
       & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
   in
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic db_dir policy snapshot_every stmts =
+      no_atomic jobs db_dir policy snapshot_every stmts =
     handle_errors (fun () ->
         let e, h =
           make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
@@ -291,6 +305,7 @@ let run_cmd =
           ~finally:(fun () -> Option.iter Persist.detach h)
           (fun () ->
             set_guards e deadline max_rows loop_cap fallback no_atomic;
+            set_jobs e jobs;
             List.iter
               (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
               stmts))
@@ -300,8 +315,8 @@ let run_cmd =
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg
-      $ stmts_arg)
+      $ no_atomic_arg $ jobs_arg $ db_dir_arg $ wal_sync_arg
+      $ snapshot_every_arg $ stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
@@ -309,11 +324,12 @@ let run_cmd =
 
 let repl_cmd =
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic db_dir policy snapshot_every =
+      no_atomic jobs db_dir policy snapshot_every =
     let e, h =
       make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset db_dir
     in
     set_guards e deadline max_rows loop_cap fallback no_atomic;
+    set_jobs e jobs;
     Printf.printf
       "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
       (match db_dir with
@@ -345,7 +361,8 @@ let repl_cmd =
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg)
+      $ no_atomic_arg $ jobs_arg $ db_dir_arg $ wal_sync_arg
+      $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)

@@ -1,0 +1,72 @@
+(* Parallel MAX execution: partition the constant-period table,
+   evaluate each batch in a domain against a private engine snapshot,
+   concatenate fragments in period order.  See parallel_max.mli for the
+   equivalence and isolation argument. *)
+
+module Catalog = Sqleval.Catalog
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Database = Sqldb.Database
+module Table = Sqldb.Table
+
+(* [slice lst lo hi] is the sublist [lo, hi) of [lst]. *)
+let slice lst lo hi =
+  List.filteri (fun i _ -> i >= lo && i < hi) lst
+
+let exec_serial ?tt_mode ~now cat q =
+  match Eval.exec_toplevel ~now ?tt_mode cat (Sqlast.Ast.Squery q) with
+  | Eval.Rows rs -> rs
+  | _ -> invalid_arg "Parallel_max.exec_query: statement did not produce rows"
+
+let exec_query ~pool ~cp_table ?tt_mode ~now cat (q : Sqlast.Ast.query) : RS.t =
+  let cp = Database.find_table_exn cat.Catalog.db cp_table in
+  let periods = Table.to_list cp in
+  let nperiods = List.length periods in
+  let nbatch = min (Pool.size pool) nperiods in
+  if nbatch <= 1 then exec_serial ?tt_mode ~now cat q
+  else begin
+    let schema = Table.schema cp in
+    (* Contiguous batches in the period table's insertion order: the
+       serial result is period-major, so in-order concatenation of the
+       fragments reproduces it exactly. *)
+    let batches =
+      Array.init nbatch (fun b ->
+          slice periods (b * nperiods / nbatch) ((b + 1) * nperiods / nbatch))
+    in
+    let run batch =
+      (* Private snapshot: deep storage copy, fresh guard state and
+         trace sink, empty plan cache, no WAL hook (Database.copy
+         deliberately drops it), with the period table restricted to
+         this batch.  Re-binding a temp table with an unchanged schema
+         does not bump the schema version, so per-domain plan tokens
+         stay stable. *)
+      let dcat = Catalog.copy cat in
+      Database.add_temp_table dcat.Catalog.db
+        (Table.of_rows schema (List.map Array.copy batch));
+      let rs = exec_serial ?tt_mode ~now dcat q in
+      (rs, dcat.Catalog.options.Catalog.guards.Guard.rows_used, Catalog.trace dcat)
+    in
+    let frags = Pool.map pool run batches in
+    let cols = (let rs, _, _ = frags.(0) in rs.RS.cols) in
+    let rows =
+      List.concat_map (fun (rs, _, _) -> rs.RS.rows) (Array.to_list frags)
+    in
+    (* Aggregate the domains' resource use onto the parent guard (the
+       stratum holds it entered for the whole statement): a row budget
+       fires on the statement's total, as it would serially.  Each
+       domain additionally enforced the deadline and budget on its own
+       fresh guard while running. *)
+    let g = cat.Catalog.options.Catalog.guards in
+    Guard.charge_rows g (Array.fold_left (fun a (_, u, _) -> a + u) 0 frags);
+    Guard.check_deadline g;
+    let obs = Catalog.trace cat in
+    if Trace.enabled obs then begin
+      Trace.count obs "parallel.batches" nbatch;
+      Trace.event obs "parallel-max"
+        (Printf.sprintf "periods=%d batches=%d jobs=%d" nperiods nbatch
+           (Pool.size pool));
+      Trace.absorb obs ~name:"parallel.max"
+        (List.map (fun (_, _, tr) -> tr) (Array.to_list frags))
+    end;
+    { RS.cols; rows }
+  end

@@ -1,0 +1,41 @@
+(** Parallel evaluation of a MAX-transformed sequenced query.
+
+    The MAX strategy (paper §V) evaluates the rewritten main query once
+    per constant period by cross-joining it with the materialized
+    period table; the per-period evaluations are independent (snapshot
+    reducibility), and the period table is the {e outermost} loop of
+    the join, so the serial result is period-major.  This executor
+    exploits both facts: it partitions the period table into contiguous
+    per-domain batches, runs the unchanged main query in each domain
+    against a private engine snapshot whose period table holds only
+    that batch, and concatenates the per-batch fragments in batch
+    order — bit-identical to the serial result.
+
+    Isolation per domain comes from {!Sqleval.Catalog.copy}: a deep
+    storage copy with no {!Sqldb.Wal_hook} attached (so domains emit no
+    durability events), a private plan cache, a fresh trace sink, and a
+    fresh {!Guard} running state.  After the merge the domains' traces
+    are absorbed into the parent's sink deterministically and their row
+    consumption is charged against the parent's guard, so an aggregate
+    row budget still fires.
+
+    The caller (the stratum) is responsible for ensuring the statement
+    is parallelizable: a plain [SELECT] main with the period table
+    outermost, no ORDER BY / OFFSET / FETCH FIRST, and no reachable
+    routine with side effects. *)
+
+val exec_query :
+  pool:Pool.t ->
+  cp_table:string ->
+  ?tt_mode:Sqleval.Eval.tt_mode ->
+  now:Sqldb.Date.t ->
+  Sqleval.Catalog.t ->
+  Sqlast.Ast.query ->
+  Sqleval.Result_set.t
+(** [exec_query ~pool ~cp_table ~now cat q] runs the transformed main
+    query [q] with the constant-period table [cp_table] partitioned
+    across the pool's domains.  Falls back to a plain serial evaluation
+    when the pool has one worker or there are fewer than two periods.
+    The first domain failure cancels the remaining batches and is
+    re-raised here; the parent database is never touched by the
+    domains, so a failed run leaves no trace in it. *)

@@ -1,0 +1,149 @@
+(* A fixed-size domain pool with chunked work-stealing (see pool.mli).
+
+   Concurrency structure: a batch is published under [m] by bumping
+   [epoch]; parked workers re-check the epoch and pick up the current
+   batch.  Within a batch, all coordination is lock-free — per-worker
+   fetch-and-add cursors over slices of the index space — and the
+   rendezvous at the end is the [pending] count under [m].  The mutex
+   acquisitions on both sides of a batch double as the memory fences
+   that publish task results back to the submitter. *)
+
+type batch = {
+  run : int -> unit;  (* execute task [i], recording result or error *)
+  cursors : int Atomic.t array;  (* per-worker next index in its slice *)
+  limits : int array;  (* per-worker slice end (exclusive) *)
+  chunk : int;  (* indices claimed per fetch-and-add *)
+  cancel : bool Atomic.t;
+  mutable pending : int;  (* workers yet to finish this batch; under m *)
+}
+
+type t = {
+  jobs : int;
+  mutable domains : unit Domain.t array;  (* the [jobs - 1] spawned workers *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable current : batch option;
+  mutable epoch : int;  (* bumped per published batch *)
+  mutable stopped : bool;
+}
+
+let size t = t.jobs
+
+(* Drain [b]'s tasks as worker [w] of [nw]: exhaust the own slice, then
+   steal from the other slices in ring order.  Claiming [chunk]
+   consecutive indices per atomic operation keeps contention low while
+   still balancing batches whose tasks have skewed costs. *)
+let work b w nw =
+  let drain v =
+    let limit = b.limits.(v) in
+    let rec go () =
+      if not (Atomic.get b.cancel) then begin
+        let i = Atomic.fetch_and_add b.cursors.(v) b.chunk in
+        if i < limit then begin
+          let stop = min limit (i + b.chunk) in
+          for j = i to stop - 1 do
+            if not (Atomic.get b.cancel) then b.run j
+          done;
+          go ()
+        end
+      end
+    in
+    go ()
+  in
+  for d = 0 to nw - 1 do
+    drain ((w + d) mod nw)
+  done
+
+(* A spawned worker: park until the epoch moves or the pool stops, work
+   the published batch, check out via [pending], repeat. *)
+let worker_loop t w =
+  let rec loop last_epoch =
+    Mutex.lock t.m;
+    while (not t.stopped) && t.epoch = last_epoch do
+      Condition.wait t.cv t.m
+    done;
+    if t.stopped then Mutex.unlock t.m
+    else begin
+      let b = Option.get t.current in
+      let e = t.epoch in
+      Mutex.unlock t.m;
+      work b w t.jobs;
+      Mutex.lock t.m;
+      b.pending <- b.pending - 1;
+      if b.pending = 0 then Condition.broadcast t.cv;
+      Mutex.unlock t.m;
+      loop e
+    end
+  in
+  loop 0
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      domains = [||];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      current = None;
+      epoch = 0;
+      stopped = false;
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  if first then Array.iter Domain.join t.domains
+
+let map (type b) t f (items : _ array) : b array =
+  if t.stopped then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results : b option array = Array.make n None in
+    (* First failure wins; among concurrent failures the lowest task
+       index is kept so the funnelled exception is deterministic. *)
+    let error : (int * exn) option Atomic.t = Atomic.make None in
+    let cancel = Atomic.make false in
+    let run i =
+      match f items.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let rec record () =
+            match Atomic.get error with
+            | Some (j, _) when j <= i -> ()
+            | cur ->
+                if not (Atomic.compare_and_set error cur (Some (i, e))) then
+                  record ()
+          in
+          record ();
+          Atomic.set cancel true
+    in
+    let nw = t.jobs in
+    let cursors = Array.init nw (fun w -> Atomic.make (w * n / nw)) in
+    let limits = Array.init nw (fun w -> (w + 1) * n / nw) in
+    let chunk = max 1 (n / (nw * 8)) in
+    let b = { run; cursors; limits; chunk; cancel; pending = nw } in
+    Mutex.lock t.m;
+    t.current <- Some b;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    (* The submitter is worker 0. *)
+    work b 0 nw;
+    Mutex.lock t.m;
+    b.pending <- b.pending - 1;
+    while b.pending > 0 do
+      Condition.wait t.cv t.m
+    done;
+    t.current <- None;
+    Mutex.unlock t.m;
+    (match Atomic.get error with Some (_, e) -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

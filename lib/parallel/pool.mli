@@ -1,0 +1,41 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel batches.
+
+    The pool is created once and reused across many batches: worker
+    domains park on a condition variable between submissions, so a
+    batch costs two lock round-trips plus the work itself, not a domain
+    spawn per task.
+
+    Scheduling is chunked work-stealing over an index space: each
+    worker owns a contiguous slice of the task array and claims chunks
+    from it with a fetch-and-add cursor; a worker whose slice runs dry
+    steals chunks from the other slices the same way.  The submitting
+    domain participates as a worker, so [create ~jobs:1] spawns no
+    domains at all and [map] degenerates to a plain serial loop.
+
+    Exceptions are funnelled: the first task failure (lowest task index
+    among the failures that actually ran) sets a cancellation flag —
+    workers finish their current task and claim no more — and [map]
+    re-raises that exception in the submitting domain once every worker
+    has quiesced. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] starts a pool of [jobs] workers total: the caller's
+    domain plus [jobs - 1] spawned domains.  Raises [Invalid_argument]
+    if [jobs < 1]. *)
+
+val size : t -> int
+(** The worker count [jobs] the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] applies [f] to every element, in parallel across
+    the pool's workers, and returns the results in input order.  [f]
+    must be safe to run concurrently with itself.  If any application
+    raises, remaining unstarted tasks are cancelled and the exception
+    is re-raised here after all workers stop.  Not reentrant: at most
+    one [map] per pool at a time, from the creating domain. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool cannot be
+    used afterwards. *)

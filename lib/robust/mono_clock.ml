@@ -12,19 +12,23 @@
    The source is injectable so tests can replay skew scenarios
    deterministically. *)
 
+(* The clamp state is shared by every domain of a parallel region
+   (per-domain guards arm and check deadlines against this clock), so
+   it is advanced by compare-and-set.  [set_source] remains a
+   test-only, single-domain affair. *)
 let source : (unit -> float) ref = ref Unix.gettimeofday
-let last = ref neg_infinity
+let last = Atomic.make neg_infinity
 
-let now () =
+let rec now () =
   let t = !source () in
-  if t > !last then last := t;
-  !last
+  let l = Atomic.get last in
+  if t <= l then l else if Atomic.compare_and_set last l t then t else now ()
 
 let set_source f =
   source := f;
   (* A fresh source starts a fresh monotone history: without this, a
      test source counting from 0 would be pinned at the wall-clock
      epoch-seconds already observed. *)
-  last := neg_infinity
+  Atomic.set last neg_infinity
 
 let use_wall_clock () = set_source Unix.gettimeofday

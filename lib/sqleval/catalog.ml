@@ -30,10 +30,14 @@ and t = {
          e.g. the MAX plan re-creating its own max_ routines on every
          execution — does not bump it. *)
   plan_cache :
-    (string * Sqlast.Ast.temporal_stmt, (int * int) * Sqlast.Ast.stmt list)
+    ( string * Sqlast.Ast.temporal_stmt,
+      (int * int * int) * Sqlast.Ast.stmt list )
     Hashtbl.t;
       (* transformed-plan cache, written and read by the stratum:
-         (strategy tag, temporal statement) -> (validity token, plan) *)
+         (strategy tag, temporal statement) -> (validity token, plan).
+         The token is (generation, schema version, options fingerprint):
+         option flips don't bump the generation, so they carry their own
+         token component — see {!plan_token}. *)
 }
 
 (* Evaluator switches, exposed for ablation experiments. *)
@@ -52,6 +56,11 @@ and options = {
       (* execution tracing and metrics (spans, counters, events) into
          {!t.obs}; off by default — when off, instrumentation costs one
          flag test per site *)
+  mutable jobs : int;
+      (* worker domains for parallel sequenced (MAX) evaluation; 1 =
+         serial.  Not part of the plan-cache fingerprint: the
+         transformed plan is identical either way, only its execution
+         is sliced *)
   guards : Guard.t;
       (* resource limits (deadline, row budget, loop cap, recursion
          depth) plus the atomic-execution and PERST→MAX fallback
@@ -68,6 +77,7 @@ let default_options () =
     temporal_index = true;
     plan_caching = true;
     observe = false;
+    jobs = 1;
     guards = Guard.default ();
   }
 
@@ -127,28 +137,35 @@ let add_view cat name q =
 let find_view cat name = Hashtbl.find_opt cat.views (key name)
 
 (* Every view and routine definition as one re-parseable conventional
-   SQL statement — the catalog half of a durable snapshot.  Sorted for
-   determinism; order between entries is irrelevant because
-   registration never resolves references. *)
+   SQL statement — the catalog half of a durable snapshot.  Sorted {e
+   by name} at the fold sites, so the output order is pinned however
+   the hash tables happen to be populated (insertion order, a copy, a
+   recovery replay); order between entries is otherwise irrelevant
+   because registration never resolves references. *)
+let sorted_by_name entries =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries |> List.map snd
+
 let ddl_dump cat =
   let views =
     Hashtbl.fold
       (fun name q acc ->
-        Sqlast.Pretty.stmt_to_string (Sqlast.Ast.Screate_view (name, q)) :: acc)
+        ( name,
+          Sqlast.Pretty.stmt_to_string (Sqlast.Ast.Screate_view (name, q)) )
+        :: acc)
       cat.views []
-    |> List.sort compare
+    |> sorted_by_name
   in
   let routines =
     Hashtbl.fold
-      (fun _ (kind, r) acc ->
+      (fun name (kind, r) acc ->
         let stmt =
           match kind with
           | Rfunction -> Sqlast.Ast.Screate_function r
           | Rprocedure -> Sqlast.Ast.Screate_procedure r
         in
-        Sqlast.Pretty.stmt_to_string stmt :: acc)
+        (name, Sqlast.Pretty.stmt_to_string stmt) :: acc)
       cat.routines []
-    |> List.sort compare
+    |> sorted_by_name
   in
   views @ routines
 
@@ -206,9 +223,24 @@ let find_native_table_fun cat name =
 (* Transformed-plan cache (read and written by the stratum)            *)
 (* ------------------------------------------------------------------ *)
 
+(* The evaluator options a transformed plan may have been specialized
+   under, packed into one integer.  Flipping an option does not bump the
+   catalog generation (nothing semantic changed), so without this
+   fingerprint in the validity token the ablation benches — which
+   toggle options on a live engine — could replay a plan built under
+   the old options. *)
+let options_fingerprint o =
+  (if o.hash_joins then 1 else 0)
+  lor (if o.memoize_table_functions then 2 else 0)
+  lor (if o.temporal_index then 4 else 0)
+
 (* Validity token: a cached plan holds only as long as no view, routine
-   or table definition has changed since it was transformed. *)
-let plan_token cat = (cat.generation, Sqldb.Database.version cat.db)
+   or table definition has changed — and no evaluator option has been
+   flipped — since it was transformed. *)
+let plan_token cat =
+  ( cat.generation,
+    Sqldb.Database.version cat.db,
+    options_fingerprint cat.options )
 
 let find_plan cat key =
   if not cat.options.plan_caching then None

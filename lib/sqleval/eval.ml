@@ -68,8 +68,12 @@ type env = {
   mutable scopes : scope list;  (* innermost block first; [] at top level *)
   depth : int ref;  (* shared routine-recursion guard *)
   (* Per-statement memo cache for table-valued function invocations:
-     key = (function name, argument values). *)
-  tf_cache : (string * Value.t list, Result_set.t) Hashtbl.t;
+     key = (catalog generation, function name, argument values).  The
+     generation component makes entries self-invalidating: a CALL that
+     executes DDL redefining a routine mid-statement bumps the
+     generation, so later invocations cannot be served rows computed
+     under the old definition. *)
+  tf_cache : (int * string * Value.t list, Result_set.t) Hashtbl.t;
   mutable calls : int;  (* statistics: routine invocations *)
   guard : Guard.t;  (* the catalog's resource guard, bound once *)
 }
@@ -735,7 +739,12 @@ and invoke_table_function env fname argv : Result_set.t =
   | Some ntf -> ntf.Catalog.ntf_fn env.cat argv
   | None -> (
       let memoize = env.cat.Catalog.options.Catalog.memoize_table_functions in
-      let key = (String.lowercase_ascii fname, argv) in
+      (* Keyed on the catalog generation so mid-statement DDL that
+         redefines a routine orphans every entry computed under the old
+         definitions instead of serving stale rows. *)
+      let key =
+        (env.cat.Catalog.generation, String.lowercase_ascii fname, argv)
+      in
       match if memoize then Hashtbl.find_opt env.tf_cache key else None with
       | Some rs -> rs
       | None ->

@@ -1,0 +1,337 @@
+(* Parallel sequenced evaluation tests: the domain pool itself (order,
+   exception funnelling, reuse after failure), the parallel ≡ serial
+   equivalence suite over the 16 τPSM queries at jobs ∈ {2, 4}, a qcheck
+   property comparing the two paths on randomly generated temporal
+   databases, a seeded-fault run proving a mid-batch failure cancels the
+   pool and leaves the parent database untouched, and the three
+   cache-staleness regressions this PR fixes: the plan-cache token now
+   covers the evaluation options, [Catalog.ddl_dump] orders entries by
+   name (not by rendered text), and the per-statement table-function
+   cache is keyed on the catalog generation. *)
+
+module Engine = Sqleval.Engine
+module Catalog = Sqleval.Catalog
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Database = Sqldb.Database
+module Pool = Parallel.Pool
+module Stratum = Taupsm.Stratum
+module Resilient = Taupsm.Resilient
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+module TE = Taupsm_error
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check int) "pool size" 4 (Pool.size p);
+      let xs = Array.init 100 Fun.id in
+      Alcotest.(check (array int))
+        "map preserves index order"
+        (Array.map (fun i -> i * i) xs)
+        (Pool.map p (fun i -> i * i) xs);
+      Alcotest.(check (array int)) "empty input" [||] (Pool.map p Fun.id [||]);
+      (* second map on the same pool: workers are reused, not respawned *)
+      Alcotest.(check (array int))
+        "pool is reusable"
+        (Array.map (fun i -> i + 1) xs)
+        (Pool.map p (fun i -> i + 1) xs))
+
+let test_pool_exception_funnel () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      (* every odd index fails: exactly one failure must funnel out *)
+      (match
+         Pool.map p (fun i -> if i mod 2 = 1 then failwith "odd" else i)
+           (Array.init 64 Fun.id)
+       with
+      | _ -> Alcotest.fail "worker exception did not propagate"
+      | exception Failure m -> Alcotest.(check string) "message" "odd" m);
+      (* a failed map must not poison the pool *)
+      Alcotest.(check (array int))
+        "pool survives a failure" [| 0; 1; 2; 3 |]
+        (Pool.map p Fun.id (Array.init 4 Fun.id)))
+
+let test_pool_jobs_one () =
+  let p = Pool.create ~jobs:1 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check (array int))
+        "jobs=1 runs on the caller" [| 0; 2; 4 |]
+        (Pool.map p (fun i -> 2 * i) (Array.init 3 Fun.id));
+      Pool.shutdown p;
+      Pool.shutdown p (* idempotent *))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel ≡ serial over the τPSM benchmark                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_ds1 =
+  lazy
+    (Datasets.load { Datasets.ds = Datasets.DS1; size = Taupsm.Heuristic.Small })
+
+let load_fresh () =
+  let e = Engine.copy (Lazy.force small_ds1) in
+  Queries.install e;
+  e
+
+let ctx = (Date.of_ymd ~y:2010 ~m:3 ~d:1, Date.of_ymd ~y:2010 ~m:4 ~d:15)
+
+let run_query ~jobs q =
+  let e = load_fresh () in
+  let cat = Engine.catalog e in
+  cat.Catalog.options.Catalog.observe <- true;
+  let rs = Stratum.query ~strategy:Stratum.Max ~jobs e (Queries.sequenced ~context:ctx q) in
+  let batches = Trace.get_count (Catalog.trace cat) "parallel.batches" in
+  (rs.RS.cols, rows_of rs, batches > 0)
+
+let test_equivalence () =
+  let sliced = ref 0 in
+  List.iter
+    (fun q ->
+      let cols1, rows1, par1 = run_query ~jobs:1 q in
+      Alcotest.(check bool)
+        (q.Queries.id ^ ": jobs=1 stays serial")
+        false par1;
+      List.iter
+        (fun jobs ->
+          let name = Printf.sprintf "%s jobs=%d" q.Queries.id jobs in
+          let cols, rows, par = run_query ~jobs q in
+          Alcotest.(check (list string)) (name ^ ": columns") cols1 cols;
+          Alcotest.(check (list (list string)))
+            (name ^ ": rows, in order")
+            rows1 rows;
+          if jobs = 4 && par then incr sliced)
+        [ 2; 4 ])
+    Queries.all;
+  (* the suite must actually exercise the parallel path, not just fall
+     back to serial everywhere (q11's routine writes, so it may not) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most queries sliced (%d/16)" !sliced)
+    true (!sliced >= 10)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: parallel ≡ serial on random temporal databases              *)
+(* ------------------------------------------------------------------ *)
+
+let random_engine seed =
+  let st = Random.State.make [| 0x7a5; seed |] in
+  let e = Engine.create ~now:(Date.of_ymd ~y:2010 ~m:12 ~d:1) () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE t (k INTEGER, g INTEGER) WITH VALIDTIME;\n\
+     CREATE FUNCTION pdouble (x INTEGER) RETURNS INTEGER BEGIN RETURN x * \
+     2; END";
+  let n = 30 + Random.State.int st 51 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "INSERT INTO t (k, g, begin_time, end_time) VALUES ";
+  for i = 0 to n - 1 do
+    let day = Random.State.int st 300 in
+    let len = 1 + Random.State.int st 60 in
+    let b = Date.add_days (Date.of_ymd ~y:2010 ~m:1 ~d:1) day in
+    Buffer.add_string buf
+      (Printf.sprintf "%s(%d, %d, DATE '%s', DATE '%s')"
+         (if i = 0 then "" else ", ")
+         (Random.State.int st 100) (Random.State.int st 5) (Date.to_string b)
+         (Date.to_string (Date.add_days b len)))
+  done;
+  Engine.exec e (Buffer.contents buf) |> ignore;
+  e
+
+let random_db_query =
+  "VALIDTIME [DATE '2010-03-01', DATE '2010-06-01') SELECT t.k, t.g FROM t \
+   WHERE pdouble(t.k) < 100"
+
+let prop_random_db_equivalence seed =
+  let answer jobs =
+    rows_of
+      (Stratum.query ~strategy:Stratum.Max ~jobs (random_engine seed)
+         random_db_query)
+  in
+  let serial = answer 1 and par = answer 4 in
+  if serial = par then true
+  else
+    QCheck.Test.fail_reportf "seed=%d: serial %d row(s) <> parallel %d row(s)"
+      seed (List.length serial) (List.length par)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:20 ~name:"random db: jobs=4 = serial"
+        QCheck.(make Gen.(int_range 0 9999) ~print:string_of_int)
+        prop_random_db_equivalence;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A fault inside a worker cancels the pool and rolls back clean       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_mid_batch () =
+  let q = Queries.find "q2" in
+  let sql = Queries.sequenced ~context:ctx q in
+  let serial =
+    rows_of (Stratum.query ~strategy:Stratum.Max ~jobs:1 (load_fresh ()) sql)
+  in
+  let e = load_fresh () in
+  let pre = Database.copy (Engine.database e) in
+  (* q2's main invokes a routine per period, so the first Routine_call
+     hit lands inside whichever worker domain starts its batch first *)
+  Fault.arm ~site:Fault.Routine_call ~countdown:1;
+  (match Stratum.query ~strategy:Stratum.Max ~jobs:4 e sql with
+  | _ -> Alcotest.fail "armed fault did not fire"
+  | exception TE.Error { code = TE.Injected_fault; _ } -> ()
+  | exception exn ->
+      Alcotest.failf "expected the injected fault, got %s"
+        (Printexc.to_string exn));
+  Fault.disarm ();
+  Alcotest.(check bool) "fault fired" true (Fault.fired ());
+  (match Resilient.db_diff pre (Engine.database e) with
+  | None -> ()
+  | Some diff -> Alcotest.failf "worker leaked into the parent db: %s" diff);
+  (* the engine and its cached pool both survive the cancellation *)
+  Alcotest.(check (list (list string)))
+    "clean rerun on the same engine = serial" serial
+    (rows_of (Stratum.query ~strategy:Stratum.Max ~jobs:4 e sql))
+
+(* ------------------------------------------------------------------ *)
+(* Regression: the plan-cache token covers the evaluation options      *)
+(* ------------------------------------------------------------------ *)
+
+let seq_query =
+  "VALIDTIME [DATE '2010-02-01', DATE '2010-03-01') SELECT id FROM item"
+
+let setup_item () =
+  let e = Engine.create ~now:(Date.of_ymd ~y:2010 ~m:7 ~d:1) () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE item (id INTEGER, title VARCHAR(50)) WITH VALIDTIME;\n\
+     INSERT INTO item (id, title, begin_time, end_time) VALUES (1, 'One', \
+     DATE '2010-01-01', DATE '9999-12-31'), (2, 'Two', DATE '2010-02-10', \
+     DATE '9999-12-31')";
+  e
+
+let test_plan_cache_options_token () =
+  let e = setup_item () in
+  let cat = Engine.catalog e in
+  let ts = Sqlparse.Parser.parse_temporal_stmt seq_query in
+  (* warm up until the token is stable (first runs register max_
+     routines and scratch tables, invalidating their own plans) *)
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  cat.Catalog.options.Catalog.observe <- true;
+  let tr = Catalog.trace cat in
+  let c = Trace.get_count tr in
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  Alcotest.(check int) "steady state: hit" 1 (c "plan_cache.hit");
+  (* flipping an evaluation option must orphan the cached plan: before
+     the options fingerprint joined the token this was a (stale) hit *)
+  cat.Catalog.options.Catalog.temporal_index <-
+    not cat.Catalog.options.Catalog.temporal_index;
+  Trace.reset tr;
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  Alcotest.(check int) "option flipped: miss" 1 (c "plan_cache.miss");
+  Alcotest.(check int) "option flipped: no hit" 0 (c "plan_cache.hit");
+  Trace.reset tr;
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  Alcotest.(check int) "re-cached under new token: hit" 1 (c "plan_cache.hit");
+  (* flipping back differs from the latest cached token again *)
+  cat.Catalog.options.Catalog.temporal_index <-
+    not cat.Catalog.options.Catalog.temporal_index;
+  Trace.reset tr;
+  ignore (Stratum.exec ~strategy:Stratum.Max e ts);
+  Alcotest.(check int) "flipped back: miss" 1 (c "plan_cache.miss")
+
+(* ------------------------------------------------------------------ *)
+(* Regression: ddl_dump orders by object name                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ddl_dump_name_order () =
+  let e = Engine.create () in
+  (* registration order zzz-then-aaa, and rendered-text order puts
+     "CREATE FUNCTION zzz" before "CREATE PROCEDURE aaa"; only a sort
+     by *name* lists aaa first *)
+  Engine.exec_script e
+    "CREATE FUNCTION zzz () RETURNS INTEGER BEGIN RETURN 1; END;\n\
+     CREATE PROCEDURE aaa () BEGIN INSERT INTO nowhere VALUES (1); END;\n\
+     CREATE FUNCTION mmm () RETURNS INTEGER BEGIN RETURN 2; END";
+  let dump = Catalog.ddl_dump (Engine.catalog e) in
+  let heads =
+    List.map
+      (fun stmt ->
+        match String.index_opt stmt '(' with
+        | Some i -> String.trim (String.sub stmt 0 i)
+        | None -> stmt)
+      dump
+  in
+  Alcotest.(check (list string))
+    "entries sorted by object name"
+    [ "CREATE PROCEDURE aaa"; "CREATE FUNCTION mmm"; "CREATE FUNCTION zzz" ]
+    heads
+
+(* ------------------------------------------------------------------ *)
+(* Regression: tf_cache is keyed on the catalog generation             *)
+(* ------------------------------------------------------------------ *)
+
+let test_tf_cache_redefine_in_call () =
+  let e = Engine.create () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE src (v INTEGER);\n\
+     INSERT INTO src VALUES (1);\n\
+     CREATE FUNCTION tf () RETURNS TABLE (v INTEGER) BEGIN RETURN TABLE \
+     (SELECT v FROM src); END;\n\
+     CREATE TABLE outt (a INTEGER, b INTEGER)";
+  (* both invocations happen inside ONE top-level statement, so they
+     share one tf_cache; the CREATE FUNCTION in between bumps the
+     catalog generation and must orphan the first invocation's entry *)
+  Engine.exec_script e
+    "CREATE PROCEDURE redef () BEGIN DECLARE a INTEGER; DECLARE b INTEGER; \
+     SET a = (SELECT MAX(t.v) FROM TABLE(tf()) t); CREATE FUNCTION tf () \
+     RETURNS TABLE (v INTEGER) BEGIN RETURN TABLE (SELECT v + 100 FROM \
+     src); END; SET b = (SELECT MAX(t.v) FROM TABLE(tf()) t); INSERT INTO \
+     outt VALUES (a, b); END;\n\
+     CALL redef()";
+  Alcotest.(check (list (list string)))
+    "second invocation sees the new definition"
+    [ [ "1"; "101" ] ]
+    (rows_of (Engine.query e "SELECT a, b FROM outt"))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "pool: map order and reuse" `Quick
+          test_pool_map_order;
+        Alcotest.test_case "pool: exception funnel" `Quick
+          test_pool_exception_funnel;
+        Alcotest.test_case "pool: jobs=1, shutdown idempotent" `Quick
+          test_pool_jobs_one;
+        Alcotest.test_case "16 queries: jobs {2,4} = serial" `Slow
+          test_equivalence;
+        Alcotest.test_case "fault mid-batch: cancel + clean parent" `Quick
+          test_fault_mid_batch;
+        Alcotest.test_case "plan cache: options join the token" `Quick
+          test_plan_cache_options_token;
+        Alcotest.test_case "ddl_dump: by-name order" `Quick
+          test_ddl_dump_name_order;
+        Alcotest.test_case "tf_cache: redefine inside CALL" `Quick
+          test_tf_cache_redefine_in_call;
+      ] );
+    ("parallel-equivalence", qcheck_tests);
+  ]
