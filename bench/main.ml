@@ -32,8 +32,18 @@ let env_jobs =
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
   | None -> 1
 
+(* TAUPSM_COMPILE={0,1} forces plan compilation off or on for the same
+   opt-in harness runs (CI repeats the recovery fuzz with it pinned on,
+   proving compiled evaluation against the durable stratum). Absent, the
+   engine default (on) stands. *)
+let env_compile = Option.map (( <> ) "0") (Sys.getenv_opt "TAUPSM_COMPILE")
+
 let apply_env_jobs e =
   (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.jobs <- env_jobs;
+  Option.iter
+    (fun c ->
+      (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.compile <- c)
+    env_compile;
   e
 
 let context_lengths = [ ("1d", 1); ("1w", 7); ("1m", 30); ("1y", 365) ]
@@ -1389,6 +1399,131 @@ let parallel_bench () =
          points)
     "BENCH_pr5.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR6: plan compilation — closure-compiled plans vs the interpreter   *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpreter-vs-compiled times for every query under MAX over the
+   1-year context, preceded by an equivalence preflight (compiled
+   compared row-for-row against interpreted at jobs ∈ {1, 2, 4}; any
+   mismatch aborts the bench), then the compiled path re-measured at
+   jobs ∈ {2, 4} on top of the shared-snapshot parallel executor.  The
+   headline geomean is the single-thread compiled speedup over the
+   interpreter; [host_cores] is recorded alongside the jobs=4 figures —
+   on a single-core runner the domains time-share the CPU, so CI gates
+   on the equivalence line and the single-thread geomean, not on the
+   parallel ratio. *)
+let compile_bench () =
+  let title =
+    "Plan compilation — compiled closures vs interpreter (DS1-SMALL, 1y)"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let module RS = Sqleval.Result_set in
+  let days = 365 in
+  let e0 = Datasets.load { Datasets.ds = Datasets.DS1; size = Heuristic.Small } in
+  Queries.install e0;
+  Stratum.install e0;
+  let fresh ~compile () =
+    let e = Engine.copy e0 in
+    (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.compile <-
+      compile;
+    e
+  in
+  let parse (q : Queries.t) =
+    Sqlparse.Parser.parse_temporal_stmt
+      (Queries.sequenced ~context:(context_of days) q)
+  in
+  (* Equivalence preflight: the oracle for everything that follows. *)
+  let mismatches = ref 0 in
+  List.iter
+    (fun (q : Queries.t) ->
+      let sql = Queries.sequenced ~context:(context_of days) q in
+      let run ~compile jobs =
+        Stratum.query ~strategy:Stratum.Max ~jobs (fresh ~compile ()) sql
+      in
+      let base = run ~compile:false 1 in
+      let bad =
+        List.filter
+          (fun jobs ->
+            let c = run ~compile:true jobs in
+            not (base.RS.cols = c.RS.cols && base.RS.rows = c.RS.rows))
+          [ 1; 2; 4 ]
+      in
+      if bad <> [] then begin
+        incr mismatches;
+        Printf.printf "MISMATCH %s: compiled differs at jobs %s\n%!"
+          q.Queries.id
+          (String.concat "," (List.map string_of_int bad))
+      end)
+    Queries.all;
+  Printf.printf
+    "equivalence preflight (compiled vs interpreted, jobs {1,2,4}): %d/%d \
+     identical\n%!"
+    (List.length Queries.all - !mismatches)
+    (List.length Queries.all);
+  if !mismatches > 0 then exit 2;
+  Printf.printf "%-5s %10s %10s %10s %10s %8s\n" "query" "interp" "compiled"
+    "comp j=2" "comp j=4" "speedup";
+  let points =
+    List.map
+      (fun (q : Queries.t) ->
+        let ts = parse q in
+        let timed ~compile jobs =
+          let e = fresh ~compile () in
+          time_run (fun () -> Stratum.exec ~strategy:Stratum.Max ~jobs e ts)
+        in
+        let ti = timed ~compile:false 1 in
+        let tc = timed ~compile:true 1 in
+        let tc2 = timed ~compile:true 2 in
+        let tc4 = timed ~compile:true 4 in
+        Printf.printf "%-5s %10.4f %10.4f %10.4f %10.4f %7.2fx\n%!"
+          q.Queries.id ti tc tc2 tc4 (ti /. tc);
+        (q, ti, tc, tc2, tc4))
+      Queries.all
+  in
+  let geomean_of f =
+    exp
+      (List.fold_left (fun acc p -> acc +. log (f p)) 0.0 points
+      /. float_of_int (List.length points))
+  in
+  let geomean = geomean_of (fun (_, ti, tc, _, _) -> ti /. tc) in
+  let geomean_j4 = geomean_of (fun (_, ti, _, _, tc4) -> ti /. tc4) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "geometric-mean single-thread compiled speedup: %.2fx (jobs=4: %.2fx on \
+     %d host core%s)\n%!"
+    geomean geomean_j4 cores
+    (if cores = 1 then "" else "s");
+  write_bench ~pr:6 ~target:"compile" ~geomean
+    ~extra:
+      [
+        ("dataset", Jstr "DS1-SMALL");
+        ("strategy", Jstr "MAX");
+        ("context_days", Jint days);
+        ("host_cores", Jint cores);
+        ("geomean_jobs4", Jfloat geomean_j4);
+        ( "equivalence",
+          Jstr
+            (Printf.sprintf "%d/%d"
+               (List.length Queries.all - !mismatches)
+               (List.length Queries.all)) );
+      ]
+    ~queries:
+      (List.map
+         (fun ((q : Queries.t), ti, tc, tc2, tc4) ->
+           Jobj
+             [
+               ("query", Jstr q.Queries.id);
+               ("interp_seconds", Jfloat ti);
+               ("compiled_seconds", Jfloat tc);
+               ("compiled_jobs2_seconds", Jfloat tc2);
+               ("compiled_jobs4_seconds", Jfloat tc4);
+               ("speedup", Jfloat (ti /. tc));
+               ("speedup_jobs4", Jfloat (ti /. tc4));
+             ])
+         points)
+    "BENCH_pr6.json"
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
@@ -1414,13 +1549,14 @@ let () =
       | "wal" -> wal_bench ()
       | "recovery-fuzz" -> recovery_fuzz ()
       | "parallel" -> parallel_bench ()
+      | "compile" -> compile_bench ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
              heuristic|nontemporal|ablation|index|guards|faults|wal|\
-             recovery-fuzz|parallel|bechamel|correctness)\n"
+             recovery-fuzz|parallel|compile|bechamel|correctness)\n"
             other;
           exit 2)
     targets

@@ -143,10 +143,38 @@ let jobs_arg =
            (the constant-period set is sliced into per-domain batches; \
            results are identical to $(docv)=1).")
 
+let no_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:
+          "Evaluate every SELECT with the tree-walking interpreter instead \
+           of compiled plan closures (results are identical; useful for \
+           timing comparisons and for isolating compiler bugs).")
+
+(* Oversubscribing domains only adds scheduling overhead; say so once,
+   not once per statement or REPL line. *)
+let jobs_warned = ref false
+
+let warn_oversubscribed jobs =
+  let cores = Domain.recommended_domain_count () in
+  if jobs > cores && not !jobs_warned then begin
+    jobs_warned := true;
+    Printf.eprintf
+      "warning: --jobs %d exceeds this host's %d usable core(s); extra \
+       domains will time-slice without speedup\n%!"
+      jobs cores
+  end
+
 let set_jobs e jobs =
   if jobs < 1 then
     raise (Eval.Sql_error (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs));
+  warn_oversubscribed jobs;
   (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.jobs <- jobs
+
+let set_compile e no_compile =
+  if no_compile then
+    (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.compile <- false
 
 let set_guards e deadline max_rows loop_cap fallback no_atomic =
   let g =
@@ -295,7 +323,7 @@ let run_cmd =
       & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
   in
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic jobs db_dir policy snapshot_every stmts =
+      no_atomic jobs no_compile db_dir policy snapshot_every stmts =
     handle_errors (fun () ->
         let e, h =
           make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
@@ -306,6 +334,7 @@ let run_cmd =
           (fun () ->
             set_guards e deadline max_rows loop_cap fallback no_atomic;
             set_jobs e jobs;
+            set_compile e no_compile;
             List.iter
               (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
               stmts))
@@ -315,7 +344,7 @@ let run_cmd =
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ jobs_arg $ db_dir_arg $ wal_sync_arg
+      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ db_dir_arg $ wal_sync_arg
       $ snapshot_every_arg $ stmts_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -324,12 +353,13 @@ let run_cmd =
 
 let repl_cmd =
   let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic jobs db_dir policy snapshot_every =
+      no_atomic jobs no_compile db_dir policy snapshot_every =
     let e, h =
       make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset db_dir
     in
     set_guards e deadline max_rows loop_cap fallback no_atomic;
     set_jobs e jobs;
+    set_compile e no_compile;
     Printf.printf
       "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
       (match db_dir with
@@ -361,7 +391,7 @@ let repl_cmd =
     Term.(
       const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ jobs_arg $ db_dir_arg $ wal_sync_arg
+      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ db_dir_arg $ wal_sync_arg
       $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)

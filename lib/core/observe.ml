@@ -31,6 +31,8 @@ type metrics = {
   routine_calls : int;
   constant_period_calls : int;
   constant_periods : int;
+  selects_compiled : int;
+  selects_interpreted : int;
 }
 
 let metrics_of tr =
@@ -50,6 +52,8 @@ let metrics_of tr =
     routine_calls = c "routine.calls";
     constant_period_calls = c "constant_periods.calls";
     constant_periods = c "constant_periods.periods";
+    selects_compiled = c "compile.compiled";
+    selects_interpreted = c "compile.interpreted";
   }
 
 let plan_cache_hit_rate m =
@@ -65,12 +69,13 @@ let metrics_to_json m =
      \"scans_full\": %d, \"scans_hash\": %d, \"residual_fallbacks\": %d, \
      \"rows_probed\": %d, \"rows_matched\": %d, \"conjuncts_elided\": %d, \
      \"index_builds\": %d, \"index_rebuilds\": %d, \"routine_calls\": %d, \
-     \"constant_period_calls\": %d, \"constant_periods\": %d}"
+     \"constant_period_calls\": %d, \"constant_periods\": %d, \
+     \"selects_compiled\": %d, \"selects_interpreted\": %d}"
     m.plan_cache_hits m.plan_cache_misses (plan_cache_hit_rate m)
     m.scans_indexed m.scans_full m.scans_hash m.residual_fallbacks
     m.rows_probed m.rows_matched m.conjuncts_elided m.index_builds
     m.index_rebuilds m.routine_calls m.constant_period_calls
-    m.constant_periods
+    m.constant_periods m.selects_compiled m.selects_interpreted
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -226,6 +231,8 @@ let report_to_string ?(show_timings = true) (rp : report) : string =
     m.scans_indexed m.scans_full m.scans_hash m.residual_fallbacks;
   add "  rows: %d probed, %d matched; %d conjunct check(s) elided"
     m.rows_probed m.rows_matched m.conjuncts_elided;
+  add "  selects: %d compiled, %d interpreted" m.selects_compiled
+    m.selects_interpreted;
   add "-- cost model vs actuals --";
   (match rp.rp_estimate with
   | Some est ->

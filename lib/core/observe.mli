@@ -34,6 +34,11 @@ type metrics = {
   constant_period_calls : int;
       (** invocations of taupsm_constant_periods (MAX's driver) *)
   constant_periods : int;  (** total constant periods those produced *)
+  selects_compiled : int;
+      (** SELECT evaluations served by a compiled plan closure *)
+  selects_interpreted : int;
+      (** SELECT evaluations that fell back to the interpreter (with
+          compilation on; 0 when [options.compile] is off) *)
 }
 
 val metrics_of : Trace.t -> metrics

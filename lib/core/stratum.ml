@@ -58,14 +58,26 @@ let constant_periods_native : Catalog.native_table_fun =
                               "taupsm_constant_periods: non-date point %s"
                               (Value.to_string v))))
                 t;
-              let inside = List.filter (fun d -> d > bt && d < et) !points in
-              let pts = List.sort_uniq Date.compare (bt :: et :: inside) in
-              let rec pairs = function
-                | a :: (b :: _ as rest) ->
-                    [| Value.Date a; Value.Date b |] :: pairs rest
-                | [ _ ] | [] -> []
+              let rows =
+                if cat.Catalog.options.Catalog.compile then
+                  (* Array-sort fast path; identical rows to the
+                     list-based variant below. *)
+                  Compile.adjacent_periods ~bt ~et !points
+                else begin
+                  let inside =
+                    List.filter (fun d -> d > bt && d < et) !points
+                  in
+                  let pts =
+                    List.sort_uniq Date.compare (bt :: et :: inside)
+                  in
+                  let rec pairs = function
+                    | a :: (b :: _ as rest) ->
+                        [| Value.Date a; Value.Date b |] :: pairs rest
+                    | [ _ ] | [] -> []
+                  in
+                  pairs pts
+                end
               in
-              let rows = pairs pts in
               List.iter (fun _ -> Fault.hit Fault.Period_slice) rows;
               let obs = cat.Catalog.obs in
               if Trace.enabled obs then begin
@@ -83,8 +95,10 @@ let constant_periods_native : Catalog.native_table_fun =
                  "taupsm_constant_periods expects (table_name, bt, et)"))
   }
 
-(* Install the stratum's natives into an engine.  Idempotent. *)
+(* Install the stratum's natives into an engine, and the plan compiler
+   into the evaluator's hook.  Idempotent. *)
 let install (e : Engine.t) =
+  Compile.install ();
   Catalog.add_native_table_fun (Engine.catalog e) Names.constant_periods_fun
     constant_periods_native
 

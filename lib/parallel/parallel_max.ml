@@ -1,13 +1,14 @@
 (* Parallel MAX execution: partition the constant-period table,
-   evaluate each batch in a domain against a private engine snapshot,
-   concatenate fragments in period order.  See parallel_max.mli for the
-   equivalence and isolation argument. *)
+   evaluate each batch in a domain against a shared read-only snapshot
+   of the engine, concatenate fragments in period order.  See
+   parallel_max.mli for the equivalence and isolation argument. *)
 
 module Catalog = Sqleval.Catalog
 module Eval = Sqleval.Eval
 module RS = Sqleval.Result_set
 module Database = Sqldb.Database
 module Table = Sqldb.Table
+module Schema = Sqldb.Schema
 
 (* [slice lst lo hi] is the sublist [lo, hi) of [lst]. *)
 let slice lst lo hi =
@@ -33,14 +34,38 @@ let exec_query ~pool ~cp_table ?tt_mode ~now cat (q : Sqlast.Ast.query) : RS.t =
       Array.init nbatch (fun b ->
           slice periods (b * nperiods / nbatch) ((b + 1) * nperiods / nbatch))
     in
+    (* One frozen snapshot, shared by every batch.  The main query is
+       read-only (the stratum's parallelizable gate), so the domains can
+       iterate the parent's row vectors directly through cheap read
+       views instead of each paying a deep {!Catalog.copy}.  Before the
+       fan-out, build the interval indexes the batches will stab — a
+       view shares indexes already built on the original, so one serial
+       build replaces one rebuild per domain — and pre-compile the main
+       query into the shared plan store so every worker starts with a
+       warm compiled entry. *)
+    if cat.Catalog.options.Catalog.temporal_index then
+      List.iter
+        (fun t ->
+          let ts = Table.schema t in
+          if ts.Schema.temporal then
+            ignore
+              (Table.overlap_residuals t ~bi:(Schema.begin_index ts)
+                 ~ei:(Schema.end_index ts));
+          if ts.Schema.transaction then
+            ignore
+              (Table.overlap_residuals t ~bi:(Schema.tt_begin_index ts)
+                 ~ei:(Schema.tt_end_index ts)))
+        (Database.base_tables cat.Catalog.db);
+    Compile.prewarm cat q;
     let run batch =
-      (* Private snapshot: deep storage copy, fresh guard state and
-         trace sink, empty plan cache, no WAL hook (Database.copy
-         deliberately drops it), with the period table restricted to
-         this batch.  Re-binding a temp table with an unchanged schema
-         does not bump the schema version, so per-domain plan tokens
-         stay stable. *)
-      let dcat = Catalog.copy cat in
+      (* Per-domain read view: shared row storage, fresh guard state
+         and trace sink, no WAL hook, shared compiled-plan store, with
+         the (view-local) period table re-bound to this batch.
+         Re-binding a temp table with an unchanged schema does not bump
+         the schema version, and a view preserves the generation and
+         version counters, so plan tokens — and with them the shared
+         compiled entries — stay valid in every domain. *)
+      let dcat = Catalog.read_view cat in
       Database.add_temp_table dcat.Catalog.db
         (Table.of_rows schema (List.map Array.copy batch));
       let rs = exec_serial ?tt_mode ~now dcat q in

@@ -11,11 +11,18 @@
     that batch, and concatenates the per-batch fragments in batch
     order — bit-identical to the serial result.
 
-    Isolation per domain comes from {!Sqleval.Catalog.copy}: a deep
-    storage copy with no {!Sqldb.Wal_hook} attached (so domains emit no
-    durability events), a private plan cache, a fresh trace sink, and a
-    fresh {!Guard} running state.  After the merge the domains' traces
-    are absorbed into the parent's sink deterministically and their row
+    Isolation per domain comes from {!Sqleval.Catalog.read_view}: every
+    base table's row vector is shared read-only (the main query cannot
+    mutate it — see the parallelizable gate below), while everything a
+    domain writes is private — temp-table bindings, undo journal, trace
+    sink, {!Guard} running state — and no {!Sqldb.Wal_hook} is attached,
+    so domains emit no durability events.  The generation and schema
+    version survive into the view, so the parent's plan tokens (and the
+    compiled-plan store the views share) remain valid; the parent
+    additionally pre-builds the interval indexes and pre-compiles the
+    main query before the fan-out so workers start warm instead of each
+    rebuilding cold caches.  After the merge the domains' traces are
+    absorbed into the parent's sink deterministically and their row
     consumption is charged against the parent's guard, so an aggregate
     row budget still fires.
 

@@ -187,6 +187,37 @@ let copy db =
     db.temp_tables;
   db'
 
+(* A read-only snapshot view: every table becomes a {!Table.read_view}
+   (shared row storage, private index cache, no obs/undo/wal wiring) in
+   fresh name tables, and the schema version is preserved so plan-cache
+   validity tokens computed against the view match the original.  The
+   view has its own (inactive) undo journal and no WAL hook; callers
+   must not mutate the shared base tables through it, but may freely
+   shadow them with view-local temp tables.  Sound only while the
+   original is not mutated — the parallel evaluator guarantees this by
+   construction (read-only sliced queries). *)
+let read_view db =
+  let db' =
+    {
+      tables = Hashtbl.create (Hashtbl.length db.tables);
+      temp_tables = Hashtbl.create (max 16 (Hashtbl.length db.temp_tables));
+      version = db.version;
+      obs = Trace.null;
+      undo = Undo_log.create ();
+      wal = None;
+    }
+  in
+  let view t =
+    let t' = Table.read_view t in
+    Table.set_undo t' db'.undo;
+    t'
+  in
+  Hashtbl.iter (fun k t -> Hashtbl.replace db'.tables k (view t)) db.tables;
+  Hashtbl.iter
+    (fun k t -> Hashtbl.replace db'.temp_tables k (view t))
+    db.temp_tables;
+  db'
+
 let undo db = db.undo
 
 (* Run [f] as an atomic unit against this database.  The outermost call

@@ -193,6 +193,27 @@ let copy t =
   iter (fun r -> Vec.push t'.rows (Array.copy r)) t;
   t'
 
+(* A read-only view over this table's live storage: the row vector and
+   schema are shared (no per-row copy), so the view is sound only while
+   the original is not mutated.  Observation, undo and WAL wiring are
+   severed — a view must never journal into or emit events for the
+   original — and the index cache is a private copy: already-built
+   interval indexes (immutable once built) are shared, while any index a
+   view builds lazily lands in its own table, never racing with siblings
+   reading the original's cache. *)
+let read_view t =
+  {
+    schema = t.schema;
+    rows = t.rows;
+    version = t.version;
+    indexes = Hashtbl.copy t.indexes;
+    obs = Trace.null;
+    undo = Undo_log.null;
+    undo_mark = 0;
+    undo_full = false;
+    wal = None;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Interval-indexed period-overlap scans                               *)
 (* ------------------------------------------------------------------ *)

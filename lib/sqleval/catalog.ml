@@ -13,6 +13,13 @@ type native_table_fun = {
   ntf_fn : t -> Sqldb.Value.t list -> Result_set.t;
 }
 
+(* An opaque extension slot on the catalog.  The plan-compilation layer
+   (lib/compile, which depends on this library) hangs its closure cache
+   here via [type ext += ...]; keeping the slot extensible avoids a
+   dependency cycle while letting {!read_view} share one compiled-entry
+   cache across all worker views of a statement. *)
+and ext = ..
+
 and t = {
   db : Sqldb.Database.t;
   views : (string, Sqlast.Ast.query) Hashtbl.t;
@@ -38,6 +45,11 @@ and t = {
          The token is (generation, schema version, options fingerprint):
          option flips don't bump the generation, so they carry their own
          token component — see {!plan_token}. *)
+  mutable compile_ext : ext option;
+      (* the plan-compilation layer's per-catalog closure cache (see
+         {!ext}).  Shared by {!read_view} so parallel workers hit the
+         parent's compiled entries; dropped by {!copy} (a deep copy is a
+         different database). *)
 }
 
 (* Evaluator switches, exposed for ablation experiments. *)
@@ -61,6 +73,12 @@ and options = {
          serial.  Not part of the plan-cache fingerprint: the
          transformed plan is identical either way, only its execution
          is sliced *)
+  mutable compile : bool;
+      (* closure-compilation of hot physical plans (lib/compile): when
+         on, the evaluator consults the installed compiler before
+         interpreting a SELECT and runs a ready closure on coverage.
+         Part of the plan-cache fingerprint — compiled entries are keyed
+         by the same validity token *)
   guards : Guard.t;
       (* resource limits (deadline, row budget, loop cap, recursion
          depth) plus the atomic-execution and PERST→MAX fallback
@@ -78,6 +96,7 @@ let default_options () =
     plan_caching = true;
     observe = false;
     jobs = 1;
+    compile = true;
     guards = Guard.default ();
   }
 
@@ -94,6 +113,7 @@ let create () =
     obs;
     generation = 0;
     plan_cache = Hashtbl.create 16;
+    compile_ext = None;
   }
 
 (* The catalog's trace sink with its enabled flag synced to
@@ -233,6 +253,7 @@ let options_fingerprint o =
   (if o.hash_joins then 1 else 0)
   lor (if o.memoize_table_functions then 2 else 0)
   lor (if o.temporal_index then 4 else 0)
+  lor (if o.compile then 8 else 0)
 
 (* Validity token: a cached plan holds only as long as no view, routine
    or table definition has changed — and no evaluator option has been
@@ -285,4 +306,30 @@ let copy cat =
     obs;
     generation = cat.generation;
     plan_cache = Hashtbl.create 16;
+    compile_ext = None;
+  }
+
+(* A read-only snapshot view for parallel workers: storage becomes a
+   {!Sqldb.Database.read_view} (shared row vectors, no per-row copy, no
+   obs/undo/wal), views/routines/natives are shared (immutable ASTs),
+   the guard is fresh (workers track their own budgets; the parent
+   re-charges after the merge) and — unlike {!copy} — both version
+   counters AND the compiled-closure cache are preserved, so a worker's
+   plan-cache and compiled-entry lookups hit the parent's warm entries.
+   Sound only while the underlying database is not mutated; the sliced
+   MAX main query is read-only by the parallelizability gate. *)
+let read_view cat =
+  let db = Sqldb.Database.read_view cat.db in
+  let obs = Trace.create () in
+  Sqldb.Database.set_observe db obs;
+  {
+    db;
+    views = cat.views;
+    routines = cat.routines;
+    native_table_funs = cat.native_table_funs;
+    options = { cat.options with guards = Guard.copy cat.options.guards };
+    obs;
+    generation = cat.generation;
+    plan_cache = Hashtbl.create 16;
+    compile_ext = cat.compile_ext;
   }

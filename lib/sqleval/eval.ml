@@ -76,6 +76,12 @@ type env = {
   tf_cache : (int * string * Value.t list, Result_set.t) Hashtbl.t;
   mutable calls : int;  (* statistics: routine invocations *)
   guard : Guard.t;  (* the catalog's resource guard, bound once *)
+  ext_state : Catalog.ext option ref;
+      (* opaque per-statement scratch slot for the plan-compilation
+         layer (lib/compile): caches per-plan scan rows and hash
+         indexes across the many SELECT evaluations of one top-level
+         statement.  One shared ref cell, so routine child environments
+         (which copy the record) reuse the same cache. *)
 }
 
 let new_scope () =
@@ -96,6 +102,7 @@ let create_env ?(now = Date.of_ymd ~y:2011 ~m:1 ~d:1) ?(tt_mode = `Current) cat
     tf_cache = Hashtbl.create 64;
     calls = 0;
     guard = cat.Catalog.options.Catalog.guards;
+    ext_state = ref None;
   }
 
 (* A child environment for a routine body: fresh frames and scopes so the
@@ -333,6 +340,19 @@ let atomically env f =
   end
 
 type exec_result = Rows of Result_set.t | Affected of int | Unit
+
+(* ------------------------------------------------------------------ *)
+(* Plan-compilation hook                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by lib/compile (which depends on this library) at stratum
+   installation.  When [options.compile] is on, {!eval_select} consults
+   the hook first: [Some rs] means a compiled closure covered the whole
+   SELECT — bit-identical to the interpreter by construction — and
+   [None] falls through to the interpreter.  The compiled/interpreted
+   counters make coverage visible per query in EXPLAIN. *)
+let select_compiler : (env -> select -> Result_set.t option) ref =
+  ref (fun _ _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
@@ -758,6 +778,17 @@ and invoke_table_function env fname argv : Result_set.t =
           rs)
 
 and eval_select env (s : select) : Result_set.t =
+  if not env.cat.Catalog.options.Catalog.compile then eval_select_interp env s
+  else
+    match !select_compiler env s with
+    | Some rs ->
+        Trace.count env.cat.Catalog.obs "compile.compiled" 1;
+        rs
+    | None ->
+        Trace.count env.cat.Catalog.obs "compile.interpreted" 1;
+        eval_select_interp env s
+
+and eval_select_interp env (s : select) : Result_set.t =
   (* Flatten explicit joins: inner-join ON conditions become ordinary
      conjuncts; a left join marks its right side with the ON condition
      so the join loop can null-extend unmatched combinations. *)

@@ -1,0 +1,166 @@
+(* Plan-compilation tests: closure-compiled evaluation must be
+   row-for-row identical to the tree-walking interpreter.  The suite
+   runs the 16 τPSM queries under {compiled, interpreted} × jobs {1, 4}
+   against one interpreted-serial baseline, asserts the compiled path
+   actually fired (not silently falling back everywhere), checks the
+   per-query compiled/interpreted counters, and closes with a qcheck
+   property comparing the two evaluators on randomly generated temporal
+   databases seeded with NULL keys and empty ([b, b)) periods. *)
+
+module Engine = Sqleval.Engine
+module Catalog = Sqleval.Catalog
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Stratum = Taupsm.Stratum
+module Datasets = Taubench.Datasets
+module Queries = Taubench.Queries
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+(* ------------------------------------------------------------------ *)
+(* Compiled ≡ interpreted over the τPSM benchmark                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_ds1 =
+  lazy
+    (Datasets.load { Datasets.ds = Datasets.DS1; size = Taupsm.Heuristic.Small })
+
+let load_fresh () =
+  let e = Engine.copy (Lazy.force small_ds1) in
+  Queries.install e;
+  e
+
+let ctx = (Date.of_ymd ~y:2010 ~m:3 ~d:1, Date.of_ymd ~y:2010 ~m:4 ~d:15)
+
+let run_query ~compile ~jobs q =
+  let e = load_fresh () in
+  let cat = Engine.catalog e in
+  cat.Catalog.options.Catalog.observe <- true;
+  cat.Catalog.options.Catalog.compile <- compile;
+  let rs =
+    Stratum.query ~strategy:Stratum.Max ~jobs e
+      (Queries.sequenced ~context:ctx q)
+  in
+  let c = Trace.get_count (Catalog.trace cat) in
+  (rs.RS.cols, rows_of rs, c "compile.compiled", c "compile.interpreted")
+
+let test_equivalence () =
+  let compiled_total = ref 0 in
+  List.iter
+    (fun q ->
+      (* interpreted serial is the baseline the other three must hit *)
+      let cols0, rows0, comp0, _ = run_query ~compile:false ~jobs:1 q in
+      Alcotest.(check int)
+        (q.Queries.id ^ ": interpreter never counts compiled")
+        0 comp0;
+      List.iter
+        (fun (compile, jobs) ->
+          let name =
+            Printf.sprintf "%s %s jobs=%d" q.Queries.id
+              (if compile then "compiled" else "interpreted")
+              jobs
+          in
+          let cols, rows, comp, _ = run_query ~compile ~jobs q in
+          Alcotest.(check (list string)) (name ^ ": columns") cols0 cols;
+          Alcotest.(check (list (list string)))
+            (name ^ ": rows, in order")
+            rows0 rows;
+          if (not compile) && comp > 0 then
+            Alcotest.failf "%s: counted %d compiled SELECT(s)" name comp;
+          if compile && jobs = 1 then compiled_total := !compiled_total + comp)
+        [ (true, 1); (false, 4); (true, 4) ])
+    Queries.all;
+  (* the compiled path must carry real weight across the suite, not
+     punt to the interpreter fallback on every query *)
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled SELECTs across the suite (%d)" !compiled_total)
+    true
+    (!compiled_total >= 16)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: compiled ≡ interpreted on random temporal databases         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random databases deliberately include the evaluator's edge cases:
+   NULL keys and NULL group columns (three-valued comparisons must not
+   differ between the two paths) and empty [b, b) periods (overlap
+   nothing, but must not derail period plans or constant-period
+   slicing). *)
+let random_engine seed =
+  let st = Random.State.make [| 0xc0de; seed |] in
+  let e = Engine.create ~now:(Date.of_ymd ~y:2010 ~m:12 ~d:1) () in
+  Taupsm.Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE t (k INTEGER, g INTEGER) WITH VALIDTIME;\n\
+     CREATE TABLE lab (g INTEGER, name VARCHAR(10))";
+  Engine.exec e
+    "INSERT INTO lab VALUES (0, 'zero'), (1, 'one'), (2, 'two'), (3, \
+     'three'), (NULL, 'none')"
+  |> ignore;
+  let n = 30 + Random.State.int st 51 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "INSERT INTO t (k, g, begin_time, end_time) VALUES ";
+  for i = 0 to n - 1 do
+    let day = Random.State.int st 300 in
+    (* one period in five is empty: end_time = begin_time *)
+    let len = if Random.State.int st 5 = 0 then 0 else 1 + Random.State.int st 60 in
+    let b = Date.add_days (Date.of_ymd ~y:2010 ~m:1 ~d:1) day in
+    let lit x lim =
+      (* one value in six is NULL *)
+      if x = 0 then "NULL" else string_of_int (Random.State.int st lim)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s(%s, %s, DATE '%s', DATE '%s')"
+         (if i = 0 then "" else ", ")
+         (lit (Random.State.int st 6) 100)
+         (lit (Random.State.int st 6) 5)
+         (Date.to_string b)
+         (Date.to_string (Date.add_days b len)))
+  done;
+  Engine.exec e (Buffer.contents buf) |> ignore;
+  e
+
+let random_db_query =
+  "VALIDTIME [DATE '2010-03-01', DATE '2010-06-01') SELECT t.k, lab.name \
+   FROM t, lab WHERE t.g = lab.g AND (t.k < 50 OR t.k IS NULL)"
+
+let prop_random_db_equivalence seed =
+  let answer ~compile ~jobs =
+    let e = random_engine seed in
+    let cat = Engine.catalog e in
+    cat.Catalog.options.Catalog.compile <- compile;
+    rows_of (Stratum.query ~strategy:Stratum.Max ~jobs e random_db_query)
+  in
+  let interp = answer ~compile:false ~jobs:1 in
+  let check label rows =
+    if rows <> interp then
+      QCheck.Test.fail_reportf
+        "seed=%d: %s %d row(s) <> interpreted %d row(s)" seed label
+        (List.length rows) (List.length interp)
+  in
+  check "compiled jobs=1" (answer ~compile:true ~jobs:1);
+  check "compiled jobs=4" (answer ~compile:true ~jobs:4);
+  true
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:20
+        ~name:"random db (NULLs, empty periods): compiled = interpreted"
+        QCheck.(make Gen.(int_range 0 9999) ~print:string_of_int)
+        prop_random_db_equivalence;
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "compile",
+      [
+        Alcotest.test_case "16 queries: {compiled,interp} x jobs {1,4}" `Slow
+          test_equivalence;
+      ] );
+    ("compile-equivalence", qcheck_tests);
+  ]

@@ -226,6 +226,7 @@ let golden_max =
       "  index build table=item cols=(2,3) rows=2 residuals=0  (x1)";
       "  scans: 1 indexed, 3 full, 1 hash, 0 residual fallback(s)";
       "  rows: 9 probed, 9 matched; 3 conjunct check(s) elided";
+      "  selects: 4 compiled, 1 interpreted";
       "-- cost model vs actuals --";
       "  estimated: MAX cost=134, PERST cost=113, constant periods=2";
       "  actual:    1 row(s); 1 routine call(s), 1 constant period(s)";
@@ -233,6 +234,8 @@ let golden_max =
       "spans:";
       "  exec";
       "counters:";
+      "  compile.compiled                     4";
+      "  compile.interpreted                  1";
       "  conjuncts.elided                     3";
       "  constant_periods.calls               1";
       "  constant_periods.periods             1";
@@ -339,6 +342,7 @@ let golden_perst =
       "  index build table=item cols=(2,3) rows=2 residuals=0  (x1)";
       "  scans: 1 indexed, 7 full, 1 hash, 0 residual fallback(s)";
       "  rows: 12 probed, 12 matched; 3 conjunct check(s) elided";
+      "  selects: 8 compiled, 2 interpreted";
       "-- cost model vs actuals --";
       "  estimated: MAX cost=134, PERST cost=113, constant periods=2";
       "  actual:    1 row(s); 1 routine call(s), 1 constant period(s)";
@@ -346,6 +350,8 @@ let golden_perst =
       "spans:";
       "  exec";
       "counters:";
+      "  compile.compiled                     8";
+      "  compile.interpreted                  2";
       "  conjuncts.elided                     3";
       "  constant_periods.calls               1";
       "  constant_periods.periods             1";
