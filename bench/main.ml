@@ -1002,6 +1002,25 @@ let recovery_fuzz () =
        SET pct = 9.9 WHERE name = 'base'";
       "VALIDTIME [DATE '2010-04-01', DATE '2010-05-01') DELETE FROM \
        fuzz_tariff WHERE name = 'extra'";
+      (* set-based sequenced writes with temporal constraints: crash
+         points must also land inside merge plans and constraint checks *)
+      "CREATE TABLE fuzz_product (sku VARCHAR(10), name VARCHAR(20)) WITH \
+       VALIDTIME TEMPORAL PRIMARY KEY (sku)";
+      "INSERT INTO fuzz_product (sku, name, begin_time, end_time) VALUES \
+       ('a', 'A', DATE '2010-01-01', DATE '9999-12-31'), ('b', 'B', DATE \
+       '2010-01-01', DATE '9999-12-31')";
+      "CREATE TABLE fuzz_stock (sku VARCHAR(10), qty INT) WITH VALIDTIME \
+       TEMPORAL PRIMARY KEY (sku) TEMPORAL FOREIGN KEY (sku) REFERENCES \
+       fuzz_product (sku)";
+      "TEMPORAL MERGE INTO fuzz_stock USING (SELECT 'a' AS sku, 10 AS qty, \
+       DATE '2010-01-01' AS begin_time, DATE '2010-06-01' AS end_time) MODE \
+       UPSERT";
+      "TEMPORAL MERGE INTO fuzz_stock USING (SELECT 'a' AS sku, 12 AS qty, \
+       DATE '2010-03-01' AS begin_time, DATE '2010-04-01' AS end_time) MODE \
+       PATCH";
+      "TEMPORAL MERGE INTO fuzz_stock USING (SELECT 'b' AS sku, 3 AS qty, \
+       DATE '2010-02-01' AS begin_time, DATE '2010-05-01' AS end_time) MODE \
+       REPLACE";
     ]
   in
   let workload_of qids =
@@ -1524,6 +1543,196 @@ let compile_bench () =
          points)
     "BENCH_pr6.json"
 
+(* This PR's bench: set-based sequenced writes.  TEMPORAL MERGE
+   throughput across the three modes, the steady-state cost of the
+   declarative temporal PK/FK checks (on/off ablation — the headline
+   geomean), and a mixed read/write simulation.  A preflight gate
+   asserts (a) a merge is observably equivalent to the hand-written
+   sequenced UPDATEs it replaces and (b) constraint violations surface
+   as typed errors with a clean rollback; any gate failure exits 1
+   before a single timing is published. *)
+let merge_bench () =
+  let title =
+    "TEMPORAL MERGE — mode throughput, constraint-check ablation, mixed \
+     read/write"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let nsku = 200 in
+  let sku i = Printf.sprintf "sku%03d" i in
+  let values f = String.concat ", " (List.init nsku f) in
+  let fresh () =
+    let e = Engine.create ~now:(Date.of_ymd ~y:2010 ~m:6 ~d:1) () in
+    Stratum.install e;
+    ignore
+      (Stratum.exec_sql e
+         "CREATE TABLE product (sku VARCHAR(10), name VARCHAR(30)) WITH \
+          VALIDTIME TEMPORAL PRIMARY KEY (sku)");
+    ignore
+      (Stratum.exec_sql e
+         "CREATE TABLE stock (sku VARCHAR(10), qty INT, note VARCHAR(20)) \
+          WITH VALIDTIME TEMPORAL PRIMARY KEY (sku) TEMPORAL FOREIGN KEY \
+          (sku) REFERENCES product (sku)");
+    ignore
+      (Stratum.exec_sql e
+         (Printf.sprintf
+            "INSERT INTO product (sku, name, begin_time, end_time) VALUES %s"
+            (values (fun i ->
+                 Printf.sprintf
+                   "('%s', 'P%d', DATE '2010-01-01', DATE '9999-12-31')"
+                   (sku i) i))));
+    ignore
+      (Stratum.exec_sql e
+         (Printf.sprintf
+            "INSERT INTO stock (sku, qty, note, begin_time, end_time) \
+             VALUES %s"
+            (values (fun i ->
+                 Printf.sprintf
+                   "('%s', %d, 'load', DATE '2010-01-01', DATE '9999-12-31')"
+                   (sku i) (i mod 50)))));
+    (* the staging feed: one mid-window correction per sku *)
+    ignore
+      (Stratum.exec_sql e
+         "CREATE TABLE feed (sku VARCHAR(10), qty INT, note VARCHAR(20), \
+          begin_time DATE, end_time DATE)");
+    ignore
+      (Stratum.exec_sql e
+         (Printf.sprintf "INSERT INTO feed VALUES %s"
+            (values (fun i ->
+                 Printf.sprintf
+                   "('%s', %d, 'fix', DATE '2010-03-01', DATE '2010-04-01')"
+                   (sku i)
+                   ((i + 7) mod 50)))));
+    e
+  in
+  let e0 = fresh () in
+  let stock_state e =
+    (Stratum.query e
+       "NONSEQUENCED VALIDTIME SELECT sku, qty, note, begin_time, end_time \
+        FROM stock ORDER BY sku, begin_time, end_time")
+      .Sqleval.Result_set.rows
+  in
+  (* ---- preflight gate 1: merge == the sequenced UPDATEs it replaces *)
+  Printf.printf "preflight: equivalence + violation gates\n%!";
+  let merged = Engine.copy e0 and gb = Engine.copy e0 in
+  ignore (Stratum.exec_sql merged "TEMPORAL MERGE INTO stock USING feed MODE UPSERT");
+  List.init nsku (fun i ->
+      Printf.sprintf
+        "VALIDTIME [DATE '2010-03-01', DATE '2010-04-01') UPDATE stock SET \
+         qty = %d, note = 'fix' WHERE sku = '%s'"
+        ((i + 7) mod 50)
+        (sku i))
+  |> List.iter (fun sql -> ignore (Stratum.exec_sql gb sql));
+  if stock_state merged <> stock_state gb then begin
+    Printf.eprintf
+      "PREFLIGHT FAILURE: merge diverges from equivalent sequenced UPDATEs\n";
+    exit 1
+  end;
+  (* violation gate: a bad merge must raise a typed error and leave the
+     database untouched *)
+  let gv = Engine.copy e0 in
+  let pre = Sqldb.Database.copy (Engine.database gv) in
+  (match
+     Stratum.exec_sql gv
+       "TEMPORAL MERGE INTO stock USING (SELECT 'ghost' AS sku, 1 AS qty, \
+        DATE '2010-02-01' AS begin_time, DATE '2010-03-01' AS end_time) \
+        MODE UPSERT"
+   with
+  | _ ->
+      Printf.eprintf "PREFLIGHT FAILURE: FK violation not detected\n";
+      exit 1
+  | exception Taupsm_error.Error
+      { code = Taupsm_error.Constraint_violation; _ } -> (
+      match Taupsm.Resilient.db_diff pre (Engine.database gv) with
+      | None -> ()
+      | Some diff ->
+          Printf.eprintf "PREFLIGHT FAILURE: violation rollback unclean: %s\n"
+            diff;
+          exit 1)
+  | exception exn ->
+      Printf.eprintf "PREFLIGHT FAILURE: expected Constraint_violation, got %s\n"
+        (Printexc.to_string exn);
+      exit 1);
+  Printf.printf "preflight: OK\n%!";
+  (* ---- mode throughput, constraints on vs off ---- *)
+  let merge_sql mode =
+    Printf.sprintf "TEMPORAL MERGE INTO stock USING feed MODE %s" mode
+  in
+  let run ~checks mode () =
+    let e = Engine.copy e0 in
+    (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.check_constraints <-
+      checks;
+    ignore (Stratum.exec_sql e (merge_sql mode))
+  in
+  Printf.printf "%-8s %12s %12s %10s %11s\n" "mode" "checks on" "checks off"
+    "overhead" "rows/s (on)";
+  let points =
+    List.map
+      (fun mode ->
+        let t_on = time_run ~runs:5 (run ~checks:true mode) in
+        let t_off = time_run ~runs:5 (run ~checks:false mode) in
+        Printf.printf "%-8s %12.4f %12.4f %9.2f%% %11.0f\n%!" mode t_on t_off
+          (100.0 *. ((t_on /. t_off) -. 1.0))
+          (float_of_int nsku /. t_on);
+        (mode, t_on, t_off))
+      [ "UPSERT"; "PATCH"; "REPLACE" ]
+  in
+  let geomean_ratio =
+    exp
+      (List.fold_left (fun acc (_, on, off) -> acc +. log (on /. off)) 0.0
+         points
+      /. float_of_int (max 1 (List.length points)))
+  in
+  Printf.printf "geometric-mean constraint-check overhead: %.2f%%\n"
+    (100.0 *. (geomean_ratio -. 1.0));
+  (* ---- mixed read/write simulation ---- *)
+  let rounds = 20 in
+  let mixed () =
+    let e = Engine.copy e0 in
+    for r = 1 to rounds do
+      ignore
+        (Stratum.exec_sql e
+           (Printf.sprintf
+              "TEMPORAL MERGE INTO stock USING (SELECT '%s' AS sku, %d AS \
+               qty, DATE '2010-03-01' AS begin_time, DATE '2010-04-01' AS \
+               end_time) MODE PATCH"
+              (sku (r mod nsku))
+              (100 + r)));
+      ignore
+        (Stratum.query e
+           "VALIDTIME SELECT sku, qty FROM stock WHERE qty > 25")
+    done
+  in
+  let t_mixed = time_run ~runs:3 mixed in
+  let mixed_stmt_s = float_of_int (2 * rounds) /. t_mixed in
+  Printf.printf "mixed read/write: %d merge+query rounds in %.4fs (%.0f \
+                 stmt/s)\n%!"
+    rounds t_mixed mixed_stmt_s;
+  write_bench ~pr:7 ~target:"merge" ~geomean:geomean_ratio
+    ~extra:
+      [
+        ("entities", Jint nsku);
+        ("source_rows", Jint nsku);
+        ( "geomean_check_overhead_pct",
+          Jfloat (100.0 *. (geomean_ratio -. 1.0)) );
+        ("mixed_rounds", Jint rounds);
+        ("mixed_seconds", Jfloat t_mixed);
+        ("mixed_stmt_per_sec", Jfloat mixed_stmt_s);
+        ("preflight", Jstr "ok");
+      ]
+    ~queries:
+      (List.map
+         (fun (mode, on, off) ->
+           Jobj
+             [
+               ("query", Jstr ("merge_" ^ String.lowercase_ascii mode));
+               ("checks_on_seconds", Jfloat on);
+               ("checks_off_seconds", Jfloat off);
+               ("overhead_pct", Jfloat (100.0 *. ((on /. off) -. 1.0)));
+               ("rows_per_sec", Jfloat (float_of_int nsku /. on));
+             ])
+         points)
+    "BENCH_pr7.json"
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
@@ -1550,13 +1759,14 @@ let () =
       | "recovery-fuzz" -> recovery_fuzz ()
       | "parallel" -> parallel_bench ()
       | "compile" -> compile_bench ()
+      | "merge" -> merge_bench ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
              heuristic|nontemporal|ablation|index|guards|faults|wal|\
-             recovery-fuzz|parallel|compile|bechamel|correctness)\n"
+             recovery-fuzz|parallel|compile|merge|bechamel|correctness)\n"
             other;
           exit 2)
     targets

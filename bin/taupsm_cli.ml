@@ -9,7 +9,9 @@
          an empty database with --empty) and print results.
 
      taupsm repl [--dataset ...]
-         An interactive prompt; statements end with ';'.
+         An interactive prompt; statements end with ';'.  Accepts the
+         full surface, including sequenced DML and TEMPORAL MERGE
+         (docs/merge_semantics.md).
 
      taupsm gen --dataset DS2-MEDIUM
          Print dataset statistics (tables, row counts, periods).
@@ -361,7 +363,9 @@ let repl_cmd =
     set_jobs e jobs;
     set_compile e no_compile;
     Printf.printf
-      "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n%!"
+      "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n\
+       Sequenced DML and TEMPORAL MERGE are available (see \
+       docs/merge_semantics.md).\n%!"
       (match db_dir with
       | Some dir when h <> None -> Printf.sprintf "durable store %s" dir
       | _ ->

@@ -116,6 +116,9 @@ and walk_stmt cat acc (s : stmt) =
   | Sdelete (t, where) ->
       acc.a_tables <- SS.add (String.lowercase_ascii t) acc.a_tables;
       Option.iter (walk_expr cat acc) where
+  | Smerge m ->
+      acc.a_tables <- SS.add (String.lowercase_ascii m.m_target) acc.a_tables;
+      walk_query cat acc m.m_source
   | Screate_table ct -> Option.iter (walk_query cat acc) ct.ct_as
   | Sdrop_table _ -> ()
   | Screate_view (_, q) -> walk_query cat acc q

@@ -222,7 +222,7 @@ and current_update cat m t sets where : stmt =
           ct_name = snapshot;
           ct_cols = [];
           ct_temporal = false; ct_transaction = false;
-          ct_temp = true;
+          ct_temp = true; ct_constraints = [];
           ct_as =
             Some
               (Select

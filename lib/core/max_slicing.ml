@@ -95,7 +95,7 @@ let ts_prep tables : stmt =
       ct_name = Names.ts_table;
       ct_cols = [];
       ct_temporal = false; ct_transaction = false;
-      ct_temp = true;
+      ct_temp = true; ct_constraints = [];
       ct_as = Some q;
     }
 
@@ -108,7 +108,7 @@ let cp_prep ~context : stmt =
       ct_name = Names.cp_table;
       ct_cols = [];
       ct_temporal = false; ct_transaction = false;
-      ct_temp = true;
+      ct_temp = true; ct_constraints = [];
       ct_as =
         Some
           (Select
@@ -181,6 +181,11 @@ let body_mapper cat ~is_temporal_routine : Rewrite.mapper =
           (Max_unsupported
              "a routine invoked from a sequenced query must not modify a \
               temporal table")
+    | Smerge _ ->
+        raise
+          (Max_unsupported
+             "a routine invoked from a sequenced query must not contain \
+              TEMPORAL MERGE")
     | Stemporal _ ->
         semantic_error
           "a routine containing a temporal statement modifier can only be \

@@ -105,6 +105,7 @@ type report = {
 let spliced_natively ts =
   match (ts.t_modifier, ts.t_stmt) with
   | Mod_sequenced _, (Sinsert _ | Sdelete _ | Supdate _) -> true
+  | _, Smerge _ -> true
   | _ -> false
 
 let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =

@@ -549,7 +549,7 @@ let points_prep g (sources : string list) : string * stmt =
   in
   ( pts,
     Screate_table
-      { ct_name = pts; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_as = Some q } )
+      { ct_name = pts; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = []; ct_as = Some q } )
 
 (* Value of an expression at a single instant [at]: time-varying
    variables become timeslice lookups, temporal function calls evaluate
@@ -867,7 +867,7 @@ let assign_tv g pc v (e : expr) : stmt list =
   prep
   @ [
       Screate_table
-        { ct_name = staging; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true;
+        { ct_name = staging; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
           ct_as = Some vq };
     ]
   @ splice_out ~table ~cols:[ val_col ] pc
@@ -898,7 +898,7 @@ let create_var_table g v ty : stmt =
       ct_name = var_table_name g v;
       ct_cols = var_table_def ty;
       ct_temporal = false; ct_transaction = false;
-      ct_temp = true;
+      ct_temp = true; ct_constraints = [];
       ct_as = None;
     }
 
@@ -976,7 +976,7 @@ and two_loop_rewrite g pc c ~vars ~label ~body : stmt list =
   let prep, q = seq_select g pc sel in
   let create_aux =
     Screate_table
-      { ct_name = ci.ci_aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true;
+      { ct_name = ci.ci_aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
         ct_as = Some q }
   in
   let pts, pts_prep = points_prep g [ ci.ci_aux ] in
@@ -1076,7 +1076,7 @@ and xstmt g pc (s : stmt) : stmt list =
         let aux = fresh g "aux" in
         let create =
           Screate_table
-            { ct_name = aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true;
+            { ct_name = aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
               ct_as = Some q }
         in
         let out_cols =
@@ -1210,7 +1210,7 @@ and xstmt g pc (s : stmt) : stmt list =
         let aux = fresh g "aux" in
         let create =
           Screate_table
-            { ct_name = aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true;
+            { ct_name = aux; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
               ct_as = Some q }
         in
         let pb_name = fresh g "pb" and pe_name = fresh g "pe" in
@@ -1263,7 +1263,7 @@ and xstmt g pc (s : stmt) : stmt list =
           @ [
               Screate_table
                 { ct_name = ci.ci_aux; ct_cols = []; ct_temporal = false; ct_transaction = false;
-                  ct_temp = true; ct_as = Some q };
+                  ct_temp = true; ct_constraints = []; ct_as = Some q };
               Sset (ci.ci_pos, lit_int 0);
             ]
       | _ -> [ s ])
@@ -1361,6 +1361,10 @@ and xstmt g pc (s : stmt) : stmt list =
           "a routine invoked from a sequenced query must not modify a \
            temporal table"
       else [ Rewrite.default_stmt Rewrite.default s ]
+  | Smerge _ ->
+      unsupported
+        "a routine invoked from a sequenced query must not contain TEMPORAL \
+         MERGE"
   | Stemporal _ ->
       semantic_error
         "a routine containing a temporal statement modifier can only be \
@@ -1507,7 +1511,7 @@ and fetch_tv g pc ci vars : stmt list =
   in
   [
     Screate_table
-      { ct_name = fetch_tbl; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true;
+      { ct_name = fetch_tbl; ct_cols = []; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
         ct_as = Some row_query };
     Sif
       ( [
@@ -1638,7 +1642,7 @@ let transform_routine cat ~is_temporal_routine kind (r : routine) : stmt =
                 { cd_name = ecol; cd_ty = Value.Tdate };
               ];
             ct_temporal = false; ct_transaction = false;
-            ct_temp = true;
+            ct_temp = true; ct_constraints = [];
             ct_as = None;
           }
       in
@@ -1672,7 +1676,7 @@ let transform_routine cat ~is_temporal_routine kind (r : routine) : stmt =
       in
       let create_ret =
         Screate_table
-          { ct_name = ret; ct_cols = cds'; ct_temporal = false; ct_transaction = false; ct_temp = true;
+          { ct_name = ret; ct_cols = cds'; ct_temporal = false; ct_transaction = false; ct_temp = true; ct_constraints = [];
             ct_as = None }
       in
       let final_return =
@@ -1700,7 +1704,7 @@ let transform_routine cat ~is_temporal_routine kind (r : routine) : stmt =
                        ct_name = Names.out_table r.r_name prm.p_name;
                        ct_cols = [];
                        ct_temporal = false; ct_transaction = false;
-                       ct_temp = true;
+                       ct_temp = true; ct_constraints = [];
                        ct_as =
                          Some
                            (Select

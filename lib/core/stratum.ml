@@ -200,8 +200,9 @@ let pool_for jobs =
    reachable-routine set. *)
 let rec stmt_writes (s : stmt) : bool =
   match s with
-  | Sinsert _ | Supdate _ | Sdelete _ | Screate_table _ | Sdrop_table _
-  | Screate_view _ | Screate_function _ | Screate_procedure _ ->
+  | Sinsert _ | Supdate _ | Sdelete _ | Smerge _ | Screate_table _
+  | Sdrop_table _ | Screate_view _ | Screate_function _
+  | Screate_procedure _ ->
       true
   | Squery _ | Scall _ | Sdeclare _ | Sdeclare_cursor _ | Sset _
   | Sselect_into _ | Sopen _ | Sclose _ | Sfetch _ | Sreturn _
@@ -587,6 +588,14 @@ let exec_once ?strategy ?jobs (e : Engine.t) (ts : temporal_stmt) :
   | Mod_sequenced ctx, Sdelete (t, where) -> sequenced_delete e ~context:ctx t where
   | Mod_sequenced ctx, Supdate (t, sets, where) ->
       sequenced_update e ~context:ctx t sets where
+  | Mod_sequenced _, Smerge _ ->
+      (* Merge is inherently sequenced: the source periods say which
+         valid-time windows change.  A VALIDTIME modifier is redundant
+         at best and contradictory with PERIOD at worst. *)
+      raise (Eval.Sql_error "TEMPORAL MERGE does not take a VALIDTIME modifier")
+  | _, Smerge m ->
+      Temporal_merge.exec (Engine.catalog e) ~now:(Engine.now e)
+        ~tt_mode:(tt_mode_of e ts) m
   | _ ->
       let jobs =
         match jobs with
@@ -644,11 +653,31 @@ let exec ?strategy ?jobs (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result 
           raise e
     end
   in
+  (* Declared temporal constraints are checked inside the atomic scope,
+     so a violation rolls the whole statement back (and aborts its WAL
+     batch) like any other failure.  The merge engine checks its own
+     writes incrementally; every other writing statement gets the
+     version-snapshot recheck over the tables it touched. *)
+  let checked f =
+    let check =
+      cat.Catalog.options.Catalog.check_constraints
+      && stmt_writes ts.t_stmt
+      && match ts.t_stmt with Smerge _ -> false | _ -> true
+    in
+    if not check then f ()
+    else begin
+      let snap = Temporal_constraints.snapshot cat in
+      let r = f () in
+      Temporal_constraints.check_changed cat snap;
+      r
+    end
+  in
   let attempt ?strategy () =
     Guard.enter g;
     Fun.protect
       ~finally:(fun () -> Guard.leave g)
-      (fun () -> atomic (fun () -> exec_once ?strategy ?jobs e ts))
+      (fun () ->
+        atomic (fun () -> checked (fun () -> exec_once ?strategy ?jobs e ts)))
   in
   match attempt ?strategy () with
   | r -> r

@@ -132,6 +132,34 @@ let tag_ty = function
   | 4 -> Value.Tdate
   | t -> corrupt "unknown type tag %d" t
 
+let w_name_list b names =
+  w_u32 b (List.length names);
+  List.iter (w_str b) names
+
+let r_name_list c =
+  let n = r_u32 c in
+  r_list c n r_str
+
+let w_constraint b = function
+  | Schema.Temporal_pk cols ->
+      w_u8 b 1;
+      w_name_list b cols
+  | Schema.Temporal_fk { fk_cols; ref_table; ref_cols } ->
+      w_u8 b 2;
+      w_name_list b fk_cols;
+      w_str b ref_table;
+      w_name_list b ref_cols
+
+let r_constraint c =
+  match r_u8 c with
+  | 1 -> Schema.Temporal_pk (r_name_list c)
+  | 2 ->
+      let fk_cols = r_name_list c in
+      let ref_table = r_str c in
+      let ref_cols = r_name_list c in
+      Schema.Temporal_fk { fk_cols; ref_table; ref_cols }
+  | t -> corrupt "unknown constraint tag %d" t
+
 (* The schema record is serialised field-for-field (not re-derived via
    Schema.make, which appends timestamp columns): decode must rebuild
    the exact column list the table carried. *)
@@ -144,7 +172,9 @@ let w_schema b (s : Schema.t) =
       w_u8 b (ty_tag col.Schema.col_ty))
     s.Schema.columns;
   w_u8 b (if s.Schema.temporal then 1 else 0);
-  w_u8 b (if s.Schema.transaction then 1 else 0)
+  w_u8 b (if s.Schema.transaction then 1 else 0);
+  w_u32 b (List.length s.Schema.constraints);
+  List.iter (w_constraint b) s.Schema.constraints
 
 let r_schema c =
   let name = r_str c in
@@ -157,7 +187,9 @@ let r_schema c =
   in
   let temporal = r_u8 c <> 0 in
   let transaction = r_u8 c <> 0 in
-  { Schema.name; columns; temporal; transaction }
+  let nconstraints = r_u32 c in
+  let constraints = r_list c nconstraints r_constraint in
+  { Schema.name; columns; temporal; transaction; constraints }
 
 (* ------------------------------------------------------------------ *)
 (* WAL records                                                         *)

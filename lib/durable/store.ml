@@ -4,7 +4,7 @@
 
 open Sqldb
 
-let snap_magic = "TPSMSNP1"
+let snap_magic = "TPSMSNP2"
 let snap_name id = Printf.sprintf "snap-%08d.bin" id
 let wal_name id = Printf.sprintf "wal-%08d.log" id
 

@@ -4,7 +4,7 @@
 
 type sync_policy = Always | Batch of int | Off
 
-let magic = "TPSMWAL1"
+let magic = "TPSMWAL2"
 let header_len = String.length magic
 
 (* Sanity cap on a single record: a frame whose length field exceeds

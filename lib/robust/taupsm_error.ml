@@ -8,6 +8,7 @@ type code =
   | Duplicate_object
   | Unsupported
   | Resource_exhausted of resource
+  | Constraint_violation
   | Injected_fault
   | Durability
   | Internal
@@ -44,6 +45,7 @@ let code_string = function
   | Duplicate_object -> "duplicate_object"
   | Unsupported -> "unsupported"
   | Resource_exhausted r -> "resource." ^ resource_string r
+  | Constraint_violation -> "constraint_violation"
   | Injected_fault -> "injected_fault"
   | Durability -> "durability"
   | Internal -> "internal"

@@ -17,6 +17,10 @@ type code =
   | Duplicate_object  (** name already bound *)
   | Unsupported  (** statement shape outside MAX / PERST coverage *)
   | Resource_exhausted of resource  (** a resource guard fired *)
+  | Constraint_violation
+      (** a temporal integrity constraint (TEMPORAL PRIMARY KEY /
+          TEMPORAL FOREIGN KEY) rejected a statement at commit; the
+          period field carries the offending valid-time interval *)
   | Injected_fault  (** deterministic fault-injection harness fired *)
   | Durability  (** WAL / snapshot corruption, unreadable durable state *)
   | Internal  (** invariant violation inside the engine itself *)

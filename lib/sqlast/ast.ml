@@ -108,6 +108,9 @@ type stmt =
   | Sinsert of string * string list option * insert_src
   | Supdate of string * (string * expr) list * expr option
   | Sdelete of string * expr option
+  | Smerge of merge_stmt
+      (* TEMPORAL MERGE: set-based sequenced write, planned as atomic
+         time segments then executed add-then-modify (docs/merge_semantics.md) *)
   | Screate_table of create_table
   | Sdrop_table of string
   | Screate_view of string * query
@@ -152,6 +155,28 @@ and create_table = {
   ct_transaction : bool;  (* ... WITH TRANSACTIONTIME (system-maintained) *)
   ct_temp : bool;  (* CREATE TEMPORARY TABLE *)
   ct_as : query option;
+  ct_constraints : table_constraint list;
+      (* temporal integrity constraints; only legal on VALIDTIME tables *)
+}
+
+and table_constraint =
+  | Ct_temporal_pk of string list
+      (* TEMPORAL PRIMARY KEY (cols): per key tuple, valid-time periods of
+         current rows must not overlap *)
+  | Ct_temporal_fk of string list * string * string list
+      (* TEMPORAL FOREIGN KEY (cols) REFERENCES t (cols): every referencing
+         row's period must be covered without gaps by referenced rows *)
+
+and merge_mode = Mupsert | Mpatch | Mreplace
+
+and merge_stmt = {
+  m_target : string;
+  m_source : query;
+      (* must produce begin_time/end_time columns alongside the payload *)
+  m_mode : merge_mode;
+  m_keys : string list;  (* [] = the target's declared TEMPORAL PRIMARY KEY *)
+  m_ephemeral : string list;
+      (* columns written through but excluded from change detection *)
 }
 
 and sfor = {

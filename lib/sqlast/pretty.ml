@@ -221,6 +221,10 @@ let pp_returns ppf = function
   | Ret_scalar ty -> F.fprintf ppf "RETURNS %s" (Sqldb.Value.ty_to_string ty)
   | Ret_table cols -> F.fprintf ppf "RETURNS TABLE (@[<hv>%a@])" pp_column_defs cols
 
+let pp_name_list ppf =
+  F.pp_print_list ~pp_sep:(fun ppf () -> F.fprintf ppf ",@ ") F.pp_print_string
+    ppf
+
 let rec pp_stmt ppf (s : stmt) =
   match s with
   | Squery q -> pp_query ppf q
@@ -272,6 +276,25 @@ let rec pp_stmt ppf (s : stmt) =
       | true, false -> F.fprintf ppf "@ WITH VALIDTIME"
       | false, true -> F.fprintf ppf "@ WITH TRANSACTIONTIME"
       | false, false -> ());
+      List.iter
+        (function
+          | Ct_temporal_pk cols ->
+              F.fprintf ppf "@ TEMPORAL PRIMARY KEY (%a)" pp_name_list cols
+          | Ct_temporal_fk (cols, rt, rcols) ->
+              F.fprintf ppf "@ TEMPORAL FOREIGN KEY (%a) REFERENCES %s (%a)"
+                pp_name_list cols rt pp_name_list rcols)
+        ct.ct_constraints;
+      F.fprintf ppf "@]"
+  | Smerge m ->
+      F.fprintf ppf "@[<hv 2>TEMPORAL MERGE INTO %s@ USING (@[<hv>%a@])@ MODE %s"
+        m.m_target pp_query m.m_source
+        (match m.m_mode with
+        | Mupsert -> "UPSERT"
+        | Mpatch -> "PATCH"
+        | Mreplace -> "REPLACE");
+      if m.m_keys <> [] then F.fprintf ppf "@ KEY (%a)" pp_name_list m.m_keys;
+      if m.m_ephemeral <> [] then
+        F.fprintf ppf "@ EPHEMERAL (%a)" pp_name_list m.m_ephemeral;
       F.fprintf ppf "@]"
   | Sdrop_table t -> F.fprintf ppf "DROP TABLE %s" t
   | Screate_view (v, q) ->

@@ -123,6 +123,7 @@ let default_stmt m (s : stmt) : stmt =
   | Sreturn e -> Sreturn (Option.map (m.expr m) e)
   | Sreturn_query q -> Sreturn_query (m.query m q)
   | Sbegin body -> Sbegin (List.map (m.stmt m) body)
+  | Smerge mg -> Smerge { mg with m_source = m.query m mg.m_source }
   | Stemporal (mi, s') -> Stemporal (mi, m.stmt m s')
 
 let default : mapper =

@@ -8,11 +8,28 @@
 
 type column = { col_name : string; col_ty : Value.ty }
 
+(* Temporal integrity constraints, fixed at CREATE TABLE time.  The
+   schema record is shared between a table and its copies/read views
+   (see [Table.copy]), so constraints are deliberately immutable. *)
+type tconstraint =
+  | Temporal_pk of string list
+      (** no two current rows with equal key values may have overlapping
+          valid-time periods *)
+  | Temporal_fk of {
+      fk_cols : string list;
+      ref_table : string;
+      ref_cols : string list;
+    }
+      (** every referencing row's period must be covered, without gaps, by
+          the union of the matching referenced rows' periods *)
+
 type t = {
   name : string;
   columns : column list;
   temporal : bool;  (** true iff the table has valid-time support *)
   transaction : bool;  (** true iff the table has transaction-time support *)
+  constraints : tconstraint list;
+      (** temporal integrity constraints; empty unless [temporal] *)
 }
 
 let begin_time_col = "begin_time"
@@ -22,7 +39,7 @@ let tt_end_col = "tt_end"
 
 let column ~name ~ty = { col_name = name; col_ty = ty }
 
-let make ?(transaction = false) ~name ~columns ~temporal () =
+let make ?(transaction = false) ?(constraints = []) ~name ~columns ~temporal () =
   let columns =
     if temporal then
       columns
@@ -49,7 +66,11 @@ let make ?(transaction = false) ~name ~columns ~temporal () =
         invalid_arg (Printf.sprintf "Schema.make: duplicate column %s in %s" c.col_name name);
       Hashtbl.add seen key ())
     columns;
-  { name; columns; temporal; transaction }
+  if constraints <> [] && not temporal then
+    invalid_arg
+      (Printf.sprintf
+         "Schema.make: temporal constraints on non-VALIDTIME table %s" name);
+  { name; columns; temporal; transaction; constraints }
 
 let arity s = List.length s.columns
 let column_names s = List.map (fun c -> c.col_name) s.columns
@@ -89,6 +110,19 @@ let is_timestamp_col s cname =
 (* The schema without the trailing timestamp columns. *)
 let data_columns s =
   List.filter (fun c -> not (is_timestamp_col s c.col_name)) s.columns
+
+let temporal_pk s =
+  List.find_map
+    (function Temporal_pk cols -> Some cols | Temporal_fk _ -> None)
+    s.constraints
+
+let temporal_fks s =
+  List.filter_map
+    (function
+      | Temporal_fk { fk_cols; ref_table; ref_cols } ->
+          Some (fk_cols, ref_table, ref_cols)
+      | Temporal_pk _ -> None)
+    s.constraints
 
 let pp ppf s =
   Format.fprintf ppf "@[<hv 2>%s(%a)%s@]" s.name

@@ -79,6 +79,12 @@ and options = {
          interpreting a SELECT and runs a ready closure on coverage.
          Part of the plan-cache fingerprint — compiled entries are keyed
          by the same validity token *)
+  mutable check_constraints : bool;
+      (* enforcement of declared temporal integrity constraints
+         (TEMPORAL PRIMARY KEY / FOREIGN KEY) at statement commit; off
+         only for benchmark ablations.  Not part of the plan-cache
+         fingerprint: checking happens after execution and never changes
+         a transformed plan *)
   guards : Guard.t;
       (* resource limits (deadline, row budget, loop cap, recursion
          depth) plus the atomic-execution and PERST→MAX fallback
@@ -97,6 +103,7 @@ let default_options () =
     observe = false;
     jobs = 1;
     compile = true;
+    check_constraints = true;
     guards = Guard.default ();
   }
 

@@ -1674,6 +1674,9 @@ and exec_stmt env (s : stmt) : exec_result =
   | Sinsert (tname, cols, src) -> exec_insert env tname cols src
   | Supdate (tname, sets, where) -> exec_update env tname sets where
   | Sdelete (tname, where) -> exec_delete env tname where
+  | Smerge _ ->
+      sql_error
+        "TEMPORAL MERGE must be executed through the temporal stratum"
   | Screate_table ct -> exec_create_table env ct
   | Sdrop_table name ->
       Database.drop_table env.cat.Catalog.db name;
@@ -2129,6 +2132,53 @@ and exec_create_table env ct : exec_result =
   let schema =
     if temporal_cols_from_query then { schema with Schema.temporal = true }
     else schema
+  in
+  let constraints =
+    List.map
+      (function
+        | Ct_temporal_pk cols -> Schema.Temporal_pk cols
+        | Ct_temporal_fk (cols, rt, rcols) ->
+            Schema.Temporal_fk
+              { fk_cols = cols; ref_table = rt; ref_cols = rcols })
+      ct.ct_constraints
+  in
+  if constraints <> [] && not schema.Schema.temporal then
+    sql_error "temporal constraints require a VALIDTIME table (%s)" ct.ct_name;
+  let check_cols owner cols =
+    if cols = [] then
+      sql_error "empty constraint column list on table %s" ct.ct_name;
+    List.iter
+      (fun c ->
+        if Schema.is_timestamp_col owner c then
+          sql_error "constraint column %s of %s is a timestamp column" c
+            owner.Schema.name;
+        if Schema.column_index owner c = None then
+          sql_error "constraint column %s not in table %s" c owner.Schema.name)
+      cols
+  in
+  List.iter
+    (function
+      | Schema.Temporal_pk cols -> check_cols schema cols
+      | Schema.Temporal_fk { fk_cols; ref_table; ref_cols } -> (
+          check_cols schema fk_cols;
+          if List.length fk_cols <> List.length ref_cols then
+            sql_error
+              "TEMPORAL FOREIGN KEY on %s: column count mismatch with %s"
+              ct.ct_name ref_table;
+          match Database.find_table env.cat.Catalog.db ref_table with
+          | None ->
+              sql_error "TEMPORAL FOREIGN KEY on %s references unknown table %s"
+                ct.ct_name ref_table
+          | Some rt ->
+              let rsch = Table.schema rt in
+              if not rsch.Schema.temporal then
+                sql_error
+                  "TEMPORAL FOREIGN KEY on %s references non-VALIDTIME table %s"
+                  ct.ct_name ref_table;
+              check_cols rsch ref_cols))
+    constraints;
+  let schema =
+    if constraints = [] then schema else { schema with Schema.constraints }
   in
   let table = Table.create schema in
   (match rs with

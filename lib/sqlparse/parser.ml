@@ -593,6 +593,7 @@ and parse_unlabeled_stmt st : stmt =
       | "insert" -> parse_insert st
       | "update" -> parse_update st
       | "delete" -> parse_delete st
+      | "temporal" -> parse_merge st
       | "create" -> parse_create st
       | "drop" ->
           advance st;
@@ -760,6 +761,53 @@ and parse_delete st =
   let where = if accept_kw st "where" then Some (parse_expr st) else None in
   Sdelete (table, where)
 
+and parse_merge st =
+  (* TEMPORAL MERGE INTO t USING (query | table)
+       [MODE UPSERT|PATCH|REPLACE] [KEY (cols)] [EPHEMERAL (cols)] *)
+  expect_kw st "temporal";
+  expect_kw st "merge";
+  expect_kw st "into";
+  let target = expect_ident st in
+  expect_kw st "using";
+  let source =
+    if accept_sym st "(" then begin
+      let q = parse_query_body st in
+      expect_sym st ")";
+      q
+    end
+    else
+      let t = expect_ident st in
+      Select { select_default with from = [ Tref (t, None) ] }
+  in
+  let mode =
+    if accept_kw st "mode" then
+      if accept_kw st "upsert" then Mupsert
+      else if accept_kw st "patch" then Mpatch
+      else begin
+        expect_kw st "replace";
+        Mreplace
+      end
+    else Mupsert
+  in
+  let parenthesized_idents () =
+    expect_sym st "(";
+    let ids = parse_ident_list st in
+    expect_sym st ")";
+    ids
+  in
+  let keys = if accept_kw st "key" then parenthesized_idents () else [] in
+  let ephemeral =
+    if accept_kw st "ephemeral" then parenthesized_idents () else []
+  in
+  Smerge
+    {
+      m_target = target;
+      m_source = source;
+      m_mode = mode;
+      m_keys = keys;
+      m_ephemeral = ephemeral;
+    }
+
 and parse_create st =
   expect_kw st "create";
   let temp = accept_kw st "temporary" || accept_kw st "temp" in
@@ -805,9 +853,37 @@ and parse_create st =
         end
       else (false, false)
     in
+    let constraints =
+      let cs = ref [] in
+      while is_kw st "temporal" do
+        advance st;
+        if accept_kw st "primary" then begin
+          expect_kw st "key";
+          expect_sym st "(";
+          let pk = parse_ident_list st in
+          expect_sym st ")";
+          cs := Ct_temporal_pk pk :: !cs
+        end
+        else begin
+          expect_kw st "foreign";
+          expect_kw st "key";
+          expect_sym st "(";
+          let fk = parse_ident_list st in
+          expect_sym st ")";
+          expect_kw st "references";
+          let rt = expect_ident st in
+          expect_sym st "(";
+          let rcols = parse_ident_list st in
+          expect_sym st ")";
+          cs := Ct_temporal_fk (fk, rt, rcols) :: !cs
+        end
+      done;
+      List.rev !cs
+    in
     Screate_table
       { ct_name = name; ct_cols = cols; ct_temporal = temporal;
-        ct_transaction = transaction; ct_temp = temp; ct_as = as_query }
+        ct_transaction = transaction; ct_temp = temp; ct_as = as_query;
+        ct_constraints = constraints }
   end
   else if accept_kw st "view" then begin
     let name = expect_ident st in

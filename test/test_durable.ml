@@ -73,7 +73,7 @@ let test_pinned_record_bytes () =
   Alcotest.(check int) "frame crc field"
     (Crc32.digest payload)
     (Int32.to_int (String.get_int32_le framed 4) land 0xFFFFFFFF);
-  Alcotest.(check string) "wal magic" "TPSMWAL1" Wal.magic
+  Alcotest.(check string) "wal magic" "TPSMWAL2" Wal.magic
 
 (* ------------------------------------------------------------------ *)
 (* qcheck: codec round-trips                                           *)
@@ -99,23 +99,42 @@ let gen_name =
   QCheck.Gen.(
     string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 12))
 
+let gen_constraint =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun cols -> Schema.Temporal_pk cols)
+          (list_size (int_range 1 3) gen_name);
+        map3
+          (fun fk_cols ref_table ref_cols ->
+            Schema.Temporal_fk { fk_cols; ref_table; ref_cols })
+          (list_size (int_range 1 3) gen_name)
+          gen_name
+          (list_size (int_range 1 3) gen_name);
+      ])
+
 let gen_schema =
   QCheck.Gen.(
     let gen_ty =
       oneofl [ Value.Tint; Value.Tfloat; Value.Tstring; Value.Tbool; Value.Tdate ]
     in
-    map
-      (fun (name, cols, temporal, transaction) ->
+    map2
+      (fun (name, cols, temporal, transaction) constraints ->
         {
           Schema.name;
           columns =
             List.map (fun (n, ty) -> { Schema.col_name = n; col_ty = ty }) cols;
           temporal;
           transaction;
+          (* the engine only attaches constraints to VALIDTIME tables, but
+             the codec must round-trip whatever the record carries *)
+          constraints = (if temporal then constraints else []);
         })
       (quad gen_name
          (list_size (int_range 0 6) (pair gen_name gen_ty))
-         bool bool))
+         bool bool)
+      (list_size (int_range 0 2) gen_constraint))
 
 let gen_event =
   QCheck.Gen.(
@@ -640,6 +659,7 @@ let test_resume_discards_uncommitted_tail () =
       columns = [ { Schema.col_name = "x"; col_ty = Value.Tint } ];
       temporal = false;
       transaction = false;
+      constraints = [];
     }
   in
   let path = Filename.concat dir "wal-00000000.log" in

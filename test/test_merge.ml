@@ -1,0 +1,523 @@
+(* TEMPORAL MERGE and temporal integrity constraints.
+
+   Mode-matrix goldens mirror the worked examples of
+   docs/merge_semantics.md; the qcheck property checks that merging and
+   then reading the table at any instant equals applying the source
+   snapshot-wise; constraint tests assert typed errors and clean
+   rollback (empty db_diff), including under seeded faults. *)
+
+open Sqlast.Ast
+module P = Sqlparse.Parser
+module Pretty = Sqlast.Pretty
+module Engine = Sqleval.Engine
+module Eval = Sqleval.Eval
+module RS = Sqleval.Result_set
+module Value = Sqldb.Value
+module Date = Sqldb.Date
+module Database = Sqldb.Database
+module Table = Sqldb.Table
+module Stratum = Taupsm.Stratum
+module Resilient = Taupsm.Resilient
+module TE = Taupsm_error
+
+let d = Date.of_string_exn
+
+let rows_of rs =
+  List.map (fun r -> List.map Value.to_string (Array.to_list r)) rs.RS.rows
+
+let check_rows name expected actual =
+  Alcotest.(check (list (list string))) name expected actual
+
+let affected name n = function
+  | Eval.Affected m -> Alcotest.(check int) name n m
+  | _ -> Alcotest.failf "%s: expected Affected" name
+
+(* ------------------------------------------------------------------ *)
+(* Grammar: parse / pretty round-trips and structure                   *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip src () =
+  let s1 = P.parse_stmt_string src in
+  let printed = Pretty.stmt_to_string s1 in
+  let s2 =
+    try P.parse_stmt_string printed
+    with P.Parse_error (msg, line) ->
+      Alcotest.failf "re-parse failed (%s, line %d) for:\n%s" msg line printed
+  in
+  if s1 <> s2 then Alcotest.failf "round-trip changed the AST:\n%s" printed
+
+let test_parse_structure () =
+  (match
+     P.parse_stmt_string
+       "TEMPORAL MERGE INTO stock USING (SELECT 1) MODE PATCH KEY (sku) \
+        EPHEMERAL (audit, note)"
+   with
+  | Smerge m ->
+      Alcotest.(check string) "target" "stock" m.m_target;
+      Alcotest.(check bool) "mode" true (m.m_mode = Mpatch);
+      Alcotest.(check (list string)) "keys" [ "sku" ] m.m_keys;
+      Alcotest.(check (list string)) "ephemeral" [ "audit"; "note" ]
+        m.m_ephemeral
+  | _ -> Alcotest.fail "expected Smerge");
+  match
+    P.parse_stmt_string
+      "CREATE TABLE s (k INT, r INT) WITH VALIDTIME TEMPORAL PRIMARY KEY \
+       (k) TEMPORAL FOREIGN KEY (r) REFERENCES parent (k)"
+  with
+  | Screate_table ct ->
+      Alcotest.(check bool)
+        "constraints" true
+        (ct.ct_constraints
+        = [ Ct_temporal_pk [ "k" ]; Ct_temporal_fk ([ "r" ], "parent", [ "k" ]) ])
+  | _ -> Alcotest.fail "expected Screate_table"
+
+(* ------------------------------------------------------------------ *)
+(* Mode matrix goldens (docs/merge_semantics.md)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One target row: qty 10, note 'initial', valid [Jan 2024, forever). *)
+let setup_stock () =
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE stock (sku VARCHAR(10), qty INT, note VARCHAR(20)) WITH \
+     VALIDTIME TEMPORAL PRIMARY KEY (sku);\n\
+     INSERT INTO stock (sku, qty, note, begin_time, end_time) VALUES \
+     ('apple', 10, 'initial', DATE '2024-01-01', DATE '9999-12-31')";
+  e
+
+let stock_rows e =
+  rows_of
+    (Stratum.query e
+       "NONSEQUENCED VALIDTIME SELECT qty, note, begin_time, end_time FROM \
+        stock WHERE sku = 'apple' ORDER BY begin_time")
+
+(* Source row [Mar, Apr): qty 12, note explicitly NULL. *)
+let correction mode =
+  Printf.sprintf
+    "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 12 AS qty, \
+     NULL AS note, DATE '2024-03-01' AS begin_time, DATE '2024-04-01' AS \
+     end_time) MODE %s"
+    mode
+
+let test_mode_upsert () =
+  let e = setup_stock () in
+  ignore (Stratum.exec_sql e (correction "UPSERT"));
+  (* explicit NULL overwrites *)
+  check_rows "upsert golden"
+    [
+      [ "10"; "initial"; "2024-01-01"; "2024-03-01" ];
+      [ "12"; "NULL"; "2024-03-01"; "2024-04-01" ];
+      [ "10"; "initial"; "2024-04-01"; "9999-12-31" ];
+    ]
+    (stock_rows e)
+
+let test_mode_patch () =
+  let e = setup_stock () in
+  ignore (Stratum.exec_sql e (correction "PATCH"));
+  (* explicit NULL means "no change" *)
+  check_rows "patch golden"
+    [
+      [ "10"; "initial"; "2024-01-01"; "2024-03-01" ];
+      [ "12"; "initial"; "2024-03-01"; "2024-04-01" ];
+      [ "10"; "initial"; "2024-04-01"; "9999-12-31" ];
+    ]
+    (stock_rows e)
+
+let test_mode_replace () =
+  let e = setup_stock () in
+  (* note is absent from the source: REPLACE nulls it *)
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 12 AS qty, \
+        DATE '2024-03-01' AS begin_time, DATE '2024-04-01' AS end_time) \
+        MODE REPLACE");
+  check_rows "replace golden"
+    [
+      [ "10"; "initial"; "2024-01-01"; "2024-03-01" ];
+      [ "12"; "NULL"; "2024-03-01"; "2024-04-01" ];
+      [ "10"; "initial"; "2024-04-01"; "9999-12-31" ];
+    ]
+    (stock_rows e)
+
+(* UPSERT with absent column: the target's value survives. *)
+let test_upsert_absent_column () =
+  let e = setup_stock () in
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 12 AS qty, \
+        DATE '2024-03-01' AS begin_time, DATE '2024-04-01' AS end_time) \
+        MODE UPSERT");
+  check_rows "upsert absent-column golden"
+    [
+      [ "10"; "initial"; "2024-01-01"; "2024-03-01" ];
+      [ "12"; "initial"; "2024-03-01"; "2024-04-01" ];
+      [ "10"; "initial"; "2024-04-01"; "9999-12-31" ];
+    ]
+    (stock_rows e)
+
+(* A second identical merge is a no-op; re-patching the original value
+   coalesces the splits back into one row. *)
+let test_idempotence_and_coalescing () =
+  let e = setup_stock () in
+  ignore (Stratum.exec_sql e (correction "PATCH"));
+  affected "identical merge writes nothing" 0
+    (Stratum.exec_sql e (correction "PATCH"));
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 10 AS qty, \
+        DATE '2024-03-01' AS begin_time, DATE '2024-04-01' AS end_time) \
+        MODE PATCH");
+  check_rows "coalesced back to one row"
+    [ [ "10"; "initial"; "2024-01-01"; "9999-12-31" ] ]
+    (stock_rows e)
+
+(* Ephemeral columns: excluded from change detection, so a merge that
+   changes only an ephemeral column writes nothing at all. *)
+let test_ephemeral () =
+  let e = setup_stock () in
+  affected "ephemeral-only change writes nothing" 0
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 'seen' AS \
+        note, DATE '2024-03-01' AS begin_time, DATE '2024-04-01' AS \
+        end_time) MODE UPSERT EPHEMERAL (note)");
+  check_rows "table untouched"
+    [ [ "10"; "initial"; "2024-01-01"; "9999-12-31" ] ]
+    (stock_rows e)
+
+(* Source periods the target does not cover become fresh rows, and
+   target-only periods always survive (every mode). *)
+let test_fill_gap () =
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE stock (sku VARCHAR(10), qty INT, note VARCHAR(20)) WITH \
+     VALIDTIME TEMPORAL PRIMARY KEY (sku);\n\
+     INSERT INTO stock (sku, qty, note, begin_time, end_time) VALUES \
+     ('apple', 10, 'initial', DATE '2024-01-01', DATE '2024-03-01')";
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 7 AS qty, \
+        DATE '2024-05-01' AS begin_time, DATE '2024-06-01' AS end_time) \
+        MODE REPLACE");
+  check_rows "gap filled, existing row untouched"
+    [
+      [ "10"; "initial"; "2024-01-01"; "2024-03-01" ];
+      [ "7"; "NULL"; "2024-05-01"; "2024-06-01" ];
+    ]
+    (stock_rows e)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic errors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expect_sql_error name e sql =
+  match Stratum.exec_sql e sql with
+  | _ -> Alcotest.failf "%s: expected Sql_error" name
+  | exception Eval.Sql_error _ -> ()
+
+let test_merge_errors () =
+  let e = setup_stock () in
+  Engine.exec_script e "CREATE TABLE plain (k INT, v INT)";
+  expect_sql_error "non-temporal target" e
+    "TEMPORAL MERGE INTO plain USING (SELECT 1 AS k, DATE '2024-01-01' AS \
+     begin_time, DATE '2024-02-01' AS end_time) MODE UPSERT";
+  expect_sql_error "missing period columns" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 1 AS qty) \
+     MODE UPSERT";
+  expect_sql_error "missing key column" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 1 AS qty, DATE '2024-01-01' \
+     AS begin_time, DATE '2024-02-01' AS end_time) MODE UPSERT";
+  expect_sql_error "unknown source column" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 1 AS wat, \
+     DATE '2024-01-01' AS begin_time, DATE '2024-02-01' AS end_time) MODE \
+     UPSERT";
+  expect_sql_error "NULL key" e
+    "TEMPORAL MERGE INTO stock USING (SELECT NULL AS sku, 1 AS qty, DATE \
+     '2024-01-01' AS begin_time, DATE '2024-02-01' AS end_time) MODE UPSERT";
+  expect_sql_error "empty period" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 1 AS qty, \
+     DATE '2024-02-01' AS begin_time, DATE '2024-02-01' AS end_time) MODE \
+     UPSERT";
+  expect_sql_error "VALIDTIME modifier rejected" e
+    "VALIDTIME TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 1 \
+     AS qty, DATE '2024-01-01' AS begin_time, DATE '2024-02-01' AS \
+     end_time) MODE UPSERT"
+
+(* ------------------------------------------------------------------ *)
+(* Constraints: typed errors, atomic rollback                          *)
+(* ------------------------------------------------------------------ *)
+
+let setup_constrained () =
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE product (sku VARCHAR(10), name VARCHAR(30)) WITH \
+     VALIDTIME TEMPORAL PRIMARY KEY (sku);\n\
+     INSERT INTO product (sku, name, begin_time, end_time) VALUES ('apple', \
+     'Apple', DATE '2024-01-01', DATE '9999-12-31'), ('pear', 'Pear', DATE \
+     '2024-01-01', DATE '2024-07-01');\n\
+     CREATE TABLE stock (sku VARCHAR(10), qty INT) WITH VALIDTIME TEMPORAL \
+     PRIMARY KEY (sku) TEMPORAL FOREIGN KEY (sku) REFERENCES product (sku);\n\
+     INSERT INTO stock (sku, qty, begin_time, end_time) VALUES ('pear', 5, \
+     DATE '2024-02-01', DATE '2024-07-01')";
+  e
+
+let expect_violation name e sql =
+  let pre = Database.copy (Engine.database e) in
+  (match Stratum.exec_sql e sql with
+  | _ -> Alcotest.failf "%s: violation not detected" name
+  | exception TE.Error { code = TE.Constraint_violation; _ } -> ()
+  | exception exn ->
+      Alcotest.failf "%s: expected Constraint_violation, got %s" name
+        (Printexc.to_string exn));
+  match Resilient.db_diff pre (Engine.database e) with
+  | None -> ()
+  | Some diff -> Alcotest.failf "%s: rollback not clean: %s" name diff
+
+let test_pk_violations () =
+  let e = setup_constrained () in
+  expect_violation "INSERT overlap" e
+    "INSERT INTO product (sku, name, begin_time, end_time) VALUES ('apple', \
+     'Apple II', DATE '2024-03-01', DATE '2024-05-01')";
+  expect_violation "sequenced UPDATE key collision" e
+    "VALIDTIME [DATE '2024-03-01', DATE '2024-04-01') UPDATE product SET \
+     sku = 'apple' WHERE sku = 'pear'";
+  (* adjacent periods do not overlap: [_, Mar) + [Mar, _) is fine *)
+  ignore
+    (Stratum.exec_sql e
+       "INSERT INTO product (sku, name, begin_time, end_time) VALUES \
+        ('plum', 'Plum A', DATE '2024-01-01', DATE '2024-03-01'), ('plum', \
+        'Plum B', DATE '2024-03-01', DATE '2024-05-01')")
+
+let test_fk_violations () =
+  let e = setup_constrained () in
+  expect_violation "merge beyond referenced validity" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 'pear' AS sku, 9 AS qty, DATE \
+     '2024-06-01' AS begin_time, DATE '2024-09-01' AS end_time) MODE UPSERT";
+  expect_violation "merge with unknown key" e
+    "TEMPORAL MERGE INTO stock USING (SELECT 'kiwi' AS sku, 1 AS qty, DATE \
+     '2024-02-01' AS begin_time, DATE '2024-03-01' AS end_time) MODE UPSERT";
+  expect_violation "shrinking the referenced table opens a gap" e
+    "VALIDTIME [DATE '2024-03-01', DATE '2024-04-01') DELETE FROM product \
+     WHERE sku = 'pear'";
+  (* coverage across two adjacent product rows has no gap *)
+  ignore
+    (Stratum.exec_sql e
+       "INSERT INTO product (sku, name, begin_time, end_time) VALUES \
+        ('pear', 'Pear v2', DATE '2024-07-01', DATE '9999-12-31')");
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO stock USING (SELECT 'pear' AS sku, 9 AS qty, \
+        DATE '2024-06-01' AS begin_time, DATE '2024-09-01' AS end_time) \
+        MODE UPSERT")
+
+let test_create_table_constraint_errors () =
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  expect_sql_error "constraints need VALIDTIME" e
+    "CREATE TABLE t (k INT) TEMPORAL PRIMARY KEY (k)";
+  expect_sql_error "unknown PK column" e
+    "CREATE TABLE t (k INT) WITH VALIDTIME TEMPORAL PRIMARY KEY (zzz)";
+  expect_sql_error "timestamp PK column" e
+    "CREATE TABLE t (k INT) WITH VALIDTIME TEMPORAL PRIMARY KEY (begin_time)";
+  expect_sql_error "unknown referenced table" e
+    "CREATE TABLE t (k INT) WITH VALIDTIME TEMPORAL FOREIGN KEY (k) \
+     REFERENCES nope (k)";
+  expect_sql_error "FK arity mismatch" e
+    (let _ =
+       Stratum.exec_sql e
+         "CREATE TABLE parent (a INT, b INT) WITH VALIDTIME"
+     in
+     "CREATE TABLE t (k INT) WITH VALIDTIME TEMPORAL FOREIGN KEY (k) \
+      REFERENCES parent (a, b)")
+
+(* Constraints checked across a transaction-time history: closed rows
+   are exempt, current ones are not. *)
+let test_constraints_bitemporal () =
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  Engine.exec_script e
+    "CREATE TABLE product (sku VARCHAR(10), name VARCHAR(30)) WITH \
+     VALIDTIME AND TRANSACTIONTIME TEMPORAL PRIMARY KEY (sku);\n\
+     INSERT INTO product (sku, name, begin_time, end_time) VALUES ('apple', \
+     'Apple', DATE '2024-01-01', DATE '9999-12-31')";
+  (* a sequenced delete closes part of the history (tt-closed versions
+     stay behind), after which re-inserting that window is legal *)
+  ignore
+    (Stratum.exec_sql e
+       "VALIDTIME [DATE '2024-02-01', DATE '2024-03-01') DELETE FROM \
+        product WHERE sku = 'apple'");
+  ignore
+    (Stratum.exec_sql e
+       "TEMPORAL MERGE INTO product USING (SELECT 'apple' AS sku, 'Apple \
+        Feb' AS name, DATE '2024-02-01' AS begin_time, DATE '2024-03-01' \
+        AS end_time) MODE UPSERT");
+  expect_violation "current overlap still caught" e
+    "INSERT INTO product (sku, name, begin_time, end_time) VALUES ('apple', \
+     'dup', DATE '2024-02-15', DATE '2024-02-20')"
+
+(* ------------------------------------------------------------------ *)
+(* Seeded faults: merge must roll back atomically                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_merge_atomic_under_fault seed =
+  let e = setup_constrained () in
+  let pre = Database.copy (Engine.database e) in
+  Fault.arm_seeded ~seed;
+  let outcome =
+    try
+      Ok
+        (Stratum.exec_sql e
+           "TEMPORAL MERGE INTO stock USING (SELECT 'apple' AS sku, 3 AS \
+            qty, DATE '2024-01-01' AS begin_time, DATE '2024-05-01' AS \
+            end_time) MODE UPSERT")
+    with exn -> Error exn
+  in
+  Fault.disarm ();
+  match outcome with
+  | Ok _ -> true
+  | Error _ -> (
+      match Resilient.db_diff pre (Engine.database e) with
+      | None -> true
+      | Some diff -> QCheck.Test.fail_reportf "seed=%d: %s" seed diff)
+
+(* ------------------------------------------------------------------ *)
+(* Property: merge REPLACE = snapshot-wise application of the source   *)
+(* ------------------------------------------------------------------ *)
+
+(* Entities live on a month grid: each (key, month) cell is either
+   absent or holds a qty.  REPLACE-merging a source built from such
+   cells must yield, at every month, the source cell when present and
+   the target cell otherwise. *)
+let month_date m = Printf.sprintf "%04d-%02d-01" (2024 + (m / 12)) ((m mod 12) + 1)
+
+let gen_cells =
+  QCheck.Gen.(
+    list_size (int_range 0 10)
+      (triple (oneofl [ "a"; "b" ]) (int_range 0 5) (int_range 0 99)))
+
+let arb_merge_case =
+  QCheck.make
+    QCheck.Gen.(pair gen_cells gen_cells)
+    ~print:(fun (tgt, src) ->
+      let p cells =
+        String.concat ";"
+          (List.map (fun (k, m, q) -> Printf.sprintf "%s/%d=%d" k m q) cells)
+      in
+      Printf.sprintf "target[%s] source[%s]" (p tgt) (p src))
+
+(* last write wins per (key, month) within one cell list *)
+let dedup cells =
+  List.fold_left
+    (fun acc (k, m, q) ->
+      (k, m, q) :: List.filter (fun (k', m', _) -> (k', m') <> (k, m)) acc)
+    [] cells
+
+let prop_replace_snapshotwise (tgt_cells, src_cells) =
+  let tgt_cells = dedup tgt_cells and src_cells = dedup src_cells in
+  let e = Engine.create ~now:(d "2024-06-01") () in
+  Stratum.install e;
+  ignore
+    (Stratum.exec_sql e
+       "CREATE TABLE grid (k VARCHAR(5), qty INT) WITH VALIDTIME TEMPORAL \
+        PRIMARY KEY (k)");
+  ignore
+    (Stratum.exec_sql e
+       "CREATE TABLE feed (k VARCHAR(5), qty INT, begin_time DATE, \
+        end_time DATE)");
+  let insert table (k, m, q) =
+    ignore
+      (Stratum.exec_sql e
+         (Printf.sprintf
+            "INSERT INTO %s (k, qty, begin_time, end_time) VALUES ('%s', \
+             %d, DATE '%s', DATE '%s')"
+            table k q (month_date m)
+            (month_date (m + 1))))
+  in
+  List.iter (insert "grid") tgt_cells;
+  List.iter (insert "feed") src_cells;
+  ignore (Stratum.exec_sql e "TEMPORAL MERGE INTO grid USING feed MODE REPLACE");
+  let expected k m =
+    match List.find_opt (fun (k', m', _) -> k' = k && m' = m) src_cells with
+    | Some (_, _, q) -> Some q
+    | None -> (
+        match
+          List.find_opt (fun (k', m', _) -> k' = k && m' = m) tgt_cells
+        with
+        | Some (_, _, q) -> Some q
+        | None -> None)
+  in
+  List.for_all
+    (fun k ->
+      List.for_all
+        (fun m ->
+          let rs =
+            Stratum.query e
+              (Printf.sprintf
+                 "NONSEQUENCED VALIDTIME SELECT qty FROM grid WHERE k = \
+                  '%s' AND begin_time <= DATE '%s' AND DATE '%s' < end_time"
+                 k (month_date m) (month_date m))
+          in
+          let got =
+            match rs.RS.rows with
+            | [] -> None
+            | [ [| Value.Int q |] ] -> Some q
+            | _ -> QCheck.Test.fail_reportf "%s month %d: multiple rows" k m
+          in
+          if got <> expected k m then
+            QCheck.Test.fail_reportf "%s month %d: got %s, expected %s" k m
+              (match got with Some q -> string_of_int q | None -> "none")
+              (match expected k m with
+              | Some q -> string_of_int q
+              | None -> "none")
+          else true)
+        [ 0; 1; 2; 3; 4; 5 ])
+    [ "a"; "b" ]
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:60 ~name:"REPLACE merge = snapshot-wise source"
+        arb_merge_case prop_replace_snapshotwise;
+      QCheck.Test.make ~count:40 ~name:"seeded fault => merge rolls back"
+        QCheck.(int_range 0 9999)
+        prop_merge_atomic_under_fault;
+    ]
+
+let suite =
+  [
+    ( "merge",
+      [
+        Alcotest.test_case "roundtrip: merge minimal" `Quick
+          (roundtrip "TEMPORAL MERGE INTO t USING (SELECT 1 AS k)");
+        Alcotest.test_case "roundtrip: merge full" `Quick
+          (roundtrip
+             "TEMPORAL MERGE INTO t USING (SELECT k, q, begin_time, \
+              end_time FROM s WHERE q > 1) MODE REPLACE KEY (k) EPHEMERAL \
+              (note)");
+        Alcotest.test_case "roundtrip: constrained create" `Quick
+          (roundtrip
+             "CREATE TABLE s (k INT, r INT) WITH VALIDTIME AND \
+              TRANSACTIONTIME TEMPORAL PRIMARY KEY (k) TEMPORAL FOREIGN \
+              KEY (r) REFERENCES parent (k)");
+        Alcotest.test_case "parse structure" `Quick test_parse_structure;
+        Alcotest.test_case "mode matrix: upsert" `Quick test_mode_upsert;
+        Alcotest.test_case "mode matrix: patch" `Quick test_mode_patch;
+        Alcotest.test_case "mode matrix: replace" `Quick test_mode_replace;
+        Alcotest.test_case "mode matrix: upsert absent column" `Quick
+          test_upsert_absent_column;
+        Alcotest.test_case "idempotence and coalescing" `Quick
+          test_idempotence_and_coalescing;
+        Alcotest.test_case "ephemeral columns" `Quick test_ephemeral;
+        Alcotest.test_case "gap fill" `Quick test_fill_gap;
+        Alcotest.test_case "semantic errors" `Quick test_merge_errors;
+        Alcotest.test_case "temporal PK violations" `Quick test_pk_violations;
+        Alcotest.test_case "temporal FK violations" `Quick test_fk_violations;
+        Alcotest.test_case "constraint DDL errors" `Quick
+          test_create_table_constraint_errors;
+        Alcotest.test_case "constraints on bitemporal tables" `Quick
+          test_constraints_bitemporal;
+      ]
+      @ qcheck_tests );
+  ]
