@@ -494,6 +494,7 @@ let bench_schema_check ~file = function
       need "geomean" (function
         | Jfloat f -> Float.is_finite f && f > 0.0
         | _ -> false);
+      need "host_cores" (function Jint n -> n >= 1 | _ -> false);
       need "queries" (function
         | Jlist (_ :: _ as qs) ->
             List.for_all
@@ -521,6 +522,12 @@ let git_commit () =
   | None | (exception _) -> "unknown"
 
 let write_bench ~pr ~target ~geomean ~extra ~queries file =
+  (* every record carries the host's core count — scaling figures are
+     meaningless without it; writers may place it themselves *)
+  let extra =
+    if List.mem_assoc "host_cores" extra then extra
+    else ("host_cores", Jint (Domain.recommended_domain_count ())) :: extra
+  in
   let doc =
     Jobj
       ([
@@ -1733,6 +1740,469 @@ let merge_bench () =
          points)
     "BENCH_pr7.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR 8: multi-session serving                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput and latency of the serving layer over real sockets:
+   first an equivalence preflight (the same statement stream through a
+   server session and through a direct engine must agree, result for
+   result), then a sessions × reads throughput matrix against MVCC
+   snapshots, then a concurrent-writer phase that must group-commit
+   (fsyncs per commit strictly < 1.0, the headline durability
+   amortization).  Writes BENCH_pr8.json; exits nonzero when the
+   preflight or the fsync gate fails. *)
+let serve_bench () =
+  let title = "Serving — MVCC snapshot reads, group commit (PR 8)" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let dir = Filename.temp_dir "taupsm_serve_bench" "" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Sqleval.Persist.attach ~policy:Durable.Wal.Off ~dir e in
+  (* seed data, loaded before the server goes live *)
+  ignore
+    (Stratum.exec_sql e "CREATE TABLE kv (id INTEGER, grp INTEGER, v INTEGER)");
+  let n_rows = 2000 in
+  let chunk = 200 in
+  for c = 0 to (n_rows / chunk) - 1 do
+    let rows =
+      List.init chunk (fun i ->
+          let id = (c * chunk) + i in
+          Printf.sprintf "(%d, %d, %d)" id (id mod 16) (id * 7 mod 1000))
+    in
+    ignore
+      (Stratum.exec_sql e
+         ("INSERT INTO kv VALUES " ^ String.concat ", " rows))
+  done;
+  let cores = Domain.recommended_domain_count () in
+  (* one worker per benched session: the matrix must measure snapshot
+     contention, not admission queueing *)
+  let workers = 8 in
+  let cfg =
+    {
+      Serve.Server.host = "127.0.0.1";
+      port = 0;
+      workers;
+      queue_depth = 64;
+      idle_timeout = 60.;
+      drain_deadline = 30.;
+      stmt_deadline = Some 60.;
+      max_rows = None;
+      lane = Serve.Commit_lane.default_config;
+    }
+  in
+  let srv = Serve.Server.create ~cfg ~engine:e ~persist:h () in
+  let handle = Serve.Server.run_async srv in
+  let port = Serve.Server.port srv in
+  Printf.printf "server on 127.0.0.1:%d — %d workers (host has %d cores)\n%!"
+    port workers cores;
+
+  (* --- equivalence preflight: server session vs direct engine ------ *)
+  let preflight =
+    [
+      "CREATE TABLE pf (id INTEGER, v INTEGER)";
+      "INSERT INTO pf VALUES (1, 10), (2, 20), (3, 30), (4, 40)";
+      "UPDATE pf SET v = v + 5 WHERE id <= 2";
+      "SELECT id, v FROM pf";
+      "DELETE FROM pf WHERE id = 4";
+      "SELECT COUNT(*) AS n, SUM(v) AS s FROM pf";
+      "SELECT grp, COUNT(*) AS n FROM kv GROUP BY grp";
+    ]
+  in
+  let direct = Engine.create () in
+  Stratum.install direct;
+  ignore
+    (Stratum.exec_sql direct
+       "CREATE TABLE kv (id INTEGER, grp INTEGER, v INTEGER)");
+  for c = 0 to (n_rows / chunk) - 1 do
+    let rows =
+      List.init chunk (fun i ->
+          let id = (c * chunk) + i in
+          Printf.sprintf "(%d, %d, %d)" id (id mod 16) (id * 7 mod 1000))
+    in
+    ignore
+      (Stratum.exec_sql direct
+         ("INSERT INTO kv VALUES " ^ String.concat ", " rows))
+  done;
+  let c = Serve.Client.connect ~port () in
+  List.iter
+    (fun sql ->
+      let resp = Serve.Client.stmt c sql in
+      if not (Serve.Client.ok resp) then begin
+        Printf.printf "SERVE PREFLIGHT FAILED: %s -> %s\n%!" sql
+          (Serve.Json.to_string resp);
+        exit 3
+      end;
+      let served = Serve.Client.row_bag resp in
+      let expect =
+        match Stratum.exec_sql direct sql with
+        | Eval.Rows rs ->
+            Some
+              (List.sort compare
+                 (List.map
+                    (fun row ->
+                      Serve.Json.to_string
+                        (Serve.Json.List
+                           (Array.to_list
+                              (Array.map Serve.Wire.json_of_value row))))
+                    rs.Sqleval.Result_set.rows))
+        | _ -> None
+      in
+      if served <> expect then begin
+        Printf.printf "SERVE PREFLIGHT MISMATCH on %s\n%!" sql;
+        exit 3
+      end)
+    preflight;
+  Printf.printf "preflight: %d statements agree with the direct engine\n%!"
+    (List.length preflight);
+
+  (* --- read throughput matrix -------------------------------------- *)
+  let read_sql = "SELECT grp, COUNT(*) AS n, SUM(v) AS s FROM kv GROUP BY grp" in
+  let reads_per_session = 300 in
+  let read_point n_sessions =
+    let histos = Array.init n_sessions (fun _ -> Histo.create ()) in
+    let errors = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init n_sessions (fun s ->
+          Thread.create
+            (fun () ->
+              let c = Serve.Client.connect ~port () in
+              for _ = 1 to reads_per_session do
+                let q0 = Unix.gettimeofday () in
+                let resp = Serve.Client.stmt c read_sql in
+                if Serve.Client.ok resp then
+                  Histo.add histos.(s) (Unix.gettimeofday () -. q0)
+                else ignore (Atomic.fetch_and_add errors 1)
+              done;
+              Serve.Client.close c)
+            ())
+    in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    if Atomic.get errors > 0 then begin
+      Printf.printf "SERVE BENCH: %d read errors at %d sessions\n%!"
+        (Atomic.get errors) n_sessions;
+      exit 3
+    end;
+    let all = Histo.create () in
+    Array.iter (fun hi -> Histo.merge ~into:all hi) histos;
+    (float_of_int (n_sessions * reads_per_session) /. dt, all)
+  in
+  let session_counts = [ 1; 2; 4; 8 ] in
+  let read_points =
+    List.map
+      (fun n ->
+        let tput, histo = read_point n in
+        Printf.printf
+          "reads @ %d session(s): %8.0f stmt/s   p50 %6.2f ms   p99 %6.2f ms\n%!"
+          n tput
+          (1000. *. Histo.p50 histo)
+          (1000. *. Histo.p99 histo);
+        (n, tput, histo))
+      session_counts
+  in
+  let base_tput =
+    match read_points with (_, t, _) :: _ -> t | [] -> assert false
+  in
+
+  (* --- concurrent write phase: group commit ------------------------ *)
+  let stats_of () =
+    let resp = Serve.Client.stats c in
+    match Serve.Json.member "stats" resp with
+    | Some s -> (
+        match Serve.Json.member "lane" s with
+        | Some lane ->
+            ( Option.value ~default:0 (Serve.Json.member_int lane "fsyncs"),
+              Option.value ~default:0 (Serve.Json.member_int lane "committed") )
+        | None -> (0, 0))
+    | None -> (0, 0)
+  in
+  let f0, c0 = stats_of () in
+  let n_writers = 4 in
+  let writes_per_writer = 80 in
+  let whisto = Array.init n_writers (fun _ -> Histo.create ()) in
+  let werrors = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let writers =
+    List.init n_writers (fun w ->
+        Thread.create
+          (fun () ->
+            let c = Serve.Client.connect ~port () in
+            for i = 1 to writes_per_writer do
+              let id = (w * writes_per_writer) + i in
+              let q0 = Unix.gettimeofday () in
+              let resp =
+                Serve.Client.stmt c
+                  (Printf.sprintf "UPDATE kv SET v = v + 1 WHERE id = %d" id)
+              in
+              if Serve.Client.ok resp then
+                Histo.add whisto.(w) (Unix.gettimeofday () -. q0)
+              else ignore (Atomic.fetch_and_add werrors 1)
+            done;
+            Serve.Client.close c)
+          ())
+  in
+  List.iter Thread.join writers;
+  let wdt = Unix.gettimeofday () -. t0 in
+  if Atomic.get werrors > 0 then begin
+    Printf.printf "SERVE BENCH: %d write errors\n%!" (Atomic.get werrors);
+    exit 3
+  end;
+  let f1, c1 = stats_of () in
+  let wall = Histo.create () in
+  Array.iter (fun hi -> Histo.merge ~into:wall hi) whisto;
+  let commits = c1 - c0 in
+  let fsyncs = f1 - f0 in
+  let fsyncs_per_commit =
+    if commits = 0 then 1.0 else float_of_int fsyncs /. float_of_int commits
+  in
+  let wtput = float_of_int (n_writers * writes_per_writer) /. wdt in
+  Printf.printf
+    "writes @ %d writer(s): %8.0f stmt/s   p50 %6.2f ms   p99 %6.2f ms   \
+     %d commits / %d fsyncs = %.3f fsyncs/commit\n%!"
+    n_writers wtput
+    (1000. *. Histo.p50 wall)
+    (1000. *. Histo.p99 wall)
+    commits fsyncs fsyncs_per_commit;
+
+  Serve.Client.close c;
+  Serve.Server.request_drain srv;
+  let code = Serve.Server.wait handle in
+  Printf.printf "drain: server exited %d\n%!" code;
+  rm_rf dir;
+
+  (* headline: geomean of read-throughput scaling ratios vs 1 session *)
+  let ratios =
+    List.filter_map
+      (fun (n, t, _) -> if n = 1 then None else Some (t /. base_tput))
+      read_points
+  in
+  let geomean =
+    exp (List.fold_left (fun a r -> a +. log r) 0. ratios
+         /. float_of_int (List.length ratios))
+  in
+  write_bench ~pr:8 ~target:"serve" ~geomean
+    ~extra:
+      [
+        ("workers", Jint workers);
+        ("fsyncs_per_commit", Jfloat fsyncs_per_commit);
+        ("write_commits", Jint commits);
+        ("write_fsyncs", Jint fsyncs);
+      ]
+    ~queries:
+      (List.map
+         (fun (n, tput, histo) ->
+           Jobj
+             [
+               ("query", Jstr (Printf.sprintf "reads-%ds" n));
+               ("sessions", Jint n);
+               ("stmts_per_s", Jfloat tput);
+               ("p50_ms", Jfloat (1000. *. Histo.p50 histo));
+               ("p99_ms", Jfloat (1000. *. Histo.p99 histo));
+             ])
+         read_points
+      @ [
+          Jobj
+            [
+              ("query", Jstr (Printf.sprintf "writes-%dw" n_writers));
+              ("sessions", Jint n_writers);
+              ("stmts_per_s", Jfloat wtput);
+              ("p50_ms", Jfloat (1000. *. Histo.p50 wall));
+              ("p99_ms", Jfloat (1000. *. Histo.p99 wall));
+              ("fsyncs_per_commit", Jfloat fsyncs_per_commit);
+            ];
+        ])
+    "BENCH_pr8.json";
+  if code <> 0 then begin
+    Printf.printf "SERVE DRAIN GATE FAILED: exit %d\n%!" code;
+    exit 4
+  end;
+  if fsyncs_per_commit >= 1.0 then begin
+    Printf.printf "GROUP COMMIT GATE FAILED: %.3f fsyncs/commit >= 1.0\n%!"
+      fsyncs_per_commit;
+    exit 4
+  end
+
+(* Crash-point fuzzing of group commit under concurrent sessions: N
+   submitter threads race disjoint statement streams into the commit
+   lane over a durable store whose every write is under a seeded byte
+   budget.  The lane records its actual execution order; recovery from
+   the torn directory must reproduce the replay of exactly the first
+   [last_serial] statements of that order, and every statement that was
+   ACKED before the crash must be inside that recovered prefix (an ack
+   strictly follows the batch fsync, so a lost acked commit is a
+   durability lie).  >= 300 crash points; exits nonzero on violation. *)
+let serve_fuzz () =
+  let title = "Serve fuzz — crash points under concurrent group commit" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let sessions = 4 in
+  let stmts_of s =
+    [
+      Printf.sprintf "CREATE TABLE fzs_%d (id INTEGER, v INTEGER)" s;
+      Printf.sprintf "INSERT INTO fzs_%d VALUES (1, 10), (2, 20), (3, 30)" s;
+      Printf.sprintf "UPDATE fzs_%d SET v = v + 1 WHERE id = 2" s;
+      Printf.sprintf
+        "CREATE TABLE fzt_%d (sku VARCHAR(8), qty INT) WITH VALIDTIME \
+         TEMPORAL PRIMARY KEY (sku)"
+        s;
+      Printf.sprintf
+        "TEMPORAL MERGE INTO fzt_%d USING (SELECT 'a' AS sku, 5 AS qty, DATE \
+         '2010-01-01' AS begin_time, DATE '2010-06-01' AS end_time) MODE \
+         UPSERT"
+        s;
+      Printf.sprintf "DELETE FROM fzs_%d WHERE id = 3" s;
+    ]
+  in
+  let policy = Durable.Wal.Off and snapshot_every = 8 in
+  let lane_cfg =
+    { Serve.Commit_lane.default_config with batch_window = 0.0 }
+  in
+  (* One trial: run the concurrent workload against [dir] under the
+     armed crash budget; returns (execution order, acked list, store
+     survived attach).  All mutation stays on the lane domain. *)
+  let run_trial dir =
+    let e = Engine.create () in
+    Stratum.install e;
+    let order = ref [] and omu = Mutex.create () in
+    let acked = ref [] and amu = Mutex.create () in
+    match Sqleval.Persist.attach ~policy ~snapshot_every ~dir e with
+    | exception Fault.Crash _ -> None
+    | h ->
+        let lane =
+          Serve.Commit_lane.create ~cfg:lane_cfg
+            ~on_exec:(fun sql ->
+              Mutex.lock omu;
+              order := sql :: !order;
+              Mutex.unlock omu)
+            ~exec:(fun req -> Stratum.exec_sql e req.Serve.Commit_lane.sql)
+            ~sync_wal:(fun () -> Sqleval.Persist.sync h)
+            ~publish:(fun () -> ())
+            ()
+        in
+        let threads =
+          List.init sessions (fun s ->
+              Thread.create
+                (fun () ->
+                  List.iter
+                    (fun sql ->
+                      match
+                        Serve.Commit_lane.submit lane ~session:s sql
+                      with
+                      | Error _ -> ()
+                      | Ok req -> (
+                          match Serve.Commit_lane.await lane req with
+                          | Serve.Commit_lane.Done _ ->
+                              Mutex.lock amu;
+                              acked := sql :: !acked;
+                              Mutex.unlock amu
+                          | Serve.Commit_lane.Failed _ -> ()))
+                    (stmts_of s))
+                ())
+        in
+        List.iter Thread.join threads;
+        Serve.Commit_lane.drain lane;
+        if not (Durable.Store.is_dead (Sqleval.Persist.store h)) then
+          Sqleval.Persist.detach h;
+        Some (List.rev !order, !acked)
+  in
+  (* total durable bytes via a budget that never fires *)
+  let total =
+    let big = 1 lsl 30 in
+    Fault.arm_crash ~at_bytes:big;
+    let dir = Filename.temp_dir "taupsm_serve_fuzz_measure" "" in
+    ignore (run_trial dir);
+    rm_rf dir;
+    let remaining = match Fault.crash_armed () with Some r -> r | None -> 0 in
+    Fault.disarm_crash ();
+    big - remaining
+  in
+  let n_points = 300 in
+  Printf.printf "%d sessions x %d statements, %d durable bytes, %d crash \
+                 points\n%!"
+    sessions
+    (List.length (stmts_of 0))
+    total n_points;
+  let rng = Random.State.make [| 0x5e2; sessions |] in
+  let violations = ref 0 and trials = ref 0 and vacuous = ref 0 in
+  for _ = 1 to n_points do
+    incr trials;
+    let at_bytes = Random.State.int rng total in
+    let dir = Filename.temp_dir "taupsm_serve_fuzz" "" in
+    Fault.arm_crash ~at_bytes;
+    let outcome = run_trial dir in
+    Fault.disarm_crash ();
+    (match outcome with
+    | None ->
+        if Durable.Store.exists dir then begin
+          (* attach crashed mid-snapshot: recovery must still work *)
+          match Sqleval.Persist.recover ~dir () with
+          | _ -> ()
+          | exception exn ->
+              incr violations;
+              Printf.printf "VIOLATION crash@%d: attach-leg recovery raised \
+                             %s\n%!"
+                at_bytes (Printexc.to_string exn)
+        end
+        else incr vacuous
+    | Some (order, acked) -> (
+        match Sqleval.Persist.recover ~dir () with
+        | exception exn ->
+            incr violations;
+            Printf.printf "VIOLATION crash@%d: recovery raised %s\n%!" at_bytes
+              (Printexc.to_string exn)
+        | e', report ->
+            let s = report.Durable.Store.last_serial in
+            if s > List.length order then begin
+              incr violations;
+              Printf.printf
+                "VIOLATION crash@%d: serial %d exceeds %d executed\n%!"
+                at_bytes s (List.length order)
+            end
+            else begin
+              (* recovered state must equal the replay of exactly the
+                 first [s] statements in lane execution order *)
+              let replay = Engine.create () in
+              Stratum.install replay;
+              List.iteri
+                (fun i sql ->
+                  if i < s then ignore (Stratum.exec_sql replay sql))
+                order;
+              (match
+                 Taupsm.Resilient.db_diff
+                   (Engine.database replay)
+                   (Engine.database e')
+               with
+              | None -> ()
+              | Some diff ->
+                  incr violations;
+                  Printf.printf "VIOLATION crash@%d serial=%d: %s\n%!" at_bytes
+                    s diff);
+              (* every acked statement is inside the recovered prefix *)
+              List.iter
+                (fun sql ->
+                  let idx = ref (-1) in
+                  List.iteri (fun i o -> if o = sql then idx := i) order;
+                  if !idx < 0 || !idx >= s then begin
+                    incr violations;
+                    Printf.printf
+                      "VIOLATION crash@%d: ACKED commit lost (index %d, \
+                       recovered prefix %d): %s\n%!"
+                      at_bytes !idx s sql
+                  end)
+                acked
+            end));
+    rm_rf dir;
+    if !trials mod 50 = 0 then
+      Printf.printf "  %d crash points done (%d violations)\n%!" !trials
+        !violations
+  done;
+  Printf.printf
+    "serve fuzz: %d crash points, %d violations, %d vacuous (crash before \
+     first snapshot)\n%!"
+    !trials !violations !vacuous;
+  if !violations > 0 then exit 1
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
@@ -1760,13 +2230,16 @@ let () =
       | "parallel" -> parallel_bench ()
       | "compile" -> compile_bench ()
       | "merge" -> merge_bench ()
+      | "serve" -> serve_bench ()
+      | "serve-fuzz" -> serve_fuzz ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
           Printf.eprintf
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
              heuristic|nontemporal|ablation|index|guards|faults|wal|\
-             recovery-fuzz|parallel|compile|merge|bechamel|correctness)\n"
+             recovery-fuzz|parallel|compile|merge|serve|serve-fuzz|\
+             bechamel|correctness)\n"
             other;
           exit 2)
     targets

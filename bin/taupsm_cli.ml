@@ -41,6 +41,35 @@ let strategy_conv =
   let print ppf s = Format.pp_print_string ppf (Stratum.strategy_to_string s) in
   Arg.conv (parse, print)
 
+(* Range-checked numeric converters: every enum/range flag is validated
+   eagerly at parse time with a typed usage error (exit 124), never
+   deep inside execution. *)
+let bounded_int_conv ~what ~min ?max () =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
+    | Some n when n < min ->
+        Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min n))
+    | Some n when (match max with Some m -> n > m | None -> false) ->
+        Error
+          (`Msg
+            (Printf.sprintf "%s must be <= %d (got %d)" what (Option.get max) n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let positive_float_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s must be a number (got %S)" what s))
+    | Some f when not (Float.is_finite f) || f <= 0. ->
+        Error (`Msg (Printf.sprintf "%s must be > 0 (got %s)" what s))
+    | Some f -> Ok f
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let port_conv = bounded_int_conv ~what:"port" ~min:0 ~max:65535 ()
+
 let spec_conv =
   let parse s =
     match String.uppercase_ascii s |> String.split_on_char '-' with
@@ -102,21 +131,21 @@ let seed_arg =
 let deadline_arg =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (positive_float_conv ~what:"--deadline")) None
     & info [ "deadline" ] ~docv:"SECONDS"
         ~doc:"Wall-clock deadline per statement.")
 
 let max_rows_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some (bounded_int_conv ~what:"--max-rows" ~min:1 ())) None
     & info [ "max-rows" ] ~docv:"N"
         ~doc:"Row budget per statement (rows produced or inserted).")
 
 let loop_cap_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some (bounded_int_conv ~what:"--loop-cap" ~min:1 ())) None
     & info [ "loop-cap" ] ~docv:"N"
         ~doc:"Iteration cap for a single PSM loop.")
 
@@ -138,7 +167,7 @@ let no_atomic_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt (bounded_int_conv ~what:"--jobs" ~min:1 ()) 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Evaluate eligible sequenced-MAX queries across $(docv) domains \
@@ -220,14 +249,26 @@ let wal_sync_conv =
     | "always" -> Ok Durable.Wal.Always
     | "batch" -> Ok (Durable.Wal.Batch 16)
     | "off" -> Ok Durable.Wal.Off
+    | s when String.length s > 6 && String.sub s 0 6 = "batch:" -> (
+        let n = String.sub s 6 (String.length s - 6) in
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> Ok (Durable.Wal.Batch k)
+        | Some k ->
+            Error
+              (`Msg (Printf.sprintf "batch size must be >= 1 (got batch:%d)" k))
+        | None ->
+            Error
+              (`Msg (Printf.sprintf "batch size must be an integer (got %S)" n)))
     | s ->
-        Error (`Msg (Printf.sprintf "unknown sync policy %S (always|batch|off)" s))
+        Error
+          (`Msg
+            (Printf.sprintf "unknown sync policy %S (always|batch[:N]|off)" s))
   in
   let print ppf p =
     Format.pp_print_string ppf
       (match p with
       | Durable.Wal.Always -> "always"
-      | Durable.Wal.Batch _ -> "batch"
+      | Durable.Wal.Batch n -> Printf.sprintf "batch:%d" n
       | Durable.Wal.Off -> "off")
   in
   Arg.conv (parse, print)
@@ -238,13 +279,15 @@ let wal_sync_arg =
     & opt wal_sync_conv (Durable.Wal.Batch 16)
     & info [ "wal-sync" ] ~docv:"POLICY"
         ~doc:
-          "WAL fsync policy: $(b,always) (fsync every commit), $(b,batch) \
-           (fsync every 16 commits, the default), or $(b,off).")
+          "WAL fsync policy: $(b,always) (fsync every commit), $(b,batch) or \
+           $(b,batch:N) (fsync every N commits, default N=16), or $(b,off).")
+
+let snapshot_every_conv = bounded_int_conv ~what:"--snapshot-every" ~min:1 ()
 
 let snapshot_every_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some snapshot_every_conv) None
     & info [ "snapshot-every" ] ~docv:"N"
         ~doc:
           "Rotate to a fresh snapshot + WAL pair every $(docv) committed \
@@ -550,7 +593,253 @@ let explain_cmd =
       const run $ dataset_arg $ empty_arg $ seed_arg $ query_arg $ stmt_arg
       $ days_arg $ strategy_opt_arg $ no_timings_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving layer controls fsyncs itself, so its sync flag is its
+   own enum, validated eagerly like every other: group (default — one
+   fsync per commit-lane batch, acks strictly after it) or always (one
+   fsync per commit; the lane never adds its own). *)
+let serve_sync_conv =
+  let parse = function
+    | "group" -> Ok `Group
+    | "always" -> Ok `Always
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown serve sync mode %S (group|always)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (match m with `Group -> "group" | `Always -> "always")
+  in
+  Arg.conv (parse, print)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect (dotted quad).")
+
+let port_arg ~default ~doc =
+  Arg.(value & opt port_conv default & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"--workers" ~min:1 ()) 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (= max concurrent sessions).")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"--queue-depth" ~min:0 ()) 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: accepted connections waiting for a \
+             worker beyond this are rejected with a typed \
+             $(b,overloaded) error instead of queueing unboundedly.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (positive_float_conv ~what:"--idle-timeout") 60.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close a session after this long without a request.")
+  in
+  let drain_deadline_arg =
+    Arg.(
+      value
+      & opt (positive_float_conv ~what:"--drain-deadline") 10.
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM: stop accepting, give in-flight statements this \
+             long to finish, flush the WAL, exit 0.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"--max-batch" ~min:1 ()) 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Max write statements per group-commit fsync batch.")
+  in
+  let serve_sync_arg =
+    Arg.(
+      value
+      & opt serve_sync_conv `Group
+      & info [ "sync" ] ~docv:"MODE"
+          ~doc:
+            "Commit durability mode: $(b,group) (default; one fsync per \
+             commit-lane batch, commits acknowledged only after it) or \
+             $(b,always) (one fsync per commit).")
+  in
+  let run dataset empty seed db_dir snapshot_every host port workers
+      queue_depth idle_timeout drain_deadline deadline max_rows max_batch
+      sync =
+    handle_errors (fun () ->
+        let policy =
+          match sync with
+          | `Group -> Durable.Wal.Off (* the lane issues the fsyncs *)
+          | `Always -> Durable.Wal.Always
+        in
+        let e, h =
+          make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
+            db_dir
+        in
+        let cfg =
+          {
+            Serve.Server.host;
+            port;
+            workers;
+            queue_depth;
+            idle_timeout;
+            drain_deadline;
+            stmt_deadline = deadline;
+            max_rows;
+            lane =
+              {
+                Serve.Commit_lane.default_config with
+                max_batch;
+                sync_each = (sync = `Always);
+              };
+          }
+        in
+        let srv = Serve.Server.create ~cfg ~engine:e ?persist:h () in
+        let drain _ = Serve.Server.request_drain srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+        Printf.printf
+          "taupsm serving on %s:%d — %d worker(s), queue %d, sync %s%s\n%!"
+          host
+          (Serve.Server.port srv)
+          workers queue_depth
+          (match sync with `Group -> "group" | `Always -> "always")
+          (match db_dir with
+          | Some d -> Printf.sprintf ", store %s" d
+          | None -> ", no durable store");
+        let code = Serve.Server.run srv in
+        if code <> 0 then
+          raise
+            (Eval.Sql_error
+               (Printf.sprintf
+                  "drain deadline expired with sessions still active \
+                   (exit %d)"
+                  code)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the database to concurrent sessions over a line-delimited \
+          JSON protocol (docs/serving.md): lock-free MVCC snapshot reads, \
+          single-writer group commit, admission control, graceful drain \
+          on SIGTERM.")
+    Term.(
+      const run $ dataset_arg $ empty_arg $ seed_arg $ db_dir_arg
+      $ snapshot_every_arg $ host_arg
+      $ port_arg ~default:7411 ~doc:"Port to listen on (0 = ephemeral)."
+      $ workers_arg $ queue_depth_arg $ idle_timeout_arg $ drain_deadline_arg
+      $ deadline_arg $ max_rows_arg $ max_batch_arg $ serve_sync_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let stmts_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s) to send.")
+  in
+  let client_strategy_arg =
+    (* validated here, and again server-side as a bad_request *)
+    let strat_conv =
+      let parse = function
+        | ("max" | "perst") as s -> Ok s
+        | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (max|perst)" s))
+      in
+      Arg.conv (parse, Format.pp_print_string)
+    in
+    Arg.(
+      value
+      & opt (some strat_conv) None
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Sequenced slicing strategy: $(b,max) or $(b,perst).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Also fetch and print server statistics.")
+  in
+  let print_response resp =
+    let module J = Serve.Json in
+    if Serve.Client.ok resp then begin
+      match Serve.Client.rows resp with
+      | Some (cols, rows) ->
+          print_endline (String.concat " | " cols);
+          List.iter
+            (fun row ->
+              print_endline
+                (String.concat " | "
+                   (List.map
+                      (function
+                        | J.Str s -> s
+                        | v -> J.to_string v)
+                      row)))
+            rows;
+          Printf.printf "(%d row(s))\n" (List.length rows)
+      | None -> (
+          match J.member_int resp "affected" with
+          | Some n -> Printf.printf "%d row(s) affected\n" n
+          | None -> print_endline "ok")
+    end
+    else
+      let code =
+        Option.value ~default:"error" (Serve.Client.error_code resp)
+      in
+      let msg =
+        match J.member "error" resp with
+        | Some err -> Option.value ~default:"" (J.member_string err "message")
+        | None -> ""
+      in
+      raise (Eval.Sql_error (Printf.sprintf "[%s] %s" code msg))
+  in
+  let run host port strategy stats stmts =
+    handle_errors (fun () ->
+        let c = Serve.Client.connect ~host ~port () in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            List.iter
+              (fun sql -> print_response (Serve.Client.stmt ?strategy c sql))
+              stmts;
+            if stats then
+              match Serve.Json.member "stats" (Serve.Client.stats c) with
+              | Some s -> print_endline (Serve.Json.to_string s)
+              | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send statements to a running $(b,taupsm serve) instance and print \
+          the results.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~default:7411 ~doc:"Server port to connect to."
+      $ client_strategy_arg $ stats_arg $ stmts_arg)
+
 let () =
   let doc = "Temporal SQL/PSM: the stratum of Snodgrass et al. (ICDE 2012)" in
   let info = Cmd.info "taupsm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ transform_cmd; run_cmd; repl_cmd; gen_cmd; explain_cmd; recover_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            transform_cmd;
+            run_cmd;
+            repl_cmd;
+            gen_cmd;
+            explain_cmd;
+            recover_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

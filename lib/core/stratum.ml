@@ -248,6 +248,23 @@ let parallelizable_main (e : Engine.t) (main : stmt) : bool =
         (Analysis.routines_list a)
   | _ -> false
 
+(* Is a temporal statement read-only — safe to run against a published
+   MVCC snapshot instead of the single-writer lane?  Conservative: the
+   statement itself must not write, and no routine reachable from it
+   (functions it evaluates, procedures it CALLs, transitively) may have
+   a writing body.  Anything else — DML, DDL, a CALL of a writing
+   procedure — must serialize through the writer. *)
+let read_only (cat : Catalog.t) (ts : temporal_stmt) : bool =
+  (not (stmt_writes ts.t_stmt))
+  &&
+  let a = Analysis.of_stmt cat ts.t_stmt in
+  List.for_all
+    (fun rname ->
+      match Catalog.find_routine cat rname with
+      | Some (_, r) -> not (List.exists stmt_writes r.r_body)
+      | None -> true)
+    (Analysis.routines_list a)
+
 (* {!exec_plan} with the final statement sliced across [jobs] domains
    when eligible.  The plan prefix (scratch-table prep, routine clones)
    always runs serially on the parent engine first, so the snapshot

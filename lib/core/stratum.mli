@@ -45,6 +45,18 @@ val exec_plan :
   ?tt_mode:Sqleval.Eval.tt_mode -> Sqleval.Engine.t -> Sqlast.Ast.stmt list ->
   Sqleval.Eval.exec_result
 
+val stmt_writes : Sqlast.Ast.stmt -> bool
+(** Does a conventional statement write (DML or DDL)?  Queries and PSM
+    control flow do not; a CALLed procedure's body must be scanned
+    separately through the reachable-routine set (see {!read_only}). *)
+
+val read_only : Sqleval.Catalog.t -> Sqlast.Ast.temporal_stmt -> bool
+(** Is a temporal statement read-only — safe to execute against a
+    published MVCC snapshot?  True when the statement itself does not
+    write and no reachable routine body writes.  The serving layer uses
+    this to route statements between lock-free snapshot readers and the
+    single-writer commit lane. *)
+
 val parallelizable_main : Sqleval.Engine.t -> Sqlast.Ast.stmt -> bool
 (** Whether a transformed MAX main statement may be sliced across
     domains: a plain [SELECT] with the constant-period table outermost,

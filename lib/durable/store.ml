@@ -417,5 +417,11 @@ let detach st =
     st.dead <- true
   end
 
+(* Group-commit hook: force the WAL to disk now.  A store attached with
+   policy [Off] defers every per-commit fsync to explicit calls here —
+   the serving layer's writer lane executes a batch of statements, syncs
+   once, and only then acks every session in the batch. *)
+let sync st = if not st.dead then Wal.sync st.wal
+
 let serial st = st.serial
 let is_dead st = st.dead

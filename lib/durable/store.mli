@@ -107,6 +107,12 @@ val detach : t -> unit
 (** Uninstall the hook from the database and close the WAL.  The store
     is dead afterwards. *)
 
+val sync : t -> unit
+(** Force the WAL to disk now, regardless of sync policy — the
+    group-commit primitive: attach with policy [Off], execute a batch of
+    statements, call [sync] once, then ack every session in the batch.
+    No-op on a dead store. *)
+
 val serial : t -> int
 (** Serial of the last committed statement. *)
 

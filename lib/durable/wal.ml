@@ -103,6 +103,11 @@ let commit_done t =
           t.pending_commits <- t.pending_commits + 1;
           if t.pending_commits >= max 1 n then fsync_now t)
 
+(* Explicit fsync for group commit: the serving layer's writer lane runs
+   with policy [Off] inside a batch and calls this once per batch, so
+   one fsync amortizes over every commit in it.  No-op on a dead WAL. *)
+let sync t = guarded t "wal sync" (fun () -> fsync_now t)
+
 let offset t = t.offset
 
 let close t =

@@ -42,6 +42,11 @@ val commit_done : t -> unit
 (** Note that a commit marker was just appended and apply the fsync
     policy. *)
 
+val sync : t -> unit
+(** Fsync now, regardless of policy — the group-commit hook: a writer
+    lane running with policy [Off] calls this once per batch so a single
+    fsync covers every commit marker in it.  No-op on a dead WAL. *)
+
 val offset : t -> int
 (** Bytes written so far, including the magic header. *)
 

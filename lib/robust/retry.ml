@@ -1,0 +1,80 @@
+(* Retry with exponential backoff and jitter.  See retry.mli. *)
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  max_elapsed : float option;
+}
+
+let default =
+  {
+    max_attempts = 5;
+    base_delay = 0.002;
+    multiplier = 2.0;
+    max_delay = 0.1;
+    jitter = 0.5;
+    max_elapsed = None;
+  }
+
+(* Process-global splitmix64-ish PRNG for jitter.  Races on the state
+   under concurrent retries merely interleave the stream — jitter needs
+   decorrelation, not reproducibility — but an [Atomic.t] keeps the
+   updates from tearing.  Seeded from the wall clock once. *)
+let prng_state =
+  Atomic.make (Int64.of_float (Unix.gettimeofday () *. 1e6) |> Int64.to_int)
+
+let next_bits () =
+  let rec step () =
+    let s = Atomic.get prng_state in
+    let s' = s + 0x2E3779B97F4A7C15 in
+    if Atomic.compare_and_set prng_state s s' then s' else step ()
+  in
+  let z = step () in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let default_rand bound =
+  if bound <= 0. then 0.
+  else float_of_int (next_bits ()) /. float_of_int max_int *. bound
+
+(* The jittered sleep before retry [attempt] (1-based): exponential in
+   the attempt number, capped, then up to [jitter] of it randomized
+   away so concurrent losers don't collide again in lock-step. *)
+let delay_for p ~rand ~attempt =
+  let d =
+    p.base_delay *. (p.multiplier ** float_of_int (max 0 (attempt - 1)))
+  in
+  let d = Float.min d p.max_delay in
+  let j = Float.max 0. (Float.min 1. p.jitter) in
+  d -. rand (d *. j)
+
+exception Gave_up of { attempts : int; elapsed : float; last : exn }
+
+let run ?(policy = default) ?(rand = default_rand) ?(sleep = Unix.sleepf)
+    ~retryable f =
+  let started = Mono_clock.now () in
+  let budget_left () =
+    match policy.max_elapsed with
+    | None -> true
+    | Some b -> Mono_clock.now () -. started < b
+  in
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when retryable e ->
+        if attempt >= policy.max_attempts || not (budget_left ()) then
+          raise
+            (Gave_up
+               {
+                 attempts = attempt;
+                 elapsed = Mono_clock.now () -. started;
+                 last = e;
+               });
+        sleep (delay_for policy ~rand ~attempt);
+        go (attempt + 1)
+  in
+  go 1

@@ -1,0 +1,337 @@
+(* The single-writer commit lane.
+
+   Every write statement from every session serializes through one
+   dedicated domain.  The lane drains its bounded queue into a batch,
+   executes each statement on the master engine (each statement commits
+   its WAL records + marker under sync policy [Off]), then issues ONE
+   fsync for the whole batch ({!Durable.Store.sync}), publishes a fresh
+   MVCC snapshot for readers, and only then acks every session in the
+   batch — so an acked commit is always durable, and one fsync
+   amortizes over the batch (fsyncs/commit < 1 under concurrent load).
+
+   Crash semantics (the recovery fuzz drives this with Fault.arm_crash):
+   when a statement's WAL write crashes mid-batch, the store is dead;
+   the crashed statement and everything after it in the queue fail with
+   a typed Durability error and the lane refuses further work.  Earlier
+   statements in the batch were fully written but never acked — they
+   may or may not survive, which is exactly the at-least-once ambiguity
+   an unacknowledged commit is allowed; recovery restores a prefix of
+   the lane's execution order, and every *acked* statement is in it.
+
+   Admission is fail-fast: a full queue rejects with [`Overloaded]
+   immediately (callers decide whether to retry with backoff — see
+   {!Retry}), a draining lane with [`Draining], a crashed lane with
+   [`Dead].  Never blocks a submitter. *)
+
+type request = {
+  sql : string;
+  strategy : string option;
+  session : int;
+  deadline : float option;  (* per-statement guard deadline, seconds *)
+  max_rows : int option;  (* per-statement guard row budget *)
+  mutable outcome : outcome option;
+}
+
+and outcome = Done of Sqleval.Eval.exec_result | Failed of exn
+
+type reject = [ `Overloaded | `Draining | `Dead ]
+
+type config = {
+  queue_cap : int;  (* max queued requests before [`Overloaded] *)
+  max_batch : int;  (* max statements per group-commit batch *)
+  batch_window : float;
+      (* seconds to linger when a drained batch holds a single request:
+         one more drain after the linger picks up stragglers, which is
+         what makes group commit amortize even under few writers *)
+  sync_each : bool;
+      (* true = fsync per commit (policy Always downstream); false =
+         one explicit sync per batch (policy Off downstream) *)
+}
+
+let default_config =
+  { queue_cap = 256; max_batch = 64; batch_window = 0.001; sync_each = false }
+
+type stats = {
+  submitted : int;
+  committed : int;
+  failed : int;
+  rejected : int;
+  batches : int;
+  fsyncs : int;
+  max_batch_size : int;
+  queue_depth : int;
+}
+
+type t = {
+  cfg : config;
+  exec : request -> Sqleval.Eval.exec_result;
+  sync_wal : unit -> unit;
+  publish : unit -> unit;
+  on_exec : (string -> unit) option;  (* fuzz hook: execution order *)
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  completed : Condition.t;
+  q : request Queue.t;
+  mutable stopping : bool;
+  mutable dead : bool;  (* crashed or fully stopped: reject everything *)
+  mutable crash : exn option;  (* the Fault.Crash that killed the lane *)
+  (* counters, all under [mu] *)
+  mutable submitted : int;
+  mutable committed : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable batches : int;
+  mutable fsyncs : int;
+  mutable max_batch_size : int;
+  batch_sizes : Histo.t;
+  mutable domain : unit Domain.t option;
+}
+
+let submit t ~session ?strategy ?deadline ?max_rows sql :
+    (request, reject) result =
+  Mutex.lock t.mu;
+  let r =
+    if t.dead then Error `Dead
+    else if t.stopping then Error `Draining
+    else if Queue.length t.q >= t.cfg.queue_cap then begin
+      t.rejected <- t.rejected + 1;
+      Error `Overloaded
+    end
+    else begin
+      let req =
+        { sql; strategy; session; deadline; max_rows; outcome = None }
+      in
+      Queue.push req t.q;
+      t.submitted <- t.submitted + 1;
+      Condition.signal t.nonempty;
+      Ok req
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+(* Block until the lane resolves [req]; the ack happens only after the
+   batch's fsync, so [Done] implies durable. *)
+let await t (req : request) : outcome =
+  Mutex.lock t.mu;
+  while req.outcome = None do
+    Condition.wait t.completed t.mu
+  done;
+  let o = Option.get req.outcome in
+  Mutex.unlock t.mu;
+  o
+
+exception Lane_rejected of reject
+
+(* Submit with bounded retry on [`Overloaded] (exponential backoff +
+   jitter), then await.  [`Draining] and [`Dead] never retry. *)
+let submit_retry ?(policy = Retry.default) t ~session ?strategy ?deadline
+    ?max_rows ~on_retry sql : (outcome, reject) result =
+  let attempt () =
+    match submit t ~session ?strategy ?deadline ?max_rows sql with
+    | Ok req -> req
+    | Error r -> raise (Lane_rejected r)
+  in
+  match
+    Retry.run ~policy
+      ~retryable:(function Lane_rejected `Overloaded -> on_retry (); true | _ -> false)
+      attempt
+  with
+  | req -> Ok (await t req)
+  | exception Lane_rejected r -> Error r
+  | exception Retry.Gave_up _ -> Error `Overloaded
+
+let drain_batch t =
+  let batch = ref [] in
+  let n = ref 0 in
+  while (not (Queue.is_empty t.q)) && !n < t.cfg.max_batch do
+    batch := Queue.pop t.q :: !batch;
+    incr n
+  done;
+  List.rev !batch
+
+let resolve t reqs outcome_of =
+  Mutex.lock t.mu;
+  List.iter
+    (fun r ->
+      (match outcome_of r with
+      | Done _ -> t.committed <- t.committed + 1
+      | Failed _ -> t.failed <- t.failed + 1);
+      r.outcome <- Some (outcome_of r))
+    reqs;
+  Condition.broadcast t.completed;
+  Mutex.unlock t.mu
+
+let run_batch t batch =
+  (* Execute each statement; a crash poisons the rest of the batch. *)
+  let crashed = ref None in
+  let outcomes =
+    List.map
+      (fun req ->
+        match !crashed with
+        | Some e ->
+            ( req,
+              Failed
+                (Taupsm_error.Error
+                   (Taupsm_error.make Taupsm_error.Durability
+                      (Printf.sprintf "write lane dead: %s"
+                         (Printexc.to_string e)))) )
+        | None -> (
+            (match t.on_exec with Some f -> f req.sql | None -> ());
+            match t.exec req with
+            | r -> (req, Done r)
+            | exception (Fault.Crash _ as e) ->
+                crashed := Some e;
+                ( req,
+                  Failed
+                    (Taupsm_error.Error
+                       (Taupsm_error.make Taupsm_error.Durability
+                          "commit not acknowledged: server crashed before \
+                           the batch fsync")) )
+            | exception e -> (req, Failed e)))
+      batch
+  in
+  (match !crashed with
+  | Some e ->
+      Mutex.lock t.mu;
+      t.dead <- true;
+      t.crash <- Some e;
+      Mutex.unlock t.mu
+  | None ->
+      (* group commit: one fsync covers every commit marker in the
+         batch; only then are sessions acked *)
+      if not t.cfg.sync_each then t.sync_wal ();
+      t.publish ();
+      Mutex.lock t.mu;
+      t.batches <- t.batches + 1;
+      t.fsyncs <-
+        (t.fsyncs + if t.cfg.sync_each then List.length batch else 1);
+      let bs = List.length batch in
+      if bs > t.max_batch_size then t.max_batch_size <- bs;
+      Histo.add t.batch_sizes (float_of_int bs);
+      Mutex.unlock t.mu);
+  resolve t (List.map fst outcomes) (fun r -> List.assq r outcomes);
+  !crashed = None
+
+let rec lane_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.stopping do
+    Condition.wait t.nonempty t.mu
+  done;
+  if Queue.is_empty t.q && t.stopping then begin
+    t.dead <- true;
+    Mutex.unlock t.mu
+  end
+  else begin
+    let batch = drain_batch t in
+    Mutex.unlock t.mu;
+    (* a singleton batch lingers briefly for stragglers: under
+       concurrent writers this is what turns N fsyncs into one *)
+    let batch =
+      if List.length batch = 1 && t.cfg.batch_window > 0. && not t.stopping
+      then begin
+        Unix.sleepf t.cfg.batch_window;
+        Mutex.lock t.mu;
+        let more = drain_batch t in
+        Mutex.unlock t.mu;
+        batch @ more
+      end
+      else batch
+    in
+    if run_batch t batch then lane_loop t
+    else begin
+      (* crashed: fail everything still queued, then exit *)
+      Mutex.lock t.mu;
+      let rest = ref [] in
+      Queue.iter (fun r -> rest := r :: !rest) t.q;
+      Queue.clear t.q;
+      Mutex.unlock t.mu;
+      resolve t (List.rev !rest) (fun _ ->
+          Failed
+            (Taupsm_error.Error
+               (Taupsm_error.make Taupsm_error.Durability
+                  "write lane dead: server crashed")))
+    end
+  end
+
+let create ?(cfg = default_config) ?on_exec ~exec ~sync_wal ~publish () =
+  let t =
+    {
+      cfg;
+      exec;
+      sync_wal;
+      publish;
+      on_exec;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      completed = Condition.create ();
+      q = Queue.create ();
+      stopping = false;
+      dead = false;
+      crash = None;
+      submitted = 0;
+      committed = 0;
+      failed = 0;
+      rejected = 0;
+      batches = 0;
+      fsyncs = 0;
+      max_batch_size = 0;
+      batch_sizes = Histo.create ();
+      domain = None;
+    }
+  in
+  t.domain <-
+    Some
+      (Domain.spawn (fun () ->
+           (* keep a simulated crash from escaping the domain: the lane
+              records it and dies quietly, like the process would *)
+           try lane_loop t with Fault.Crash _ -> ()));
+  t
+
+(* Stop accepting, finish everything already queued (group-committing
+   as usual), then shut the lane domain down.  Pending submitters are
+   acked or failed before this returns. *)
+let drain t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  match t.domain with
+  | Some d ->
+      Domain.join d;
+      t.domain <- None
+  | None -> ()
+
+let crashed t =
+  Mutex.lock t.mu;
+  let c = t.crash in
+  Mutex.unlock t.mu;
+  c
+
+let stats t : stats =
+  Mutex.lock t.mu;
+  let s =
+    {
+      submitted = t.submitted;
+      committed = t.committed;
+      failed = t.failed;
+      rejected = t.rejected;
+      batches = t.batches;
+      fsyncs = t.fsyncs;
+      max_batch_size = t.max_batch_size;
+      queue_depth = Queue.length t.q;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let batch_p50 t =
+  Mutex.lock t.mu;
+  let v = Histo.p50 t.batch_sizes in
+  Mutex.unlock t.mu;
+  v
+
+let fsyncs_per_commit t =
+  let s = stats t in
+  if s.committed = 0 then 1.0
+  else float_of_int s.fsyncs /. float_of_int s.committed

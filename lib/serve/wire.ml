@@ -1,0 +1,131 @@
+(* The line-delimited JSON wire protocol.
+
+   Every message is one JSON object on one line ('\n'-terminated; no
+   unescaped newlines can occur inside a rendered JSON string).
+
+   Requests:
+     {"op":"stmt","sql":"VALIDTIME SELECT ...","id":7,
+      "strategy":"max"|"perst"}          execute one temporal statement
+     {"op":"ping","id":7}                liveness probe
+     {"op":"stats","id":7}               server counters and latencies
+     {"op":"close","id":7}               end the session
+
+   Responses (every one echoes "id" when the request carried one):
+     {"ok":true,"rows":{"cols":[...],"rows":[[...],...]},"seconds":s}
+     {"ok":true,"affected":n,"seconds":s}
+     {"ok":true,"unit":true,"seconds":s}
+     {"ok":true,"pong":true}
+     {"ok":true,"stats":{...}}
+     {"ok":true,"bye":true}
+     {"ok":false,"error":{"code":"...","message":"..."}}
+
+   Error codes are `Taupsm_error.code_string` tags plus the serving
+   layer's own: "overloaded" (admission or write-lane rejection),
+   "draining" (server shutting down), "idle_timeout", "bad_request". *)
+
+type request =
+  | Stmt of { sql : string; strategy : string option }
+  | Ping
+  | Stats
+  | Close
+
+let parse_request line : (Json.t option * request, string) result =
+  match Json.parse line with
+  | Error m -> Error (Printf.sprintf "malformed JSON: %s" m)
+  | Ok j -> (
+      let id = Json.member "id" j in
+      match Json.member_string j "op" with
+      | Some "stmt" -> (
+          match Json.member_string j "sql" with
+          | Some sql ->
+              let strategy = Json.member_string j "strategy" in
+              Ok (id, Stmt { sql; strategy })
+          | None -> Error "op \"stmt\" requires a \"sql\" string")
+      | Some "ping" -> Ok (id, Ping)
+      | Some "stats" -> Ok (id, Stats)
+      | Some "close" -> Ok (id, Close)
+      | Some op -> Error (Printf.sprintf "unknown op %S" op)
+      | None -> Error "missing \"op\"")
+
+(* ------------------------------------------------------------------ *)
+(* Value / result-set encoding                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value (v : Sqldb.Value.t) : Json.t =
+  match v with
+  | Sqldb.Value.Null -> Json.Null
+  | Sqldb.Value.Int i -> Json.Int i
+  | Sqldb.Value.Float f -> Json.Float f
+  | Sqldb.Value.Bool b -> Json.Bool b
+  | Sqldb.Value.Str s -> Json.Str s
+  | Sqldb.Value.Date d -> Json.Str (Sqldb.Date.to_string d)
+
+let json_of_result_set (rs : Sqleval.Result_set.t) : Json.t =
+  Json.Obj
+    [
+      ("cols", Json.List (List.map (fun c -> Json.Str c) rs.Sqleval.Result_set.cols));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.List (Array.to_list (Array.map json_of_value row)))
+             rs.Sqleval.Result_set.rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Response builders                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_id id fields =
+  match id with None -> fields | Some id -> ("id", id) :: fields
+
+let ok_result ?id ~seconds (r : Sqleval.Eval.exec_result) : Json.t =
+  let payload =
+    match r with
+    | Sqleval.Eval.Rows rs -> ("rows", json_of_result_set rs)
+    | Sqleval.Eval.Affected n -> ("affected", Json.Int n)
+    | Sqleval.Eval.Unit -> ("unit", Json.Bool true)
+  in
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); payload; ("seconds", Json.Float seconds) ])
+
+let ok_pong ?id () : Json.t =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+
+let ok_stats ?id stats : Json.t =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("stats", stats) ])
+
+let ok_bye ?id () : Json.t =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("bye", Json.Bool true) ])
+
+let error ?id ~code ~message () : Json.t =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj [ ("code", Json.Str code); ("message", Json.Str message) ]
+         );
+       ])
+
+let error_of ?id (e : Taupsm_error.t) : Json.t =
+  error ?id
+    ~code:(Taupsm_error.code_string e.Taupsm_error.code)
+    ~message:e.Taupsm_error.message ()
+
+let hello ~session ~version : Json.t =
+  Json.Obj
+    [
+      ("hello", Json.Str "taupsm");
+      ("session", Json.Int session);
+      ("version", Json.Int version);
+    ]
+
+(* Response classification used by clients. *)
+let is_ok j = Json.member_bool j "ok" = Some true
+
+let error_code j =
+  match Json.member "error" j with
+  | Some err -> Json.member_string err "code"
+  | None -> None

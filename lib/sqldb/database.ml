@@ -218,6 +218,31 @@ let read_view db =
     db.temp_tables;
   db'
 
+(* Publish an immutable snapshot of this database and switch every live
+   table to copy-on-write (see {!Table.freeze}).  O(tables), not O(rows):
+   each table contributes a new record sharing its backing row array plus
+   a copy of its index cache.  The snapshot has no obs/undo/wal wiring
+   and preserves [version] so plan-cache tokens computed against it match
+   the live database at publication time.  Unlike {!read_view} the result
+   is safe to retain across later mutations of the original: the first
+   post-freeze mutation of each table privatizes its storage. *)
+let freeze db =
+  let db' =
+    {
+      tables = Hashtbl.create (max 16 (Hashtbl.length db.tables));
+      temp_tables = Hashtbl.create (max 16 (Hashtbl.length db.temp_tables));
+      version = db.version;
+      obs = Trace.null;
+      undo = Undo_log.create ();
+      wal = None;
+    }
+  in
+  Hashtbl.iter (fun k t -> Hashtbl.replace db'.tables k (Table.freeze t)) db.tables;
+  Hashtbl.iter
+    (fun k t -> Hashtbl.replace db'.temp_tables k (Table.freeze t))
+    db.temp_tables;
+  db'
+
 let undo db = db.undo
 
 (* Run [f] as an atomic unit against this database.  The outermost call

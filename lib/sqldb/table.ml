@@ -21,6 +21,18 @@ type row = Value.t array
    [obs] and [undo] it is propagated by the owning database; tables not
    yet registered anywhere stay silent (their rows travel inside the
    [Table_create] event when they are registered). *)
+(* [share] is the copy-on-write state for MVCC snapshot publication
+   (see {!freeze}):
+   - [Live]: sole owner of the backing row array; mutate in place.
+   - [Shared]: a published frozen snapshot still references the backing
+     array; the first mutation copies the array ({!Vec.unshare}) and
+     returns to [Live], so readers of the snapshot never observe a torn
+     mid-statement state.
+   - [Frozen]: an immutable published snapshot (or a read view of one);
+     any mutation attempt is a bug in write/read classification and
+     raises a typed internal error instead of corrupting every reader. *)
+type share = Live | Shared | Frozen
+
 type t = {
   schema : Schema.t;
   rows : row Vec.t;
@@ -31,6 +43,7 @@ type t = {
   mutable undo_mark : int;
   mutable undo_full : bool;
   mutable wal : Wal_hook.t option;
+  mutable share : share;
 }
 
 let create schema =
@@ -44,6 +57,7 @@ let create schema =
     undo_mark = 0;
     undo_full = false;
     wal = None;
+    share = Live;
   }
 
 let set_observe t obs = t.obs <- obs
@@ -86,9 +100,18 @@ let log_undo t ~full =
     end
   end
 
-(* Every mutator passes through here: fault-injection point, undo
-   journaling, then the version bump that invalidates derived caches. *)
+(* Every mutator passes through here: copy-on-write check, fault
+   injection point, undo journaling, then the version bump that
+   invalidates derived caches. *)
 let touch ?(append = false) t =
+  (match t.share with
+  | Live -> ()
+  | Shared ->
+      Vec.unshare t.rows;
+      t.share <- Live
+  | Frozen ->
+      Taupsm_error.raise_error Taupsm_error.Internal
+        "mutation of frozen snapshot table %s" t.schema.Schema.name);
   Fault.hit Fault.Table_mutation;
   log_undo t ~full:(not append);
   t.version <- t.version + 1
@@ -212,7 +235,39 @@ let read_view t =
     undo_mark = 0;
     undo_full = false;
     wal = None;
+    (* A view of a frozen snapshot is itself frozen; a view of a live
+       table keeps the live table's CoW discipline out of the picture —
+       the view shares the backing array, so mutating it would corrupt
+       the original.  Mark it frozen too: read views are read-only by
+       contract, and the typed error beats silent corruption. *)
+    share = Frozen;
   }
+
+(* Publish an immutable snapshot of this table and switch the live table
+   to copy-on-write.  The frozen record shares the current backing row
+   array and a copy of the index cache (already-built indexes are
+   immutable once built); the live table is marked [Shared] so its next
+   mutation privatizes the array first.  O(1) in the number of rows.
+   The caller must establish a happens-before edge (e.g. an [Atomic.set]
+   of the published catalog) before handing the frozen table to another
+   domain. *)
+let freeze t =
+  let fr =
+    {
+      schema = t.schema;
+      rows = Vec.shallow t.rows;
+      version = t.version;
+      indexes = Hashtbl.copy t.indexes;
+      obs = Trace.null;
+      undo = Undo_log.null;
+      undo_mark = 0;
+      undo_full = false;
+      wal = None;
+      share = Frozen;
+    }
+  in
+  (match t.share with Frozen -> () | Live | Shared -> t.share <- Shared);
+  fr
 
 (* ------------------------------------------------------------------ *)
 (* Interval-indexed period-overlap scans                               *)

@@ -79,6 +79,17 @@ let clear v = v.len <- 0
 (* Shallow copy of the live prefix; O(len).  Elements are shared. *)
 let snapshot v = Array.sub v.data 0 v.len
 
+(* A new vector record over the *same* backing array (elements shared,
+   length pinned at the current value).  Used by copy-on-write snapshot
+   publication: the frozen side keeps this record while the live side
+   calls {!unshare} before its next in-place mutation. *)
+let shallow v = { data = v.data; len = v.len }
+
+(* Break backing-array sharing introduced by {!shallow}: replace [data]
+   with a private copy so subsequent in-place mutation cannot reach rows
+   a published snapshot still iterates. *)
+let unshare v = if Array.length v.data > 0 then v.data <- Array.copy v.data
+
 (* Replace the contents with [arr], taking ownership of the array. *)
 let restore v arr =
   v.data <- arr;

@@ -316,26 +316,51 @@ let copy cat =
     compile_ext = None;
   }
 
-(* A read-only snapshot view for parallel workers: storage becomes a
-   {!Sqldb.Database.read_view} (shared row vectors, no per-row copy, no
-   obs/undo/wal), views/routines/natives are shared (immutable ASTs),
-   the guard is fresh (workers track their own budgets; the parent
-   re-charges after the merge) and — unlike {!copy} — both version
-   counters AND the compiled-closure cache are preserved, so a worker's
-   plan-cache and compiled-entry lookups hit the parent's warm entries.
-   Sound only while the underlying database is not mutated; the sliced
-   MAX main query is read-only by the parallelizability gate. *)
+(* A read-only snapshot view for parallel workers and serving sessions:
+   storage becomes a {!Sqldb.Database.read_view} (shared row vectors, no
+   per-row copy, no obs/undo/wal), views/routines/natives become
+   *private hashtable copies* — the ASTs themselves are shared and
+   immutable, but full statement execution re-registers the stratum's
+   own max_ routines per execution, and concurrent views writing into a
+   shared registry would race — the guard is fresh (each view tracks its
+   own budgets) and — unlike {!copy} — both version counters AND the
+   compiled-closure cache are preserved, so a view's plan-cache and
+   compiled-entry lookups hit the parent's warm entries (the compiled
+   store is mutex-guarded).  Sound only while the underlying database is
+   not mutated; views of a {!publish}ed snapshot are safe forever. *)
 let read_view cat =
   let db = Sqldb.Database.read_view cat.db in
   let obs = Trace.create () in
   Sqldb.Database.set_observe db obs;
   {
     db;
-    views = cat.views;
-    routines = cat.routines;
-    native_table_funs = cat.native_table_funs;
+    views = Hashtbl.copy cat.views;
+    routines = Hashtbl.copy cat.routines;
+    native_table_funs = Hashtbl.copy cat.native_table_funs;
     options = { cat.options with guards = Guard.copy cat.options.guards };
     obs;
+    generation = cat.generation;
+    plan_cache = Hashtbl.create 16;
+    compile_ext = cat.compile_ext;
+  }
+
+(* Publish an immutable snapshot of this catalog for concurrent readers:
+   storage is {!Sqldb.Database.freeze}-d (O(tables) copy-on-write — the
+   next write to each live table privatizes its row array, so the
+   snapshot never sees a torn state), views/routines/natives are
+   hashtable copies taken at publication time, and version counters are
+   preserved.  The publisher must make the snapshot visible through an
+   [Atomic.t] (release/acquire) before other domains read it; readers
+   then take a {!read_view} of the snapshot per statement, which is safe
+   indefinitely — unlike a read view of a live catalog. *)
+let publish cat =
+  {
+    db = Sqldb.Database.freeze cat.db;
+    views = Hashtbl.copy cat.views;
+    routines = Hashtbl.copy cat.routines;
+    native_table_funs = Hashtbl.copy cat.native_table_funs;
+    options = { cat.options with guards = Guard.copy cat.options.guards };
+    obs = Trace.null;
     generation = cat.generation;
     plan_cache = Hashtbl.create 16;
     compile_ext = cat.compile_ext;

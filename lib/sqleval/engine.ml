@@ -12,6 +12,10 @@ let default_now = Sqldb.Date.of_ymd ~y:2011 ~m:1 ~d:1
 
 let create ?(now = default_now) () = { cat = Catalog.create (); now }
 
+(* Wrap an existing catalog — typically a {!Catalog.read_view} of a
+   published snapshot — in an engine facade, pinning the session clock. *)
+let of_catalog ?(now = default_now) cat = { cat; now }
+
 let catalog t = t.cat
 let database t = t.cat.Catalog.db
 let guards t = t.cat.Catalog.options.Catalog.guards

@@ -15,6 +15,11 @@ val create : ?now:Sqldb.Date.t -> unit -> t
 (** A fresh engine.  [now] is the session's CURRENT_DATE (default
     2011-01-01), settable for reproducible current-semantics tests. *)
 
+val of_catalog : ?now:Sqldb.Date.t -> Catalog.t -> t
+(** Wrap an existing catalog — typically a {!Catalog.read_view} of a
+    snapshot published with {!Catalog.publish} — in an engine facade,
+    pinning the session clock at [now]. *)
+
 val catalog : t -> Catalog.t
 val database : t -> Sqldb.Database.t
 

@@ -85,6 +85,8 @@ let open_dir ?policy ?snapshot_every ?obs ~dir () =
 let snapshot h = Durable.Store.snapshot h.store
 let detach h = Durable.Store.detach h.store
 let store h = h.store
+let sync h = Durable.Store.sync h.store
+let serial h = Durable.Store.serial h.store
 
 let report_to_string (r : Durable.Store.report) =
   Printf.sprintf
