@@ -1788,6 +1788,7 @@ let serve_bench () =
       drain_deadline = 30.;
       stmt_deadline = Some 60.;
       max_rows = None;
+      retry_seed = None;
       lane = Serve.Commit_lane.default_config;
     }
   in
@@ -2203,6 +2204,501 @@ let serve_fuzz () =
     !trials !violations !vacuous;
   if !violations > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Disk fuzz — seeded syscall faults across classes × sites            *)
+(* ------------------------------------------------------------------ *)
+
+(* Scratch workload: temporal + plain DML with enough statements that
+   rotations happen (snapshot_every 4) and every syscall site is hit
+   repeatedly.  Small tables keep per-point golden copies cheap. *)
+let disk_fuzz_workload =
+  [
+    "CREATE TABLE ft (name VARCHAR(10), pct DOUBLE) WITH VALIDTIME";
+    "VALIDTIME [DATE '2010-01-01', DATE '2011-01-01') INSERT INTO ft VALUES \
+     ('base', 5.0)";
+    "VALIDTIME [DATE '2010-02-01', DATE '2010-06-01') INSERT INTO ft VALUES \
+     ('extra', 2.0)";
+    "CREATE TABLE plain (k INT, v VARCHAR(10))";
+    "INSERT INTO plain VALUES (1, 'one')";
+    "INSERT INTO plain VALUES (2, 'two')";
+    "VALIDTIME [DATE '2010-03-01', DATE '2010-04-01') UPDATE ft SET pct = \
+     9.9 WHERE name = 'base'";
+    "INSERT INTO plain VALUES (3, 'three')";
+    "VALIDTIME [DATE '2010-04-01', DATE '2010-05-01') DELETE FROM ft WHERE \
+     name = 'extra'";
+    "CREATE VIEW cheap AS SELECT name FROM ft WHERE pct < 3.0";
+    "INSERT INTO plain VALUES (4, 'four')";
+    "UPDATE plain SET v = 'IV' WHERE k = 4";
+    "CREATE TABLE fp (sku VARCHAR(10), name VARCHAR(20)) WITH VALIDTIME \
+     TEMPORAL PRIMARY KEY (sku)";
+    "INSERT INTO fp (sku, name, begin_time, end_time) VALUES ('a', 'A', \
+     DATE '2010-01-01', DATE '9999-12-31')";
+    "TEMPORAL MERGE INTO fp USING (SELECT 'a' AS sku, 'A2' AS name, DATE \
+     '2010-03-01' AS begin_time, DATE '2010-04-01' AS end_time) MODE PATCH";
+    "INSERT INTO plain VALUES (5, 'five')";
+    "DELETE FROM plain WHERE k = 1";
+    "INSERT INTO plain VALUES (6, 'six')";
+    "INSERT INTO plain VALUES (7, 'seven')";
+    "INSERT INTO plain VALUES (8, 'eight')";
+  ]
+
+(* One seeded fault point: arm Fault.arm_io_seeded, run the workload
+   through an attached store catching typed aborts, then verify the
+   recovery contract.  Returns (site, fault, fired, outcome) where
+   outcome is `Exact (recovery reproduced the live state), `Prefix
+   (fault detected loudly, recovery landed on a recorded acked state),
+   `Overshoot (the one unacked in-flight commit survived — at-least-once
+   ambiguity, Wal_sync only), `Loud (attach or recovery failed with a
+   typed error explained by the fault), `Unfired (countdown never
+   reached) or `Violation reason. *)
+let disk_fuzz_point ~seed =
+  Fault.arm_io_seeded ~seed;
+  let site, fault, countdown =
+    match Fault.io_armed () with Some a -> a | None -> assert false
+  in
+  let policy =
+    match seed mod 3 with
+    | 0 -> Durable.Wal.Always
+    | 1 -> Durable.Wal.Batch 4
+    | _ -> Durable.Wal.Off
+  in
+  let dir = Filename.temp_dir "taupsm_diskfuzz" "" in
+  let finish outcome =
+    Fault.disarm_io ();
+    rm_rf dir;
+    (site, fault, outcome)
+  in
+  let e = Engine.create () in
+  Stratum.install e;
+  match Sqleval.Persist.attach ~policy ~snapshot_every:4 ~dir e with
+  | exception Taupsm_error.Error _ when Fault.io_fired () ->
+      finish `Loud (* init refused; nothing was ever acked *)
+  | h -> (
+      let states = Hashtbl.create 32 in
+      let record () =
+        Hashtbl.replace states
+          (Durable.Store.serial (Sqleval.Persist.store h))
+          (Sqldb.Database.copy (Engine.database e))
+      in
+      record ();
+      (* an aborted CREATE cascades: later statements on the missing
+         table fail with plain engine errors, not storage errors — any
+         raising statement is simply "not acked" for verdict purposes *)
+      (* Track the serial across BOTH outcomes: a failed commit can bump
+         the serial without acking (its record may be durable — the
+         overshoot case), and a later zero-row write is acked without
+         advancing it.  Only a statement that moves the serial past
+         everything seen defines a new recovery point. *)
+      let aborted = ref 0 in
+      let last_seen = ref (Sqleval.Persist.serial h) in
+      List.iter
+        (fun sql ->
+          (match Stratum.exec_sql e sql with
+          | _ -> if Sqleval.Persist.serial h > !last_seen then record ()
+          | exception _ -> incr aborted);
+          last_seen := max !last_seen (Sqleval.Persist.serial h))
+        disk_fuzz_workload;
+      (* the acked horizon is what was RECORDED, not Store.serial: a
+         commit whose fsync failed bumps the serial without ever being
+         acknowledged to the caller *)
+      let smax = Hashtbl.fold (fun s _ m -> max s m) states (-1) in
+      let live = Hashtbl.find states smax in
+      (try Sqleval.Persist.detach h with _ -> ());
+      let fired_in_run = Fault.io_fired () in
+      let exact (e', r) =
+        r.Durable.Store.last_serial = smax
+        && Taupsm.Resilient.db_diff live (Engine.database e') = None
+      in
+      let on_acked_state (e', r) =
+        match Hashtbl.find_opt states r.Durable.Store.last_serial with
+        | None -> false
+        | Some g -> Taupsm.Resilient.db_diff g (Engine.database e') = None
+      in
+      let loud (r : Durable.Store.report) =
+        (match r.Durable.Store.stop with
+        | "bad_crc" | "bad_record" | "bad_magic" | "io_error" -> true
+        | _ -> false)
+        || r.Durable.Store.snapshots_skipped > 0
+      in
+      if site = Fault.Recovery_read then (
+        (* the armed fault fires during recovery itself (double fault):
+           first recovery must be loud or exact, the one-shot rerun
+           must be exact *)
+        let first_ok =
+          match Sqleval.Persist.recover ~dir () with
+          | exception _ -> Fault.io_fired ()
+          | er ->
+              if not (Fault.io_fired ()) then exact er
+              else exact er || (loud (snd er) && on_acked_state er)
+        in
+        Fault.disarm_io ();
+        if not first_ok then
+          finish (`Violation "recovery-read fault: silent divergence")
+        else
+          match Sqleval.Persist.recover ~dir () with
+          | exception exn ->
+              finish
+                (`Violation
+                  (Printf.sprintf "clean rerun raised %s"
+                     (Printexc.to_string exn)))
+          | er ->
+              if exact er then finish `Exact
+              else finish (`Violation "clean rerun diverges from live"))
+      else
+        match Sqleval.Persist.recover ~dir () with
+        | exception Taupsm_error.Error _ when fired_in_run ->
+            (* e.g. a bit flip landed in the sole generation's snapshot
+               body: unrecoverable single-copy loss, reported loudly *)
+            finish `Loud
+        | exception exn ->
+            finish
+              (`Violation
+                (Printf.sprintf "recovery raised %s without a fired fault"
+                   (Printexc.to_string exn)))
+        | er ->
+            if exact er then
+              finish (if fired_in_run then `Exact else `Unfired)
+            else if not fired_in_run then
+              finish (`Violation "diverged with no fired fault")
+            else if loud (snd er) && on_acked_state er then finish `Prefix
+            else if
+              (* the dying statement's group may have fully reached the
+                 file before its fsync failed: the unacked commit
+                 survives — allowed, but it must be deterministic *)
+              site = Fault.Wal_sync
+              && (snd er).Durable.Store.last_serial = smax + 1
+              && (match Sqleval.Persist.recover ~dir () with
+                 | e2, r2 ->
+                     r2.Durable.Store.last_serial = smax + 1
+                     && Taupsm.Resilient.db_diff
+                          (Engine.database (fst er))
+                          (Engine.database e2)
+                        = None
+                 | exception _ -> false)
+            then finish `Overshoot
+            else
+              finish
+                (`Violation
+                  (Printf.sprintf
+                     "silent divergence (countdown=%d acked=[%s] stop=%s \
+                      serial=%d smax=%d gen=%d skipped=%d: %s)"
+                     countdown
+                     (String.concat ";"
+                        (List.sort compare
+                           (Hashtbl.fold
+                              (fun k _ a -> string_of_int k :: a)
+                              states [])))
+                     (snd er).Durable.Store.stop
+                     (snd er).Durable.Store.last_serial smax
+                     (snd er).Durable.Store.wal_generation
+                     (snd er).Durable.Store.snapshots_skipped
+                     (match
+                        Taupsm.Resilient.db_diff live
+                          (Engine.database (fst er))
+                      with
+                     | Some d -> d
+                     | None -> "serial mismatch only"))))
+
+(* Backup legs: hot backup under a live concurrent writer restores
+   bit-identically to its captured commit; PITR reproduces exact
+   historical states for several commit points. *)
+let disk_fuzz_backup_legs () =
+  let violations = ref 0 in
+  (* hot backup under writers *)
+  let dir = Filename.temp_dir "taupsm_dfbk" "" in
+  let target = Filename.concat dir "archive" in
+  let e = Engine.create () in
+  Stratum.install e;
+  let h = Sqleval.Persist.attach ~policy:Durable.Wal.Off ~snapshot_every:8 ~dir e in
+  ignore (Stratum.exec_sql e "CREATE TABLE t (k INT)");
+  let golden = Hashtbl.create 64 in
+  let mu = Mutex.create () in
+  let record () =
+    Mutex.lock mu;
+    Hashtbl.replace golden
+      (Durable.Store.serial (Sqleval.Persist.store h))
+      (Sqldb.Database.copy (Engine.database e));
+    Mutex.unlock mu
+  in
+  record ();
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to 60 do
+          ignore
+            (Stratum.exec_sql e (Printf.sprintf "INSERT INTO t VALUES (%d)" i));
+          record ()
+        done)
+  in
+  Unix.sleepf 0.003;
+  let hot = Sqleval.Persist.backup h ~target in
+  Domain.join writer;
+  let final = Sqleval.Persist.serial h in
+  Sqleval.Persist.detach h;
+  let rdir = Filename.concat dir "restore" in
+  (match Sqleval.Persist.restore ~archive:target ~dir:rdir () with
+  | er, hr, rr ->
+      Sqleval.Persist.detach hr;
+      let serial = rr.Durable.Store.last_serial in
+      if serial <> hot.Durable.Store.backup_serial then begin
+        incr violations;
+        Printf.printf "VIOLATION hot backup: archive serial %d <> %d\n%!"
+          serial hot.Durable.Store.backup_serial
+      end
+      else (
+        match Hashtbl.find_opt golden serial with
+        | None ->
+            incr violations;
+            Printf.printf "VIOLATION hot backup serial %d never acked\n%!"
+              serial
+        | Some g -> (
+            match Taupsm.Resilient.db_diff g (Engine.database er) with
+            | None -> ()
+            | Some d ->
+                incr violations;
+                Printf.printf "VIOLATION hot backup diverges at %d: %s\n%!"
+                  serial d))
+  | exception exn ->
+      incr violations;
+      Printf.printf "VIOLATION hot backup restore raised %s\n%!"
+        (Printexc.to_string exn));
+  Printf.printf
+    "hot backup under a live writer: captured commit %d restored exactly\n%!"
+    hot.Durable.Store.backup_serial;
+  (* PITR: three distinct commit points out of the same archive.  A
+     backup is one generation pair, so its restore window is [snapshot
+     serial of the archived generation, last commit] — points inside
+     the live WAL (61 commits, snapshot_every 8 → floor 56); a point
+     below the floor must be refused with a typed error, not silently
+     rounded up. *)
+  let cold = Filename.concat dir "cold" in
+  ignore (Durable.Store.backup_dir ~dir ~target:cold ());
+  (match
+     Sqleval.Persist.restore ~as_of_serial:2 ~archive:cold
+       ~dir:(Filename.concat dir "pitr-floor") ()
+   with
+  | _, hr, _ ->
+      Sqleval.Persist.detach hr;
+      incr violations;
+      Printf.printf
+        "VIOLATION pitr below the archive floor silently accepted\n%!"
+  | exception Taupsm_error.Error _ -> ()
+  | exception exn ->
+      incr violations;
+      Printf.printf "VIOLATION pitr floor refusal raised %s (untyped)\n%!"
+        (Printexc.to_string exn));
+  let points = [ final - 4; final - 2; final ] in
+  List.iter
+    (fun serial ->
+      let pdir = Filename.concat dir (Printf.sprintf "pitr%d" serial) in
+      match
+        Sqleval.Persist.restore ~as_of_serial:serial ~archive:cold ~dir:pdir ()
+      with
+      | er, hr, rr ->
+          Sqleval.Persist.detach hr;
+          let golden_ok =
+            match Hashtbl.find_opt golden serial with
+            | Some g -> Taupsm.Resilient.db_diff g (Engine.database er) = None
+            | None -> false
+          in
+          if rr.Durable.Store.last_serial <> serial || not golden_ok then begin
+            incr violations;
+            Printf.printf "VIOLATION pitr %d diverges\n%!" serial
+          end
+      | exception exn ->
+          incr violations;
+          Printf.printf "VIOLATION pitr %d raised %s\n%!" serial
+            (Printexc.to_string exn))
+    points;
+  Printf.printf "point-in-time restore: %d commit points reproduced exactly\n%!"
+    (List.length points);
+  rm_rf dir;
+  !violations
+
+let disk_fuzz () =
+  let title =
+    "Disk fuzz — seeded syscall faults (ENOSPC / EIO / short write / lying \
+     fsync / bit flip) across WAL, snapshot, rotation and recovery sites"
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let points =
+    match Sys.getenv_opt "TAUPSM_DISK_FUZZ_POINTS" with
+    | Some s -> ( try max 14 (int_of_string s) with Failure _ -> 300)
+    | None -> 300
+  in
+  let tally = Hashtbl.create 16 in
+  let bump key field =
+    let c =
+      match Hashtbl.find_opt tally key with
+      | Some c -> c
+      | None ->
+          let c = [| 0; 0; 0; 0; 0; 0; 0 |] in
+          Hashtbl.replace tally key c;
+          c
+    in
+    c.(field) <- c.(field) + 1
+  in
+  let violations = ref 0 in
+  for seed = 0 to points - 1 do
+    let site, fault, outcome = disk_fuzz_point ~seed in
+    let key = (site, fault) in
+    bump key 0;
+    (match outcome with
+    | `Exact -> bump key 1
+    | `Prefix -> bump key 2
+    | `Overshoot -> bump key 3
+    | `Loud -> bump key 4
+    | `Unfired -> bump key 5
+    | `Violation reason ->
+        incr violations;
+        bump key 6;
+        Printf.printf "VIOLATION seed %d (%s/%s): %s\n%!" seed
+          (Fault.io_site_name site) (Fault.io_fault_name fault) reason);
+    if (seed + 1) mod 50 = 0 then
+      Printf.printf "  %d fault points done (%d violations)\n%!" (seed + 1)
+        !violations
+  done;
+  Printf.printf "%-28s %6s %6s %7s %9s %5s %8s %5s\n" "site/fault" "armed"
+    "exact" "prefix" "overshoot" "loud" "unfired" "viol";
+  let queries = ref [] in
+  let covered = ref 0 in
+  Array.iter
+    (fun (site, fault) ->
+      let c =
+        match Hashtbl.find_opt tally (site, fault) with
+        | Some c -> c
+        | None -> [| 0; 0; 0; 0; 0; 0; 0 |]
+      in
+      let name =
+        Printf.sprintf "%s/%s" (Fault.io_site_name site)
+          (Fault.io_fault_name fault)
+      in
+      if c.(0) > 0 && c.(0) > c.(5) then incr covered;
+      Printf.printf "%-28s %6d %6d %7d %9d %5d %8d %5d\n" name c.(0) c.(1)
+        c.(2) c.(3) c.(4) c.(5) c.(6);
+      queries :=
+        Jobj
+          [
+            ("query", Jstr name);
+            ("armed", Jint c.(0));
+            ("exact", Jint c.(1));
+            ("prefix", Jint c.(2));
+            ("overshoot", Jint c.(3));
+            ("loud", Jint c.(4));
+            ("unfired", Jint c.(5));
+            ("violations", Jint c.(6));
+          ]
+        :: !queries)
+    Fault.io_matrix;
+  let backup_violations = disk_fuzz_backup_legs () in
+  let total_viol = !violations + backup_violations in
+  Printf.printf
+    "disk fuzz: %d fault points, %d/%d fault classes exercised, %d \
+     violations (%d backup-leg)\n%!"
+    points !covered
+    (Array.length Fault.io_matrix)
+    total_viol backup_violations;
+  write_bench ~pr:9 ~target:"disk-fuzz"
+    ~geomean:(if total_viol = 0 then 1.0 else 0.5)
+    ~extra:
+      [
+        ("fault_points", Jint points);
+        ("fault_classes", Jint (Array.length Fault.io_matrix));
+        ("fault_classes_fired", Jint !covered);
+        ("violations", Jint total_viol);
+        ("pitr_points", Jint 3);
+      ]
+    ~queries:(List.rev !queries) "BENCH_pr9.json";
+  if total_viol > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_*.json schema check                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Validate every BENCH_*.json in the working directory against the
+   shared schema (pr / commit / target / geomean / host_cores /
+   queries).  CI runs this so a hand-edited or truncated results file
+   fails loudly; exit 3 mirrors [bench_schema_check]. *)
+let bench_check () =
+  let files =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.eprintf "bench check: no BENCH_*.json files found in %s\n%!"
+      (Sys.getcwd ());
+    exit 3
+  end;
+  let bad = ref 0 in
+  List.iter
+    (fun file ->
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      match Serve.Json.parse s with
+      | Error m ->
+          incr bad;
+          Printf.printf "%-20s BAD: unparseable (%s)\n%!" file m
+      | Ok j ->
+          let module J = Serve.Json in
+          let ok_int k = match J.member_int j k with Some _ -> true | None -> false in
+          let ok_str k =
+            match J.member_string j k with Some s -> s <> "" | _ -> false
+          in
+          let ok_num k =
+            match J.member k j with
+            | Some (J.Float f) -> Float.is_finite f && f > 0.0
+            | Some (J.Int n) -> n > 0
+            | _ -> false
+          in
+          let ok_queries =
+            match J.member "queries" j with
+            | Some (J.List (_ :: _ as qs)) ->
+                List.for_all
+                  (fun q ->
+                    match J.member "query" q with
+                    | Some (J.Str _) -> true
+                    | _ -> false)
+                  qs
+            | _ -> false
+          in
+          let missing =
+            List.filter_map
+              (fun (k, ok) -> if ok then None else Some k)
+              [
+                ("pr", ok_int "pr");
+                ("commit", ok_str "commit");
+                ("target", ok_str "target");
+                ("geomean", ok_num "geomean");
+                ("host_cores", ok_int "host_cores");
+                ("queries", ok_queries);
+              ]
+          in
+          if missing = [] then
+            Printf.printf "%-20s ok (pr %s, target %s, %d queries)\n%!" file
+              (match J.member_int j "pr" with
+              | Some n -> string_of_int n
+              | None -> "?")
+              (match J.member_string j "target" with
+              | Some t -> t
+              | None -> "?")
+              (match J.member "queries" j with
+              | Some (J.List qs) -> List.length qs
+              | _ -> 0)
+          else begin
+            incr bad;
+            Printf.printf "%-20s BAD: missing/ill-typed %s\n%!" file
+              (String.concat ", " missing)
+          end)
+    files;
+  Printf.printf "bench check: %d file(s), %d bad\n%!" (List.length files) !bad;
+  if !bad > 0 then exit 3
+
 let () =
   let targets =
     match Array.to_list Sys.argv with
@@ -2232,6 +2728,8 @@ let () =
       | "merge" -> merge_bench ()
       | "serve" -> serve_bench ()
       | "serve-fuzz" -> serve_fuzz ()
+      | "disk-fuzz" -> disk_fuzz ()
+      | "check" -> bench_check ()
       | "nontemporal" -> nontemporal ()
       | "correctness" -> correctness ()
       | other ->
@@ -2239,7 +2737,7 @@ let () =
             "unknown target %s (expected fig7|fig12|fig13|fig14|fig15|\
              heuristic|nontemporal|ablation|index|guards|faults|wal|\
              recovery-fuzz|parallel|compile|merge|serve|serve-fuzz|\
-             bechamel|correctness)\n"
+             disk-fuzz|check|bechamel|correctness)\n"
             other;
           exit 2)
     targets

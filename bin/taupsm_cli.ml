@@ -445,34 +445,182 @@ let repl_cmd =
 (* recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let store_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db-dir" ] ~docv:"DIR" ~doc:"Durable store directory.")
+
 let recover_cmd =
-  let dir_arg =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "db-dir" ] ~docv:"DIR" ~doc:"Durable store directory to recover.")
-  in
   let run dir =
-    handle_errors (fun () ->
-        let e, report = Persist.recover ~dir () in
-        print_endline (Persist.report_to_string report);
+    match Persist.recover ~dir () with
+    | exception exn ->
+        Printf.eprintf "%s\n" (Taupsm.Resilient.error_message exn);
+        1
+    | e, report ->
+        let open Serve in
         let db = Engine.database e in
-        Printf.printf "engine clock: %s\n"
-          (Sqldb.Date.to_string (Engine.now e));
-        Printf.printf "%-16s %10s\n" "table" "rows";
-        List.iter
-          (fun name ->
-            Printf.printf "%-16s %10d\n" name
-              (Sqldb.Table.row_count (Sqldb.Database.find_table_exn db name)))
-          (Sqldb.Database.table_names db))
+        let tables =
+          List.map
+            (fun name ->
+              Json.Obj
+                [
+                  ("table", Json.Str name);
+                  ( "rows",
+                    Json.Int
+                      (Sqldb.Table.row_count
+                         (Sqldb.Database.find_table_exn db name)) );
+                ])
+            (Sqldb.Database.table_names db)
+        in
+        let fell_back = report.Durable.Store.snapshots_skipped > 0 in
+        let j =
+          Json.Obj
+            [
+              ("snapshot_id", Json.Int report.Durable.Store.snapshot_id);
+              ( "wal_generation",
+                Json.Int report.Durable.Store.wal_generation );
+              ( "snapshots_skipped",
+                Json.Int report.Durable.Store.snapshots_skipped );
+              ("fell_back", Json.Bool fell_back);
+              ( "commits_replayed",
+                Json.Int report.Durable.Store.commits_replayed );
+              ("records_scanned", Json.Int report.Durable.Store.records_scanned);
+              ("bytes_scanned", Json.Int report.Durable.Store.bytes_scanned);
+              ("stop", Json.Str report.Durable.Store.stop);
+              ("last_serial", Json.Int report.Durable.Store.last_serial);
+              ("wal_good_offset", Json.Int report.Durable.Store.wal_good_offset);
+              ( "wal_committed_offset",
+                Json.Int report.Durable.Store.wal_committed_offset );
+              ("seconds", Json.Float report.Durable.Store.seconds);
+              ( "engine_clock",
+                Json.Str (Sqldb.Date.to_string (Engine.now e)) );
+              ("tables", Json.List tables);
+            ]
+        in
+        print_endline (Json.to_string j);
+        Printf.eprintf "%s\n%!" (Persist.report_to_string report);
+        if fell_back then 3 else 0
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:
          "Recover a durable store (latest intact snapshot + WAL replay to \
-          the last intact commit marker) and report what was rebuilt, \
-          without going live.")
-    Term.(const run $ dir_arg)
+          the last intact commit marker) without going live, printing a \
+          machine-readable JSON report on stdout.  Exits 3 when recovery \
+          had to fall back past the newest snapshot generation.")
+    Term.(const run $ store_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* scrub / backup / restore                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scrub_cmd =
+  let no_quarantine_arg =
+    Arg.(
+      value & flag
+      & info [ "no-quarantine" ]
+          ~doc:
+            "Report corruption only; do not rename corrupt files of older \
+             generations to $(b,*.quarantine).")
+  in
+  let run dir no_quarantine =
+    match
+      Persist.scrub ~quarantine:(not no_quarantine) ~dir ()
+    with
+    | exception exn ->
+        Printf.eprintf "%s\n" (Taupsm.Resilient.error_message exn);
+        1
+    | r ->
+        print_endline (Serve.Json.to_string (Serve.Server.scrub_json r));
+        (* exit 3 when corruption was found, so cron jobs can alert *)
+        let corrupt =
+          List.exists
+            (fun (g : Durable.Store.gen_status) ->
+              (not g.Durable.Store.snap_ok)
+              ||
+              match g.Durable.Store.wal_stop with
+              | "bad_crc" | "bad_record" | "bad_magic" | "io_error" -> true
+              | _ -> false)
+            r.Durable.Store.generations
+        in
+        if corrupt then 3 else 0
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "CRC-walk every retained snapshot + WAL generation of a durable \
+          store, quarantine corrupt files of superseded generations \
+          (rename to $(b,*.quarantine), never delete), and report which \
+          commits remain recoverable.  Safe against a live store; exits 3 \
+          when any corruption was found.")
+    Term.(const run $ store_dir_arg $ no_quarantine_arg)
+
+let backup_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target" ] ~docv:"DIR" ~doc:"Directory to write the archive to.")
+  in
+  let run dir target =
+    handle_errors (fun () ->
+        let r = Persist.backup_dir ~dir ~target () in
+        print_endline (Serve.Json.to_string (Serve.Server.backup_json r)))
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:
+         "Copy the newest intact snapshot generation plus its committed WAL \
+          prefix into $(b,--target) — a self-contained archive restorable \
+          with $(b,restore).  For a backup of a live server use the \
+          $(b,backup) op on the serve protocol instead.")
+    Term.(const run $ store_dir_arg $ target_arg)
+
+let restore_cmd =
+  let archive_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "archive" ] ~docv:"DIR"
+          ~doc:"Backup archive (or any store directory) to restore from.")
+  in
+  let as_of_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "as-of-commit" ] ~docv:"N"
+          ~doc:
+            "Point-in-time restore: replay the archive only up to commit \
+             serial $(docv) (default: everything committed).")
+  in
+  let run archive dir as_of =
+    handle_errors (fun () ->
+        if Durable.Store.exists dir then
+          raise
+            (Eval.Sql_error
+               (Printf.sprintf
+                  "restore target %s already holds a store; refusing to \
+                   overwrite"
+                  dir));
+        let e, h, report =
+          Persist.restore ?as_of_serial:as_of ~archive ~dir ()
+        in
+        Printf.eprintf "%s\n%!" (Persist.report_to_string report);
+        let db = Engine.database e in
+        Printf.printf "restored to %s at serial %d (%d table(s))\n" dir
+          report.Durable.Store.last_serial
+          (List.length (Sqldb.Database.table_names db));
+        Persist.detach h)
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Restore a backup archive into a fresh store directory, optionally \
+          stopping at an exact commit marker ($(b,--as-of-commit)).  The \
+          archive is never written to; the target must not already hold a \
+          store.")
+    Term.(const run $ archive_arg $ store_dir_arg $ as_of_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -673,9 +821,19 @@ let serve_cmd =
              commit-lane batch, commits acknowledged only after it) or \
              $(b,always) (one fsync per commit).")
   in
+  let retry_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed the write-lane resubmission backoff jitter so retry \
+             timing replays deterministically (fuzz/debug; default: \
+             process-global PRNG).")
+  in
   let run dataset empty seed db_dir snapshot_every host port workers
       queue_depth idle_timeout drain_deadline deadline max_rows max_batch
-      sync =
+      sync retry_seed =
     handle_errors (fun () ->
         let policy =
           match sync with
@@ -696,6 +854,7 @@ let serve_cmd =
             drain_deadline;
             stmt_deadline = deadline;
             max_rows;
+            retry_seed;
             lane =
               {
                 Serve.Commit_lane.default_config with
@@ -738,7 +897,8 @@ let serve_cmd =
       $ snapshot_every_arg $ host_arg
       $ port_arg ~default:7411 ~doc:"Port to listen on (0 = ephemeral)."
       $ workers_arg $ queue_depth_arg $ idle_timeout_arg $ drain_deadline_arg
-      $ deadline_arg $ max_rows_arg $ max_batch_arg $ serve_sync_arg)
+      $ deadline_arg $ max_rows_arg $ max_batch_arg $ serve_sync_arg
+      $ retry_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -840,6 +1000,9 @@ let () =
             gen_cmd;
             explain_cmd;
             recover_cmd;
+            scrub_cmd;
+            backup_cmd;
+            restore_cmd;
             serve_cmd;
             client_cmd;
           ]))

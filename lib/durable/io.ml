@@ -1,0 +1,146 @@
+(* The injectable syscall layer for the durable stratum.
+
+   Every byte the durable store moves to or from disk goes through this
+   module: WAL appends, snapshot writes, rotation renames, recovery
+   reads, backup copies.  Each operation consults [Fault.io_check] for
+   its site first, so a seeded storage fault — ENOSPC, EIO, a short
+   write, a dropped fsync, a flipped bit — lands on exactly the syscall
+   the harness armed, and the crash-point byte budget
+   ([Fault.crash_allowance]) still tears writes at byte granularity
+   underneath.
+
+   Faults are expressed in the syscall's own vocabulary: failures raise
+   [Unix.Unix_error] exactly as the real call would, so the layers above
+   cannot tell an injected ENOSPC from a genuine one and their
+   degradation policy is honest. *)
+
+let site_str site = Fault.io_site_name site
+
+(* Deterministic bit flip: position derived from the armed salt and the
+   buffer length, so a given seed corrupts a reproducible byte. *)
+let flip_bit ~salt s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let pos = abs (salt land max_int) mod n in
+    let bit = abs (salt lsr 7) mod 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+(* Write [s] under both the storage-fault point and the crash budget.
+
+   Fault order matters: the fault decides what the filesystem does with
+   this write (fail, truncate, corrupt); the crash budget then decides
+   whether the process survives writing whatever the fault left of it.
+   A short write persists a prefix and then raises — the caller's abort
+   path must truncate it away.  A bit flip persists the whole buffer
+   with one bit wrong and returns success: silent corruption that only
+   CRC validation (recovery, scrub) can see. *)
+let write fd ~site s =
+  let s, fault =
+    match Fault.io_check site with
+    | None -> (s, None)
+    | Some (Fault.Io_bit_flip, salt) -> (flip_bit ~salt s, None)
+    | Some ((Fault.Io_enospc | Fault.Io_eio | Fault.Io_short_write), _) as f ->
+        (s, f)
+    | Some (Fault.Io_fsync_drop, _) ->
+        (* an fsync fault armed at a write site: physically meaningless,
+           treat as a no-op so a mis-armed point never passes silently
+           as "write ok" *)
+        (s, None)
+  in
+  let persist upto =
+    let n = String.length s in
+    let upto = min upto n in
+    let k = Fault.crash_allowance upto in
+    if k > 0 then write_all fd s 0 k;
+    if k < upto then begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Fault.crash_now ~site:(site_str site)
+    end
+  in
+  match fault with
+  | None -> persist (String.length s)
+  | Some (Fault.Io_enospc, _) ->
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", site_str site))
+  | Some (Fault.Io_eio, _) ->
+      raise (Unix.Unix_error (Unix.EIO, "write", site_str site))
+  | Some (Fault.Io_short_write, salt) ->
+      (* a prefix reaches the platter, then the device gives out *)
+      let n = String.length s in
+      let cut = if n <= 1 then 0 else abs (salt land max_int) mod n in
+      persist cut;
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", site_str site))
+  | Some (Fault.Io_fsync_drop, _) | Some (Fault.Io_bit_flip, _) ->
+      assert false (* rewritten to None above *)
+
+let fsync fd ~site =
+  match Fault.io_check site with
+  | None -> Unix.fsync fd
+  | Some (Fault.Io_fsync_drop, _) ->
+      (* the lying fsync: report success, sync nothing *)
+      Fault.fsync_dropped ()
+  | Some ((Fault.Io_eio | Fault.Io_enospc), _) ->
+      raise (Unix.Unix_error (Unix.EIO, "fsync", site_str site))
+  | Some ((Fault.Io_short_write | Fault.Io_bit_flip), _) -> Unix.fsync fd
+
+let rename ~site src dst =
+  match Fault.io_check site with
+  | None -> Unix.rename src dst
+  | Some (Fault.Io_enospc, _) ->
+      raise (Unix.Unix_error (Unix.ENOSPC, "rename", site_str site))
+  | Some (_, _) -> raise (Unix.Unix_error (Unix.EIO, "rename", site_str site))
+
+let openfile ~site path flags perm =
+  match Fault.io_check site with
+  | None -> Unix.openfile path flags perm
+  | Some (Fault.Io_enospc, _) ->
+      raise (Unix.Unix_error (Unix.ENOSPC, "open", path))
+  | Some (_, _) -> raise (Unix.Unix_error (Unix.EIO, "open", path))
+
+(* Whole-file read on the recovery path.  An injected EIO models an
+   unreadable sector; a bit flip models at-rest corruption surfacing on
+   the way back — the CRC machinery downstream must catch it. *)
+let read_file ~site path =
+  (match Fault.io_check site with
+  | None -> fun s -> s
+  | Some (Fault.Io_bit_flip, salt) -> flip_bit ~salt
+  | Some (_, _) -> raise (Unix.Unix_error (Unix.EIO, "read", path)))
+  |> fun transform ->
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  transform s
+
+(* Copy [len] bytes (whole file when [len] is omitted) from [src] to
+   [dst] via a temp file + rename, fsynced, so a crash mid-copy never
+   leaves a half-written file under the destination name — re-running
+   the backup is always safe.  Goes through {!write} so backup I/O sits
+   under the same fault and crash budget as everything else. *)
+let copy_file ?len ~site src dst =
+  let s = read_file ~site:Fault.Recovery_read src in
+  let s =
+    match len with
+    | Some n when n < String.length s -> String.sub s 0 n
+    | _ -> s
+  in
+  let tmp = dst ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  (try
+     write fd ~site s;
+     fsync fd ~site;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  rename ~site tmp dst;
+  String.length s

@@ -1,0 +1,36 @@
+(** Injectable syscall layer for the durable stratum.
+
+    All durable-layer file I/O — WAL appends and fsyncs, snapshot
+    tmp+rename writes, rotation, recovery reads, backup copies — goes
+    through this module so that {!Fault.arm_io} can make exactly one
+    syscall misbehave (ENOSPC, EIO, short write, dropped fsync, flipped
+    bit) and {!Fault.arm_crash}'s byte budget can tear any write.
+
+    Injected failures raise [Unix.Unix_error] exactly as the real
+    syscall would, so callers cannot distinguish injected faults from
+    genuine ones and their degradation policy is tested honestly. *)
+
+val write : Unix.file_descr -> site:Fault.io_site -> string -> unit
+(** Write the whole string, under the storage-fault point for [site]
+    and the crash byte budget.  An injected short write persists a
+    deterministic prefix before raising; an injected bit flip persists
+    the whole buffer with one bit wrong and returns success. *)
+
+val fsync : Unix.file_descr -> site:Fault.io_site -> unit
+(** Fsync, under the fault point: [Io_fsync_drop] silently skips the
+    sync (recorded via {!Fault.fsync_dropped}); EIO/ENOSPC raise. *)
+
+val rename : site:Fault.io_site -> string -> string -> unit
+val openfile :
+  site:Fault.io_site -> string -> Unix.open_flag list -> int -> Unix.file_descr
+
+val read_file : site:Fault.io_site -> string -> string
+(** Whole-file read on the recovery/scrub path.  An injected EIO models
+    an unreadable sector; an injected bit flip corrupts the returned
+    bytes so downstream CRC validation must catch it. *)
+
+val copy_file : ?len:int -> site:Fault.io_site -> string -> string -> int
+(** [copy_file ?len ~site src dst] copies [src] (truncated to [len]
+    bytes when given) to [dst] via tmp + fsync + rename, so a crash
+    mid-copy never leaves a partial file under [dst] and re-running is
+    always safe.  Returns the number of bytes copied. *)

@@ -28,6 +28,16 @@ type t
 
 type report = {
   snapshot_id : int;  (** snapshot generation recovery loaded *)
+  wal_generation : int;
+      (** generation whose WAL is the live log after replay — greater
+          than [snapshot_id] when recovery chained across rotations
+          (each generation's log begins exactly where its
+          predecessor's ends, so a corrupt or quarantined snapshot
+          costs nothing while the WAL chain is unbroken) *)
+  snapshots_skipped : int;
+      (** newer generations passed over because they were corrupt,
+          unreadable, or (under [stop_at_serial]) past the target —
+          non-zero means recovery fell back *)
   commits_replayed : int;  (** commit markers applied from the WAL *)
   records_scanned : int;
   bytes_scanned : int;  (** WAL file size at recovery time *)
@@ -64,6 +74,7 @@ val init :
 
 val recover :
   ?obs:Trace.t ->
+  ?stop_at_serial:int ->
   dir:string ->
   db:Sqldb.Database.t ->
   on_ddl:(string -> unit) ->
@@ -80,7 +91,13 @@ val recover :
     [Durability] when no snapshot generation is loadable, or when a
     CRC-valid commit group fails to apply (a semantically inconsistent
     record must fail recovery loudly, never yield a silently partial
-    database). *)
+    database).
+
+    [stop_at_serial n] is point-in-time restore: replay freezes after
+    the commit with serial [n] — later groups are scanned but never
+    applied, and snapshot generations taken after serial [n] are passed
+    over so an older generation can replay up to the mark.  The
+    resulting [report.last_serial] is at most [n]. *)
 
 val resume :
   ?policy:Wal.sync_policy ->
@@ -117,4 +134,77 @@ val serial : t -> int
 (** Serial of the last committed statement. *)
 
 val is_dead : t -> bool
-(** True after a crash, an I/O error, or {!detach}. *)
+(** True after a crash, a fatal I/O error (e.g. fsync EIO), or
+    {!detach}. *)
+
+val is_degraded : t -> bool
+(** True once the store has survived a storage fault — an aborted
+    commit group (ENOSPC/EIO on append) or a rotation fallback.  All
+    acknowledged data is still safe; the flag is operator signal, not a
+    correctness state. *)
+
+val last_commit : t -> int * int * int
+(** [(snap_id, serial, wal_committed_offset)] as of the last fully
+    appended commit group — the consistency point hot {!backup}
+    captures.  Safe to read from any domain. *)
+
+(** {1 Online scrub}
+
+    CRC-walks every retained snapshot + WAL generation without touching
+    any database, so it can run against a live store directory (reads
+    see a consistent committed prefix; a torn tail on the live WAL is a
+    normal artifact, reported but never flagged as corruption). *)
+
+type gen_status = {
+  gen_id : int;
+  snap_ok : bool;  (** snapshot present, CRC-valid and decodable *)
+  snap_serial : int;  (** serial stored in the snapshot; -1 if unreadable *)
+  wal_stop : string;  (** {!Wal.stop_string} of the WAL walk *)
+  wal_records : int;
+  wal_commits : int;  (** intact commit markers *)
+  wal_last_serial : int;
+      (** serial of the last intact commit, or the snapshot serial when
+          the WAL has none *)
+  gen_quarantined : string list;  (** files this scrub renamed aside *)
+}
+
+type scrub_report = {
+  generations : gen_status list;  (** newest first *)
+  intact_generations : int;
+  recoverable_serial : int;
+      (** the commit serial {!recover} would reach right now; -1 when
+          no generation is recoverable *)
+  quarantined : string list;
+}
+
+val scrub : ?obs:Trace.t -> ?quarantine:bool -> dir:string -> unit -> scrub_report
+(** Walk every generation in [dir].  With [quarantine] (default [true])
+    corrupt files — a snapshot failing CRC/decode, a WAL stopping on
+    [bad_crc]/[bad_record]/[bad_magic] — are renamed to
+    [*.quarantine] (never deleted), but ONLY in generations strictly
+    older than the newest one with an intact snapshot: nothing a future
+    recovery might still need is ever moved.  Idempotent and
+    re-runnable after any interruption. *)
+
+(** {1 Hot backup} *)
+
+type backup_report = {
+  backup_snapshot_id : int;
+  backup_serial : int;  (** the commit the archive restores to *)
+  backup_wal_bytes : int;
+  backup_snap_bytes : int;
+}
+
+val backup : t -> target:string -> backup_report
+(** Copy the newest intact generation — snapshot plus the committed WAL
+    prefix captured by {!last_commit} — into [target] while the store
+    keeps serving.  The archive is itself a valid store directory
+    (plus a [backup.meta] manifest) whose recovery ends exactly at the
+    captured commit.  Every file lands via tmp+rename, so an
+    interrupted backup leaves no partial file under a final name and
+    re-running is safe. *)
+
+val backup_dir :
+  ?obs:Trace.t -> dir:string -> target:string -> unit -> backup_report
+(** Cold variant for a store directory nobody is serving from: scans to
+    find the newest intact generation and its committed prefix. *)

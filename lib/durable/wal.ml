@@ -1,6 +1,7 @@
 (* Append-only WAL file with CRC-framed records.  Every durable byte
-   goes through [write_durable], the single funnel the crash-point
-   harness (Fault.arm_crash) tears writes at. *)
+   goes through [Io], the injectable syscall layer the storage-fault
+   harness (Fault.arm_io) misbehaves at and the crash-point harness
+   (Fault.arm_crash) tears writes at. *)
 
 type sync_policy = Always | Batch of int | Off
 
@@ -23,21 +24,7 @@ type t = {
   mutable dead : bool;
 }
 
-let rec write_all fd s pos len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s pos len in
-    write_all fd s (pos + n) (len - n)
-  end
-
-let write_durable fd ~site s =
-  let n = String.length s in
-  let k = Fault.crash_allowance n in
-  if k > 0 then write_all fd s 0 k;
-  if k < n then begin
-    (* torn write persisted; now die like the machine would *)
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Fault.crash_now ~site
-  end
+let write_durable fd ~site s = Io.write fd ~site s
 
 let guarded t site f =
   if t.dead then ()
@@ -51,20 +38,22 @@ let guarded t site f =
         Taupsm_error.raise_error Taupsm_error.Durability "%s failed: %s in %s"
           site (Unix.error_message err) fn
 
-let fsync_now t =
-  Unix.fsync t.fd;
+let fsync_now ?(site = Fault.Wal_sync) t =
+  Io.fsync t.fd ~site;
   t.pending_commits <- 0;
   Trace.count t.obs "wal.fsyncs" 1
 
 let create ?(policy = Batch 16) ?(obs = Trace.null) path =
   let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+    Io.openfile ~site:Fault.Rotation path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
   in
   let t = { fd; path; policy; obs; offset = 0; pending_commits = 0; dead = false } in
   guarded t "wal create" (fun () ->
-      write_durable t.fd ~site:("wal create " ^ Filename.basename path) magic;
+      Io.write t.fd ~site:Fault.Rotation magic;
       t.offset <- header_len;
-      fsync_now t);
+      fsync_now ~site:Fault.Rotation t);
   t
 
 let reopen ?(policy = Batch 16) ?(obs = Trace.null) path ~good_offset =
@@ -83,15 +72,56 @@ let frame payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
+(* A failed append is NOT fatal to the log.  ENOSPC or EIO mid-append is
+   the canonical recoverable storage fault: the record (possibly a
+   partially-persisted prefix of it) is cut back off the file so the log
+   ends exactly at the last good record, and a typed [Durability] error
+   aborts the statement while the WAL stays live for the next one.  Only
+   if the heal-truncate itself fails — the filesystem is refusing even
+   metadata operations — does the log die. *)
 let append t payload =
-  guarded t "wal append" (fun () ->
-      let r = frame payload in
-      write_durable t.fd ~site:("wal append " ^ Filename.basename t.path) r;
+  if t.dead then ()
+  else begin
+    let r = frame payload in
+    try
+      Io.write t.fd ~site:Fault.Wal_append r;
       t.offset <- t.offset + String.length r;
       if Trace.enabled t.obs then begin
         Trace.count t.obs "wal.records" 1;
         Trace.count t.obs "wal.bytes" (String.length r)
-      end)
+      end
+    with
+    | Fault.Crash _ as e ->
+        t.dead <- true;
+        raise e
+    | Unix.Unix_error (err, fn, _) -> (
+        match
+          Unix.ftruncate t.fd t.offset;
+          ignore (Unix.lseek t.fd t.offset Unix.SEEK_SET)
+        with
+        | () ->
+            Trace.count t.obs "wal.append_failures" 1;
+            Taupsm_error.raise_error Taupsm_error.Durability
+              "wal append failed: %s in %s (record removed, log intact)"
+              (Unix.error_message err) fn
+        | exception Unix.Unix_error (err2, fn2, _) ->
+            t.dead <- true;
+            Taupsm_error.raise_error Taupsm_error.Durability
+              "wal append failed: %s in %s; heal truncate failed: %s in %s (log dead)"
+              (Unix.error_message err) fn (Unix.error_message err2) fn2)
+  end
+
+(* Cut the log back to [off] — the group-abort primitive: a statement
+   whose events are already appended but whose commit marker failed (or
+   was never written) erases itself so recovery can never see a
+   half-group.  Fatal if the filesystem refuses. *)
+let truncate_to t off =
+  if not t.dead && off <> t.offset then
+    guarded t "wal truncate" (fun () ->
+        Unix.ftruncate t.fd off;
+        ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+        t.offset <- off;
+        Trace.count t.obs "wal.truncates" 1)
 
 let commit_done t =
   guarded t "wal commit" (fun () ->
@@ -109,6 +139,7 @@ let commit_done t =
 let sync t = guarded t "wal sync" (fun () -> fsync_now t)
 
 let offset t = t.offset
+let is_dead t = t.dead
 
 let close t =
   if not t.dead then begin
@@ -121,7 +152,7 @@ let close t =
 (* Recovery scan                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type stop = Eof | Torn_tail | Bad_crc | Bad_record | Bad_magic | Missing
+type stop = Eof | Torn_tail | Bad_crc | Bad_record | Bad_magic | Missing | Io_error
 
 let stop_string = function
   | Eof -> "eof"
@@ -130,6 +161,7 @@ let stop_string = function
   | Bad_record -> "bad_record"
   | Bad_magic -> "bad_magic"
   | Missing -> "missing"
+  | Io_error -> "io_error"
 
 type scan = { good_offset : int; records : int; bytes : int; stop : stop }
 
@@ -137,49 +169,52 @@ let scan path ~f =
   if not (Sys.file_exists path) then
     { good_offset = header_len; records = 0; bytes = 0; stop = Missing }
   else begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    if len < header_len || String.sub s 0 header_len <> magic then
-      { good_offset = header_len; records = 0; bytes = len; stop = Bad_magic }
-    else begin
-      let pos = ref header_len in
-      let good = ref header_len in
-      let records = ref 0 in
-      let stop = ref Eof in
-      (try
-         while !pos < len do
-           if !pos + 8 > len then begin
-             stop := Torn_tail;
-             raise Exit
-           end;
-           let rlen = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
-           let crc = Int32.to_int (String.get_int32_le s (!pos + 4)) land 0xFFFFFFFF in
-           if rlen > max_record then begin
-             stop := Bad_crc;
-             raise Exit
-           end;
-           if !pos + 8 + rlen > len then begin
-             stop := Torn_tail;
-             raise Exit
-           end;
-           let payload = String.sub s (!pos + 8) rlen in
-           if Crc32.digest payload <> crc then begin
-             stop := Bad_crc;
-             raise Exit
-           end;
-           let record_end = !pos + 8 + rlen in
-           (match f ~off:record_end payload with
-           | () -> ()
-           | exception _ ->
-               stop := Bad_record;
-               raise Exit);
-           pos := record_end;
-           good := !pos;
-           incr records
-         done
-       with Exit -> ());
-      { good_offset = !good; records = !records; bytes = len; stop = !stop }
-    end
+    match Io.read_file ~site:Fault.Recovery_read path with
+    | exception Unix.Unix_error _ ->
+        (* the device refused the read outright: report loudly rather
+           than pass off an empty log as a clean one *)
+        { good_offset = header_len; records = 0; bytes = 0; stop = Io_error }
+    | s ->
+        let len = String.length s in
+        if len < header_len || String.sub s 0 header_len <> magic then
+          { good_offset = header_len; records = 0; bytes = len; stop = Bad_magic }
+        else begin
+          let pos = ref header_len in
+          let good = ref header_len in
+          let records = ref 0 in
+          let stop = ref Eof in
+          (try
+             while !pos < len do
+               if !pos + 8 > len then begin
+                 stop := Torn_tail;
+                 raise Exit
+               end;
+               let rlen = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+               let crc = Int32.to_int (String.get_int32_le s (!pos + 4)) land 0xFFFFFFFF in
+               if rlen > max_record then begin
+                 stop := Bad_crc;
+                 raise Exit
+               end;
+               if !pos + 8 + rlen > len then begin
+                 stop := Torn_tail;
+                 raise Exit
+               end;
+               let payload = String.sub s (!pos + 8) rlen in
+               if Crc32.digest payload <> crc then begin
+                 stop := Bad_crc;
+                 raise Exit
+               end;
+               let record_end = !pos + 8 + rlen in
+               (match f ~off:record_end payload with
+               | () -> ()
+               | exception _ ->
+                   stop := Bad_record;
+                   raise Exit);
+               pos := record_end;
+               good := !pos;
+               incr records
+             done
+           with Exit -> ());
+          { good_offset = !good; records = !records; bytes = len; stop = !stop }
+        end
   end

@@ -36,7 +36,19 @@ val append : t -> string -> unit
 (** Frame and append one record payload.  All bytes pass through
     {!Fault.crash_allowance}: under an armed crash point the permitted
     prefix is written (a torn record) and {!Fault.Crash} is raised,
-    after which this WAL is dead and every further operation no-ops. *)
+    after which this WAL is dead and every further operation no-ops.
+
+    A syscall failure (ENOSPC, EIO, injected or genuine) is NOT fatal:
+    the partial record is truncated back off the file and a typed
+    [Durability] error is raised with the log intact and live, so the
+    caller can abort just the current statement.  Only if that healing
+    truncate itself fails does the log die. *)
+
+val truncate_to : t -> int -> unit
+(** Cut the log back to byte offset [off] — the group-abort primitive
+    for erasing already-appended events of a statement whose commit
+    failed.  Fatal (log dead, typed [Durability] error) if the
+    filesystem refuses. *)
 
 val commit_done : t -> unit
 (** Note that a commit marker was just appended and apply the fsync
@@ -50,15 +62,21 @@ val sync : t -> unit
 val offset : t -> int
 (** Bytes written so far, including the magic header. *)
 
+val is_dead : t -> bool
+(** True after a crash, a fatal I/O error, or {!close}.  A log that
+    survived an append failure (statement aborted, file healed) is NOT
+    dead. *)
+
 val close : t -> unit
 (** Fsync (unless the policy is [Off]) and close.  Idempotent; no-op on
     a dead WAL. *)
 
-val write_durable : Unix.file_descr -> site:string -> string -> unit
-(** Crash-point-aware whole-string write used for every durable byte in
-    this layer (the snapshot writer shares it).  On a crash the fd is
-    closed before {!Fault.Crash} is raised — a real crash would drop
-    the descriptor too. *)
+val write_durable : Unix.file_descr -> site:Fault.io_site -> string -> unit
+(** Fault- and crash-point-aware whole-string write (an alias for
+    {!Io.write}) used for every durable byte in this layer; the
+    snapshot writer shares it.  On a crash the fd is closed before
+    {!Fault.Crash} is raised — a real crash would drop the descriptor
+    too. *)
 
 val frame : string -> string
 (** The framed bytes ([length ^ crc ^ payload]) for one payload —
@@ -73,6 +91,7 @@ type stop =
   | Bad_record  (** CRC passed but the payload did not parse *)
   | Bad_magic  (** missing or foreign header *)
   | Missing  (** no such file (e.g. crash between snapshot and WAL creation) *)
+  | Io_error  (** the read itself failed (EIO): nothing scanned, reported loudly *)
 
 val stop_string : stop -> string
 

@@ -56,6 +56,130 @@ let hit site =
     | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Storage faults: syscall-level failures in the durable layer         *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the engine-level sites above, these model the *filesystem*
+   misbehaving: a write that returns ENOSPC or EIO, a write that
+   persists only a prefix before failing, an fsync that silently does
+   nothing, or a byte that flips on its way to (or back from) the
+   platter.  The durable layer consults {!io_check} at every syscall
+   it issues through [Durable.Io]; the armed point decides what that
+   one syscall does.  One fault per arming, like the sites above, so a
+   retry after the typed error runs clean. *)
+
+type io_fault = Io_enospc | Io_eio | Io_short_write | Io_fsync_drop | Io_bit_flip
+
+type io_site =
+  | Wal_append
+  | Wal_sync
+  | Snapshot_write
+  | Rotation
+  | Recovery_read
+
+let io_fault_name = function
+  | Io_enospc -> "enospc"
+  | Io_eio -> "eio"
+  | Io_short_write -> "short_write"
+  | Io_fsync_drop -> "fsync_drop"
+  | Io_bit_flip -> "bit_flip"
+
+let io_site_name = function
+  | Wal_append -> "wal_append"
+  | Wal_sync -> "wal_sync"
+  | Snapshot_write -> "snapshot_write"
+  | Rotation -> "rotation"
+  | Recovery_read -> "recovery_read"
+
+(* Which fault classes make sense at which site: write faults at the
+   write sites, fsync faults at the sync site, read faults (EIO and
+   bit rot surfacing on the read path) at recovery.  [arm_io_seeded]
+   only draws from this matrix, so every seed names a physically
+   possible failure. *)
+let io_matrix =
+  [|
+    (Wal_append, Io_enospc);
+    (Wal_append, Io_eio);
+    (Wal_append, Io_short_write);
+    (Wal_append, Io_bit_flip);
+    (Snapshot_write, Io_enospc);
+    (Snapshot_write, Io_eio);
+    (Snapshot_write, Io_short_write);
+    (Snapshot_write, Io_bit_flip);
+    (Rotation, Io_enospc);
+    (Rotation, Io_eio);
+    (Wal_sync, Io_eio);
+    (Wal_sync, Io_fsync_drop);
+    (Recovery_read, Io_eio);
+    (Recovery_read, Io_bit_flip);
+  |]
+
+type armed_io = {
+  io_site : io_site;
+  io_fault : io_fault;
+  mutable io_countdown : int;
+  io_salt : int;  (* deterministic bit-flip position / short-write cut *)
+}
+
+let io_state : armed_io option ref = ref None
+let io_enabled = ref false
+let io_has_fired = ref false
+let fsync_drops = ref 0
+
+let arm_io ?(salt = 0) ~site ~fault ~countdown () =
+  io_state :=
+    Some
+      {
+        io_site = site;
+        io_fault = fault;
+        io_countdown = max 1 countdown;
+        io_salt = salt;
+      };
+  io_enabled := true;
+  io_has_fired := false
+
+let arm_io_seeded ~seed =
+  let h = mix seed in
+  let site, fault = io_matrix.(abs h mod Array.length io_matrix) in
+  let h2 = mix h in
+  let countdown = 1 + (abs h2 mod 6) in
+  arm_io ~salt:(mix h2) ~site ~fault ~countdown ()
+
+let io_armed () =
+  match !io_state with
+  | Some a -> Some (a.io_site, a.io_fault, a.io_countdown)
+  | None -> None
+
+let disarm_io () =
+  io_state := None;
+  io_enabled := false
+
+let io_fired () = !io_has_fired
+
+(* Consulted by [Durable.Io] before each syscall at [site].  [Some
+   (fault, salt)] means this syscall misbehaves; the point disarms so
+   exactly one syscall is affected per arming. *)
+let io_check site =
+  if not !io_enabled then None
+  else
+    match !io_state with
+    | Some a when a.io_site = site ->
+        if a.io_countdown <= 1 then begin
+          io_state := None;
+          io_enabled := false;
+          io_has_fired := true;
+          Some (a.io_fault, a.io_salt)
+        end
+        else begin
+          a.io_countdown <- a.io_countdown - 1;
+          None
+        end
+    | _ -> None
+
+let fsync_dropped () = incr fsync_drops
+let fsync_drop_count () = !fsync_drops
+
+(* ------------------------------------------------------------------ *)
 (* Crash points: simulated process death mid-durable-write             *)
 (* ------------------------------------------------------------------ *)
 

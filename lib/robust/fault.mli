@@ -33,6 +33,64 @@ val hit : site -> unit
 (** Execution hook: raises [Taupsm_error.Error] with code
     [Injected_fault] when the armed countdown reaches zero. *)
 
+(** {1 Storage faults}
+
+    Syscall-level failures in the durable layer: ENOSPC / EIO from a
+    write, a short write that persists only a prefix before failing, a
+    silently dropped fsync, or a flipped bit on the write or read
+    path.  [Durable.Io] consults {!io_check} before every syscall it
+    issues; the armed point decides what that one syscall does.  One
+    fault per arming (the point disarms when it fires), so a
+    retry-after-typed-error runs clean. *)
+
+type io_fault =
+  | Io_enospc  (** the syscall fails with [ENOSPC] *)
+  | Io_eio  (** the syscall fails with [EIO] *)
+  | Io_short_write  (** a prefix persists, then the write fails *)
+  | Io_fsync_drop  (** fsync silently does nothing (lying fsync) *)
+  | Io_bit_flip  (** one bit flips in the data (silent corruption) *)
+
+type io_site =
+  | Wal_append  (** WAL record append *)
+  | Wal_sync  (** WAL fsync (per-commit, per-batch, or explicit) *)
+  | Snapshot_write  (** snapshot tmp-file body write *)
+  | Rotation  (** snapshot rename / fresh-WAL create during rotation *)
+  | Recovery_read  (** snapshot / WAL reads during recovery and scrub *)
+
+val io_fault_name : io_fault -> string
+val io_site_name : io_site -> string
+
+val io_matrix : (io_site * io_fault) array
+(** Every physically sensible (site, fault) pair; the seeded armer
+    draws from this, and the disk-fuzz harness sweeps it. *)
+
+val arm_io :
+  ?salt:int -> site:io_site -> fault:io_fault -> countdown:int -> unit -> unit
+(** Misbehave on the [countdown]-th syscall at [site] (1 = next).
+    [salt] seeds the deterministic bit-flip position / short-write
+    cut. *)
+
+val arm_io_seeded : seed:int -> unit
+(** Derive (site, fault, countdown, salt) deterministically from
+    [seed], drawing from {!io_matrix}; used for fault sweeps. *)
+
+val io_armed : unit -> (io_site * io_fault * int) option
+val disarm_io : unit -> unit
+
+val io_fired : unit -> bool
+(** Whether the last armed storage fault has fired since arming. *)
+
+val io_check : io_site -> (io_fault * int) option
+(** Syscall hook: [Some (fault, salt)] when the armed countdown for
+    [site] reaches zero — that one syscall misbehaves and the point
+    disarms. *)
+
+val fsync_dropped : unit -> unit
+(** Record a silently dropped fsync (called by [Durable.Io]). *)
+
+val fsync_drop_count : unit -> int
+(** Total fsyncs dropped since process start. *)
+
 (** {1 Crash points}
 
     Simulated process death during a durable write.  A crash point is a

@@ -41,6 +41,22 @@ let default_rand bound =
   if bound <= 0. then 0.
   else float_of_int (next_bits ()) /. float_of_int max_int *. bound
 
+(* A private, seeded jitter stream: same seed, same delays, so a fuzz
+   failure involving backoff timing replays exactly.  Single-threaded
+   by design — each serve-fuzz lane gets its own. *)
+let seeded_rand ~seed =
+  let state = ref seed in
+  fun bound ->
+    if bound <= 0. then 0.
+    else begin
+      let s = !state + 0x2E3779B97F4A7C15 in
+      state := s;
+      let z = (s lxor (s lsr 30)) * 0x3F58476D1CE4E5B9 in
+      let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+      let z = (z lxor (z lsr 31)) land max_int in
+      float_of_int z /. float_of_int max_int *. bound
+    end
+
 (* The jittered sleep before retry [attempt] (1-based): exponential in
    the attempt number, capped, then up to [jitter] of it randomized
    away so concurrent losers don't collide again in lock-step. *)

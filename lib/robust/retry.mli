@@ -27,6 +27,11 @@ val default : policy
 (** 5 attempts, 2 ms base, ×2 backoff capped at 100 ms, 0.5 jitter, no
     overall budget. *)
 
+val seeded_rand : seed:int -> float -> float
+(** A fresh, private jitter stream derived from [seed]: same seed, same
+    delay sequence, so retry timing replays deterministically.  Not
+    safe to share across domains — make one per lane/session. *)
+
 val delay_for : policy -> rand:(float -> float) -> attempt:int -> float
 (** The jittered sleep before retry number [attempt] (1 = the first
     retry).  [rand bound] must return a uniform float in [[0, bound)].

@@ -89,6 +89,10 @@ let stmt ?strategy c sql =
 
 let ping c = roundtrip c [ ("op", Json.Str "ping") ]
 let stats c = roundtrip c [ ("op", Json.Str "stats") ]
+let scrub c = roundtrip c [ ("op", Json.Str "scrub") ]
+
+let backup c ~target =
+  roundtrip c [ ("op", Json.Str "backup"); ("target", Json.Str target) ]
 
 let close c =
   (try ignore (roundtrip c [ ("op", Json.Str "close") ])

@@ -60,6 +60,9 @@ type stats = {
   fsyncs : int;
   max_batch_size : int;
   queue_depth : int;
+  storage_degraded : bool;
+      (* the lane died because storage failed (fsync EIO), not because
+         of a crash: operator signal surfaced through serve stats *)
 }
 
 type t = {
@@ -75,6 +78,7 @@ type t = {
   mutable stopping : bool;
   mutable dead : bool;  (* crashed or fully stopped: reject everything *)
   mutable crash : exn option;  (* the Fault.Crash that killed the lane *)
+  mutable storage_failed : bool;  (* dead because the batch fsync failed *)
   (* counters, all under [mu] *)
   mutable submitted : int;
   mutable committed : int;
@@ -124,8 +128,10 @@ let await t (req : request) : outcome =
 exception Lane_rejected of reject
 
 (* Submit with bounded retry on [`Overloaded] (exponential backoff +
-   jitter), then await.  [`Draining] and [`Dead] never retry. *)
-let submit_retry ?(policy = Retry.default) t ~session ?strategy ?deadline
+   jitter), then await.  [`Draining] and [`Dead] never retry.  [rand]
+   is the jitter stream — pass {!Retry.seeded_rand} to make the
+   resubmission timing replay deterministically under fuzz. *)
+let submit_retry ?(policy = Retry.default) ?rand t ~session ?strategy ?deadline
     ?max_rows ~on_retry sql : (outcome, reject) result =
   let attempt () =
     match submit t ~session ?strategy ?deadline ?max_rows sql with
@@ -133,7 +139,7 @@ let submit_retry ?(policy = Retry.default) t ~session ?strategy ?deadline
     | Error r -> raise (Lane_rejected r)
   in
   match
-    Retry.run ~policy
+    Retry.run ~policy ?rand
       ~retryable:(function Lane_rejected `Overloaded -> on_retry (); true | _ -> false)
       attempt
   with
@@ -191,27 +197,63 @@ let run_batch t batch =
             | exception e -> (req, Failed e)))
       batch
   in
+  let sync_failed = ref None in
   (match !crashed with
   | Some e ->
       Mutex.lock t.mu;
       t.dead <- true;
       t.crash <- Some e;
       Mutex.unlock t.mu
-  | None ->
+  | None -> (
       (* group commit: one fsync covers every commit marker in the
          batch; only then are sessions acked *)
-      if not t.cfg.sync_each then t.sync_wal ();
-      t.publish ();
-      Mutex.lock t.mu;
-      t.batches <- t.batches + 1;
-      t.fsyncs <-
-        (t.fsyncs + if t.cfg.sync_each then List.length batch else 1);
-      let bs = List.length batch in
-      if bs > t.max_batch_size then t.max_batch_size <- bs;
-      Histo.add t.batch_sizes (float_of_int bs);
-      Mutex.unlock t.mu);
-  resolve t (List.map fst outcomes) (fun r -> List.assq r outcomes);
-  !crashed = None
+      match
+        if not t.cfg.sync_each then t.sync_wal ();
+        t.publish ()
+      with
+      | () ->
+          Mutex.lock t.mu;
+          t.batches <- t.batches + 1;
+          t.fsyncs <-
+            (t.fsyncs + if t.cfg.sync_each then List.length batch else 1);
+          let bs = List.length batch in
+          if bs > t.max_batch_size then t.max_batch_size <- bs;
+          Histo.add t.batch_sizes (float_of_int bs);
+          Mutex.unlock t.mu
+      | exception (Fault.Crash _ as e) ->
+          crashed := Some e;
+          Mutex.lock t.mu;
+          t.dead <- true;
+          t.crash <- Some e;
+          Mutex.unlock t.mu
+      | exception e ->
+          (* the batch fsync failed: the store can no longer promise
+             durability, so nothing in this batch may be acked.  The
+             lane poisons the batch with a typed [storage degraded]
+             status and dies — the serve loop stays up and reports it,
+             rather than dying with the exception. *)
+          sync_failed := Some e;
+          Mutex.lock t.mu;
+          t.dead <- true;
+          t.storage_failed <- true;
+          t.crash <- Some e;
+          Mutex.unlock t.mu));
+  let outcome_of r =
+    match List.assq r outcomes with
+    | Done _ when !sync_failed <> None ->
+        Failed
+          (Taupsm_error.Error
+             (Taupsm_error.make Taupsm_error.Durability
+                (Printf.sprintf
+                   "storage degraded: batch fsync failed (%s); commit not \
+                    acknowledged"
+                   (match !sync_failed with
+                   | Some e -> Printexc.to_string e
+                   | None -> "unknown"))))
+    | o -> o
+  in
+  resolve t (List.map fst outcomes) outcome_of;
+  !crashed = None && !sync_failed = None
 
 let rec lane_loop t =
   Mutex.lock t.mu;
@@ -269,6 +311,7 @@ let create ?(cfg = default_config) ?on_exec ~exec ~sync_wal ~publish () =
       stopping = false;
       dead = false;
       crash = None;
+      storage_failed = false;
       submitted = 0;
       committed = 0;
       failed = 0;
@@ -320,6 +363,7 @@ let stats t : stats =
       fsyncs = t.fsyncs;
       max_batch_size = t.max_batch_size;
       queue_depth = Queue.length t.q;
+      storage_degraded = t.storage_failed;
     }
   in
   Mutex.unlock t.mu;

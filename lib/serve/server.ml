@@ -35,6 +35,10 @@ type config = {
   drain_deadline : float;  (* seconds to let in-flight work finish *)
   stmt_deadline : float option;  (* per-statement guard deadline *)
   max_rows : int option;  (* per-statement guard row budget *)
+  retry_seed : int option;
+      (* when set, write-lane resubmission jitter is drawn from a
+         per-session stream seeded from this, so serve-fuzz failures
+         replay with identical backoff timing *)
   lane : Commit_lane.config;
 }
 
@@ -48,6 +52,7 @@ let default_config =
     drain_deadline = 10.;
     stmt_deadline = Some 30.;
     max_rows = None;
+    retry_seed = None;
     lane = Commit_lane.default_config;
   }
 
@@ -253,7 +258,16 @@ let stats_json t =
               ("queue_depth", Json.Int ls.Commit_lane.queue_depth);
               ( "fsyncs_per_commit",
                 Json.Float (Commit_lane.fsyncs_per_commit t.lane) );
+              ( "storage_degraded",
+                Json.Bool ls.Commit_lane.storage_degraded );
             ] );
+        ( "storage_degraded",
+          Json.Bool
+            (ls.Commit_lane.storage_degraded
+            ||
+            match t.persist with
+            | Some h -> Sqleval.Persist.is_degraded h
+            | None -> false) );
       ]
   in
   Mutex.unlock t.m.mmu;
@@ -268,7 +282,79 @@ let classify_error e =
   | Taupsm_error.Error te -> te
   | e -> Taupsm.Resilient.classify e
 
-let handle_stmt t ~id ~sql ~strategy fd =
+(* ------------------------------------------------------------------ *)
+(* Operator ops: scrub and hot backup                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scrub_json (r : Durable.Store.scrub_report) =
+  Json.Obj
+    [
+      ("recoverable_serial", Json.Int r.Durable.Store.recoverable_serial);
+      ("intact_generations", Json.Int r.Durable.Store.intact_generations);
+      ( "quarantined",
+        Json.List (List.map (fun f -> Json.Str f) r.Durable.Store.quarantined)
+      );
+      ( "generations",
+        Json.List
+          (List.map
+             (fun (g : Durable.Store.gen_status) ->
+               Json.Obj
+                 [
+                   ("id", Json.Int g.Durable.Store.gen_id);
+                   ("snap_ok", Json.Bool g.Durable.Store.snap_ok);
+                   ("wal_stop", Json.Str g.Durable.Store.wal_stop);
+                   ("wal_commits", Json.Int g.Durable.Store.wal_commits);
+                   ("last_serial", Json.Int g.Durable.Store.wal_last_serial);
+                 ])
+             r.Durable.Store.generations) );
+    ]
+
+let backup_json (r : Durable.Store.backup_report) =
+  Json.Obj
+    [
+      ("snapshot_id", Json.Int r.Durable.Store.backup_snapshot_id);
+      ("serial", Json.Int r.Durable.Store.backup_serial);
+      ("wal_bytes", Json.Int r.Durable.Store.backup_wal_bytes);
+      ("snap_bytes", Json.Int r.Durable.Store.backup_snap_bytes);
+    ]
+
+(* Both run on the worker domain serving this session — never on the
+   commit lane, which keeps batching while the walk/copy proceeds.
+   They only read immutable files (and rename strictly-older corrupt
+   generations aside), so concurrent commits are safe. *)
+let handle_scrub t ~id fd =
+  match t.persist with
+  | None ->
+      send_json fd
+        (Wire.error ?id ~code:"bad_request"
+           ~message:"server is running without a durable store" ())
+  | Some h -> (
+      match
+        Sqleval.Persist.scrub ~dir:h.Sqleval.Persist.dir ()
+      with
+      | r -> send_json fd (Wire.ok_scrub ?id (scrub_json r))
+      | exception e ->
+          Mutex.lock t.m.mmu;
+          t.m.errors <- t.m.errors + 1;
+          Mutex.unlock t.m.mmu;
+          send_json fd (Wire.error_of ?id (classify_error e)))
+
+let handle_backup t ~id ~target fd =
+  match t.persist with
+  | None ->
+      send_json fd
+        (Wire.error ?id ~code:"bad_request"
+           ~message:"server is running without a durable store" ())
+  | Some h -> (
+      match Sqleval.Persist.backup h ~target with
+      | r -> send_json fd (Wire.ok_backup ?id (backup_json r))
+      | exception e ->
+          Mutex.lock t.m.mmu;
+          t.m.errors <- t.m.errors + 1;
+          Mutex.unlock t.m.mmu;
+          send_json fd (Wire.error_of ?id (classify_error e)))
+
+let handle_stmt t ~sid ~id ~sql ~strategy fd =
   match Option.map strategy_of_string strategy with
   | Some (Error msg) ->
       send_json fd (Wire.error ?id ~code:"bad_request" ~message:msg ())
@@ -314,8 +400,16 @@ let handle_stmt t ~id ~sql ~strategy fd =
                 | Some Taupsm.Stratum.Perst -> Some "perst"
                 | None -> None
               in
+              let rand =
+                (* a fresh per-statement stream decorrelated by session
+                   id: deterministic under a fixed seed, distinct
+                   across sessions *)
+                Option.map
+                  (fun seed -> Retry.seeded_rand ~seed:(seed + (sid * 7919)))
+                  t.cfg.retry_seed
+              in
               match
-                Commit_lane.submit_retry t.lane ~session:0
+                Commit_lane.submit_retry ?rand t.lane ~session:sid
                   ?strategy:strategy_str ?deadline:t.cfg.stmt_deadline
                   ?max_rows:t.cfg.max_rows ~on_retry sql
               with
@@ -392,10 +486,14 @@ let serve_session t fd =
               | Ok (id, Wire.Stats) ->
                   if send_json fd (Wire.ok_stats ?id (stats_json t)) then
                     loop ()
+              | Ok (id, Wire.Scrub) ->
+                  if handle_scrub t ~id fd then loop ()
+              | Ok (id, Wire.Backup { target }) ->
+                  if handle_backup t ~id ~target fd then loop ()
               | Ok (id, Wire.Close) ->
                   ignore (send_json fd (Wire.ok_bye ?id ()))
               | Ok (id, Wire.Stmt { sql; strategy }) ->
-                  if handle_stmt t ~id ~sql ~strategy fd then loop ())
+                  if handle_stmt t ~sid ~id ~sql ~strategy fd then loop ())
         in
         loop ()
       end)

@@ -8,6 +8,8 @@
       "strategy":"max"|"perst"}          execute one temporal statement
      {"op":"ping","id":7}                liveness probe
      {"op":"stats","id":7}               server counters and latencies
+     {"op":"scrub","id":7}               CRC-walk the store, quarantine rot
+     {"op":"backup","target":"/d","id":7}  hot backup into a directory
      {"op":"close","id":7}               end the session
 
    Responses (every one echoes "id" when the request carried one):
@@ -27,6 +29,8 @@ type request =
   | Stmt of { sql : string; strategy : string option }
   | Ping
   | Stats
+  | Scrub  (* CRC-walk the store directory; never blocks the commit lane *)
+  | Backup of { target : string }  (* hot backup into [target] *)
   | Close
 
 let parse_request line : (Json.t option * request, string) result =
@@ -43,6 +47,11 @@ let parse_request line : (Json.t option * request, string) result =
           | None -> Error "op \"stmt\" requires a \"sql\" string")
       | Some "ping" -> Ok (id, Ping)
       | Some "stats" -> Ok (id, Stats)
+      | Some "scrub" -> Ok (id, Scrub)
+      | Some "backup" -> (
+          match Json.member_string j "target" with
+          | Some target -> Ok (id, Backup { target })
+          | None -> Error "op \"backup\" requires a \"target\" string")
       | Some "close" -> Ok (id, Close)
       | Some op -> Error (Printf.sprintf "unknown op %S" op)
       | None -> Error "missing \"op\"")
@@ -95,6 +104,12 @@ let ok_pong ?id () : Json.t =
 
 let ok_stats ?id stats : Json.t =
   Json.Obj (with_id id [ ("ok", Json.Bool true); ("stats", stats) ])
+
+let ok_scrub ?id report : Json.t =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("scrub", report) ])
+
+let ok_backup ?id report : Json.t =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("backup", report) ])
 
 let ok_bye ?id () : Json.t =
   Json.Obj (with_id id [ ("ok", Json.Bool true); ("bye", Json.Bool true) ])

@@ -275,11 +275,23 @@ let with_atomic db f =
   else begin
     Undo_log.activate j;
     match f () with
-    | r ->
-        Undo_log.deactivate j;
-        Undo_log.clear j;
-        wal_commit db;
-        r
+    | r -> (
+        (* Durability decides first: only once the WAL has accepted the
+           commit group may the undo journal be discarded.  If the
+           commit fails (ENOSPC mid-append — the store erases the
+           half-appended group and stays live), the journal rolls the
+           in-memory effects back too, so disk and memory agree the
+           statement never happened. *)
+        match wal_commit db with
+        | () ->
+            Undo_log.deactivate j;
+            Undo_log.clear j;
+            r
+        | exception e ->
+            Undo_log.rollback_to j (Undo_log.top j);
+            Undo_log.deactivate j;
+            Undo_log.clear j;
+            raise e)
     | exception e ->
         Undo_log.rollback_to j (Undo_log.top j);
         Undo_log.deactivate j;

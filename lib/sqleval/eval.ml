@@ -321,20 +321,35 @@ let atomically env f =
     end
     else begin
       Undo_log.activate j;
+      (* Durability decides first: only once the WAL has accepted the
+         commit group may the undo journal be discarded.  If the commit
+         fails (ENOSPC mid-append — the store erases the half-appended
+         group and stays live), the journal rolls the in-memory effects
+         back too, so disk and memory agree the statement never
+         happened. *)
+      let commit_then fin =
+        match Database.wal_commit db with
+        | () ->
+            Undo_log.deactivate j;
+            Undo_log.clear j;
+            fin ()
+        | exception ce ->
+            Undo_log.rollback_to j (Undo_log.top j);
+            Undo_log.deactivate j;
+            Undo_log.clear j;
+            raise ce
+      in
       match f () with
-      | r ->
-          Undo_log.deactivate j;
-          Undo_log.clear j;
-          Database.wal_commit env.cat.Catalog.db;
-          r
-      | exception e ->
-          if not (control_exn e) then Undo_log.rollback_to j (Undo_log.top j);
-          Undo_log.deactivate j;
-          Undo_log.clear j;
+      | r -> commit_then (fun () -> r)
+      | exception e when control_exn e ->
           (* control-flow exceptions are success paths: their effects
              survive in memory, so they must also reach the WAL *)
-          if control_exn e then Database.wal_commit env.cat.Catalog.db
-          else Database.wal_abort env.cat.Catalog.db;
+          commit_then (fun () -> raise e)
+      | exception e ->
+          Undo_log.rollback_to j (Undo_log.top j);
+          Undo_log.deactivate j;
+          Undo_log.clear j;
+          Database.wal_abort db;
           raise e
     end
   end

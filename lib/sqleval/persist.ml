@@ -44,11 +44,12 @@ let attach ?policy ?snapshot_every ?obs ~dir (e : Engine.t) =
    is *not* yet attached — a fuzzing harness may want to inspect the
    recovered state without opening a new WAL; call {!resume} to go
    live. *)
-let recover ?obs ~dir () =
+let recover ?obs ?stop_at_serial ~dir () =
   let e = Engine.create () in
   let cat = Engine.catalog e in
   let report =
-    Durable.Store.recover ~obs:(obs_of obs cat) ~dir ~db:(Engine.database e)
+    Durable.Store.recover ~obs:(obs_of obs cat) ?stop_at_serial ~dir
+      ~db:(Engine.database e)
       ~on_ddl:(apply_ddl cat)
       ~on_now:(fun d -> Engine.set_now e d)
       ()
@@ -87,11 +88,52 @@ let detach h = Durable.Store.detach h.store
 let store h = h.store
 let sync h = Durable.Store.sync h.store
 let serial h = Durable.Store.serial h.store
+let is_degraded h = Durable.Store.is_degraded h.store
+
+(* Operator surface: scrub / hot backup / point-in-time restore. *)
+
+let scrub ?obs ?quarantine ~dir () = Durable.Store.scrub ?obs ?quarantine ~dir ()
+let backup h ~target = Durable.Store.backup h.store ~target
+let backup_dir ?obs ~dir ~target () = Durable.Store.backup_dir ?obs ~dir ~target ()
+
+(* Point-in-time restore: recover [archive] frozen at [as_of_serial]
+   (latest committed state when omitted) and materialize the result as
+   a FRESH store in [dir].  The archive is never written to — a botched
+   restore can always be re-run from the same bytes. *)
+let restore ?policy ?snapshot_every ?obs ?as_of_serial ~archive ~dir () =
+  let e = Engine.create () in
+  let cat = Engine.catalog e in
+  let report =
+    Durable.Store.recover ~obs:(obs_of obs cat) ?stop_at_serial:as_of_serial
+      ~dir:archive ~db:(Engine.database e)
+      ~on_ddl:(apply_ddl cat)
+      ~on_now:(fun d -> Engine.set_now e d)
+      ()
+  in
+  (match as_of_serial with
+  | Some n when report.Durable.Store.last_serial <> n ->
+      Taupsm_error.raise_error Taupsm_error.Durability
+        "archive cannot restore to commit %d: replay reached serial %d \
+         (stop=%s)"
+        n report.Durable.Store.last_serial report.Durable.Store.stop
+  | _ -> ());
+  let h = attach ?policy ?snapshot_every ?obs ~dir e in
+  (e, h, report)
 
 let report_to_string (r : Durable.Store.report) =
   Printf.sprintf
     "recovered snapshot %d + %d commit(s) (%d record(s), %d byte(s), \
-     stop=%s, serial=%d) in %.3fs"
+     stop=%s, serial=%d%s) in %.3fs"
     r.Durable.Store.snapshot_id r.Durable.Store.commits_replayed
     r.Durable.Store.records_scanned r.Durable.Store.bytes_scanned
-    r.Durable.Store.stop r.Durable.Store.last_serial r.Durable.Store.seconds
+    r.Durable.Store.stop r.Durable.Store.last_serial
+    ((if r.Durable.Store.snapshots_skipped > 0 then
+        Printf.sprintf ", %d generation(s) skipped"
+          r.Durable.Store.snapshots_skipped
+      else "")
+    ^
+    if r.Durable.Store.wal_generation > r.Durable.Store.snapshot_id then
+      Printf.sprintf ", chained to wal generation %d"
+        r.Durable.Store.wal_generation
+    else "")
+    r.Durable.Store.seconds

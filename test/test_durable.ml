@@ -518,8 +518,10 @@ let test_corrupt_mid_wal () =
       | None -> ()
       | Some diff -> Alcotest.failf "prefix diverges: %s" diff)
 
-(* Latest snapshot corrupt: recovery falls back a generation and
-   reproduces the rotation-point state. *)
+(* Latest snapshot corrupt: recovery falls back a generation for its
+   base state, then CHAINS through the newer generation's WAL — each
+   generation's log begins exactly where its predecessor's ends, so the
+   corrupt snapshot costs nothing and the full final state comes back. *)
 let test_snapshot_fallback () =
   let dir = tmp_dir "fallback" in
   let e = Engine.create () in
@@ -530,15 +532,7 @@ let test_snapshot_fallback () =
       ignore (Stratum.exec_sql e sql);
       if i = 5 then Persist.snapshot h)
     workload;
-  let at_rotation = ref None in
-  (* re-derive the rotation-point state from a second engine: replaying
-     the first 6 statements volatile gives the same database *)
-  let e2 = Engine.create () in
-  Stratum.install e2;
-  List.iteri
-    (fun i sql -> if i <= 5 then ignore (Stratum.exec_sql e2 sql))
-    workload;
-  at_rotation := Some (Database.copy (Engine.database e2));
+  let live = Database.copy (Engine.database e) in
   Persist.detach h;
   (* corrupt snapshot generation 1 (written by the forced rotation) *)
   let snap1 = Filename.concat dir "snap-00000001.bin" in
@@ -549,11 +543,11 @@ let test_snapshot_fallback () =
   write_file snap1 (Bytes.to_string b);
   let e', report = Persist.recover ~dir () in
   Alcotest.(check int) "fell back to generation 0" 0 report.Store.snapshot_id;
-  match
-    Resilient.db_diff (Option.get !at_rotation) (Engine.database e')
-  with
+  Alcotest.(check int) "chained into generation 1's wal" 1
+    report.Store.wal_generation;
+  match Resilient.db_diff live (Engine.database e') with
   | None -> ()
-  | Some diff -> Alcotest.failf "fallback state diverges: %s" diff
+  | Some diff -> Alcotest.failf "chained recovery diverges: %s" diff
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot equivalence across the τPSM benchmark queries              *)

@@ -597,6 +597,7 @@ let base_cfg =
     drain_deadline = 5.;
     stmt_deadline = Some 30.;
     max_rows = None;
+    retry_seed = None;
     lane = Lane.default_config;
   }
 
