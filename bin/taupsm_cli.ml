@@ -107,6 +107,52 @@ let strategy_arg =
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
         ~doc:"Sequenced slicing strategy: $(b,max) or $(b,perst).")
 
+(* run/repl/serve take the three-valued form: $(b,auto) (the default)
+   lets the engine's calibrated §VII-F chooser pick per statement. *)
+let choice_conv =
+  let parse s =
+    match Taupsm.Strategy.choice_of_string s with
+    | Ok c -> Ok c
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf c =
+    Format.pp_print_string ppf (Taupsm.Strategy.choice_to_string c)
+  in
+  Arg.conv (parse, print)
+
+let strategy_choice_arg =
+  Arg.(
+    value
+    & opt choice_conv Taupsm.Strategy.Auto
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Sequenced slicing strategy: $(b,auto) (default; adaptive \
+           MAX/PERST choice with learned calibration), $(b,max), or \
+           $(b,perst).")
+
+(* Resolve a strategy choice against an engine: Auto turns the adaptive
+   chooser on and forces nothing; Force pins every statement. *)
+let set_strategy_choice e choice =
+  match choice with
+  | Taupsm.Strategy.Auto ->
+      (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog.auto_strategy <-
+        true;
+      None
+  | Taupsm.Strategy.Force s -> Some s
+
+let no_cp_memo_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cp-memo" ]
+        ~doc:
+          "Disable the incremental constant-period memo (every sequenced \
+           MAX execution recomputes taupsm_ts/taupsm_cp from scratch; \
+           results are identical).")
+
+let set_cp_memo e no_cp_memo =
+  (Engine.catalog e).Sqleval.Catalog.options.Sqleval.Catalog
+  .memoize_constant_periods <- not no_cp_memo
+
 let dataset_arg =
   Arg.(
     value
@@ -367,8 +413,8 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"STATEMENT" ~doc:"Temporal SQL/PSM statement(s).")
   in
-  let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic jobs no_compile db_dir policy snapshot_every stmts =
+  let run choice dataset empty seed deadline max_rows loop_cap fallback
+      no_atomic jobs no_compile no_cp_memo db_dir policy snapshot_every stmts =
     handle_errors (fun () ->
         let e, h =
           make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
@@ -380,31 +426,35 @@ let run_cmd =
             set_guards e deadline max_rows loop_cap fallback no_atomic;
             set_jobs e jobs;
             set_compile e no_compile;
+            set_cp_memo e no_cp_memo;
+            let strategy = set_strategy_choice e choice in
             List.iter
-              (fun stmt -> print_result (Stratum.exec_sql ~strategy e stmt))
+              (fun stmt -> print_result (Stratum.exec_sql ?strategy e stmt))
               stmts))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute temporal statements and print the results.")
     Term.(
-      const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
+      const run $ strategy_choice_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ db_dir_arg $ wal_sync_arg
-      $ snapshot_every_arg $ stmts_arg)
+      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ no_cp_memo_arg
+      $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg $ stmts_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let repl_cmd =
-  let run strategy dataset empty seed deadline max_rows loop_cap fallback
-      no_atomic jobs no_compile db_dir policy snapshot_every =
+  let run choice dataset empty seed deadline max_rows loop_cap fallback
+      no_atomic jobs no_compile no_cp_memo db_dir policy snapshot_every =
     let e, h =
       make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset db_dir
     in
     set_guards e deadline max_rows loop_cap fallback no_atomic;
     set_jobs e jobs;
     set_compile e no_compile;
+    set_cp_memo e no_cp_memo;
+    let strategy = set_strategy_choice e choice in
     Printf.printf
       "taupsm repl — %s; statements end with ';', Ctrl-D exits.\n\
        Sequenced DML and TEMPORAL MERGE are available (see \
@@ -426,7 +476,7 @@ let repl_cmd =
            Buffer.clear buf;
            ignore
              (handle_errors (fun () ->
-                  print_result (Stratum.exec_sql ~strategy e stmt)))
+                  print_result (Stratum.exec_sql ?strategy e stmt)))
          end
        done
      with End_of_file -> ());
@@ -436,10 +486,10 @@ let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive Temporal SQL/PSM prompt.")
     Term.(
-      const run $ strategy_arg $ dataset_arg $ empty_arg $ seed_arg
+      const run $ strategy_choice_arg $ dataset_arg $ empty_arg $ seed_arg
       $ deadline_arg $ max_rows_arg $ loop_cap_arg $ fallback_arg
-      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ db_dir_arg $ wal_sync_arg
-      $ snapshot_every_arg)
+      $ no_atomic_arg $ jobs_arg $ no_compile_arg $ no_cp_memo_arg
+      $ db_dir_arg $ wal_sync_arg $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
@@ -831,9 +881,9 @@ let serve_cmd =
              timing replays deterministically (fuzz/debug; default: \
              process-global PRNG).")
   in
-  let run dataset empty seed db_dir snapshot_every host port workers
-      queue_depth idle_timeout drain_deadline deadline max_rows max_batch
-      sync retry_seed =
+  let run choice no_cp_memo dataset empty seed db_dir snapshot_every host port
+      workers queue_depth idle_timeout drain_deadline deadline max_rows
+      max_batch sync retry_seed =
     handle_errors (fun () ->
         let policy =
           match sync with
@@ -844,6 +894,11 @@ let serve_cmd =
           make_durable_engine ~empty ~seed ~policy ~snapshot_every dataset
             db_dir
         in
+        set_cp_memo e no_cp_memo;
+        (* Auto enables the adaptive chooser on the serving engine (read
+           views inherit it); a forced strategy becomes the default for
+           requests that don't carry their own. *)
+        let default_strategy = set_strategy_choice e choice in
         let cfg =
           {
             Serve.Server.host;
@@ -855,6 +910,7 @@ let serve_cmd =
             stmt_deadline = deadline;
             max_rows;
             retry_seed;
+            default_strategy;
             lane =
               {
                 Serve.Commit_lane.default_config with
@@ -893,8 +949,8 @@ let serve_cmd =
           single-writer group commit, admission control, graceful drain \
           on SIGTERM.")
     Term.(
-      const run $ dataset_arg $ empty_arg $ seed_arg $ db_dir_arg
-      $ snapshot_every_arg $ host_arg
+      const run $ strategy_choice_arg $ no_cp_memo_arg $ dataset_arg
+      $ empty_arg $ seed_arg $ db_dir_arg $ snapshot_every_arg $ host_arg
       $ port_arg ~default:7411 ~doc:"Port to listen on (0 = ephemeral)."
       $ workers_arg $ queue_depth_arg $ idle_timeout_arg $ drain_deadline_arg
       $ deadline_arg $ max_rows_arg $ max_batch_arg $ serve_sync_arg
@@ -914,8 +970,10 @@ let client_cmd =
     (* validated here, and again server-side as a bad_request *)
     let strat_conv =
       let parse = function
-        | ("max" | "perst") as s -> Ok s
-        | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (max|perst)" s))
+        | ("auto" | "max" | "perst") as s -> Ok s
+        | s ->
+            Error
+              (`Msg (Printf.sprintf "unknown strategy %S (auto|max|perst)" s))
       in
       Arg.conv (parse, Format.pp_print_string)
     in
@@ -923,7 +981,9 @@ let client_cmd =
       value
       & opt (some strat_conv) None
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-          ~doc:"Sequenced slicing strategy: $(b,max) or $(b,perst).")
+          ~doc:
+            "Sequenced slicing strategy: $(b,auto), $(b,max) or \
+             $(b,perst).")
   in
   let stats_arg =
     Arg.(

@@ -195,9 +195,9 @@ let estimate (e : Engine.t) ~(context : Period.t)
   in
   { max_cost; perst_cost; n_cp }
 
-let choose (e : Engine.t) ~context ts : Stratum.strategy =
+let choose (e : Engine.t) ~context ts : Strategy.t =
   let est = estimate e ~context ts in
-  if est.perst_cost < est.max_cost then Stratum.Perst else Stratum.Max
+  if est.perst_cost < est.max_cost then Strategy.Perst else Strategy.Max
 
 (* The context of a sequenced statement as a concrete period (evaluating
    the modifier's date expressions); [Period.always] when unbounded. *)
@@ -213,5 +213,5 @@ let context_of_stmt (e : Engine.t) (ts : Sqlast.Ast.temporal_stmt) : Period.t =
       | _ -> Period.always)
   | _ -> Period.always
 
-let choose_for (e : Engine.t) (ts : Sqlast.Ast.temporal_stmt) : Stratum.strategy =
+let choose_for (e : Engine.t) (ts : Sqlast.Ast.temporal_stmt) : Strategy.t =
   choose e ~context:(context_of_stmt e ts) ts

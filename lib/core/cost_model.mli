@@ -31,10 +31,10 @@ val estimate :
 
 val choose :
   Sqleval.Engine.t -> context:Sqldb.Period.t -> Sqlast.Ast.temporal_stmt ->
-  Stratum.strategy
+  Strategy.t
 
 val context_of_stmt : Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Sqldb.Period.t
 (** The sequenced statement's context as a concrete period;
     {!Sqldb.Period.always} when unbounded. *)
 
-val choose_for : Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Stratum.strategy
+val choose_for : Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Strategy.t

@@ -34,12 +34,12 @@ type features = {
    month, Figure 12). *)
 let short_context_days = 7
 
-let choose (f : features) : Stratum.strategy =
-  if not f.perst_applicable then Stratum.Max
-  else if f.per_period_cursors && f.db_size = Large then Stratum.Max
+let choose (f : features) : Strategy.t =
+  if not f.perst_applicable then Strategy.Max
+  else if f.per_period_cursors && f.db_size = Large then Strategy.Max
   else if f.db_size = Small && f.context_days <= short_context_days then
-    Stratum.Max
-  else Stratum.Perst
+    Strategy.Max
+  else Strategy.Perst
 
 (* Extract the analysis-driven features of a sequenced statement.  The
    context length is measured from the modifier (the whole time line
@@ -72,5 +72,5 @@ let features_of (e : Sqleval.Engine.t) ~db_size
   }
 
 let choose_for (e : Sqleval.Engine.t) ~db_size (ts : Sqlast.Ast.temporal_stmt) :
-    Stratum.strategy =
+    Strategy.t =
   choose (features_of e ~db_size ts)

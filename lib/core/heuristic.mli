@@ -20,7 +20,7 @@ val short_context_days : int
 (** What counts as a "short" temporal context (clause (c)): one week,
     matching the observed class-B break-even of Figure 12. *)
 
-val choose : features -> Stratum.strategy
+val choose : features -> Strategy.t
 
 val features_of :
   Sqleval.Engine.t -> db_size:size_class -> Sqlast.Ast.temporal_stmt -> features
@@ -30,4 +30,4 @@ val features_of :
 
 val choose_for :
   Sqleval.Engine.t -> db_size:size_class -> Sqlast.Ast.temporal_stmt ->
-  Stratum.strategy
+  Strategy.t

@@ -125,6 +125,55 @@ let cp_prep ~context : stmt =
              });
     }
 
+(* Memoized prep (gated by [Catalog.options.memoize_constant_periods]):
+   derive the constant periods straight from the catalog's incremental
+   point-set memo — a single native call, skipping the per-statement
+   taupsm_ts materialization entirely.  Only sound when every reachable
+   temporal table is a non-transactional base table that no temporary
+   table shadows (see {!Sqleval.Cp_memo} for why); {!memoizable} is the
+   gate. *)
+let memoizable cat tables =
+  tables <> []
+  && List.for_all
+       (fun t ->
+         let k = String.lowercase_ascii t in
+         (not
+            (List.exists
+               (fun tmp -> String.lowercase_ascii (Sqldb.Table.name tmp) = k)
+               (Sqldb.Database.temp_tables cat.Catalog.db)))
+         &&
+         match Sqldb.Database.find_table cat.Catalog.db t with
+         | Some tbl ->
+             let s = Sqldb.Table.schema tbl in
+             s.Sqldb.Schema.temporal && not s.Sqldb.Schema.transaction
+         | None -> false)
+       tables
+
+let cp_prep_memo ~context tables : stmt =
+  let bt, et = context_exprs context in
+  let csv = String.concat "," (List.map String.lowercase_ascii tables) in
+  Screate_table
+    {
+      ct_name = Names.cp_table;
+      ct_cols = [];
+      ct_temporal = false; ct_transaction = false;
+      ct_temp = true; ct_constraints = [];
+      ct_as =
+        Some
+          (Select
+             {
+               select_default with
+               proj = [ Star ];
+               from =
+                 [
+                   Tfun
+                     ( Names.constant_periods_memo_fun,
+                       [ Lit (Value.Str csv); bt; et ],
+                       "cpsrc" );
+                 ];
+             });
+    }
+
 (* ------------------------------------------------------------------ *)
 (* Mappers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -294,7 +343,13 @@ let transform cat ~context (stmt0 : stmt) : plan =
           | None -> None)
       (Analysis.routines_list analysis)
   in
-  let prep = [ ts_prep temporal_tables; cp_prep ~context ] in
+  let prep =
+    if
+      cat.Catalog.options.Catalog.memoize_constant_periods
+      && memoizable cat temporal_tables
+    then [ cp_prep_memo ~context temporal_tables ]
+    else [ ts_prep temporal_tables; cp_prep ~context ]
+  in
   let main =
     match stmt0 with
     | Squery q ->

@@ -27,6 +27,11 @@ let ts_table = "taupsm_ts"
 (* The native table function computing constant periods at runtime. *)
 let constant_periods_fun = "taupsm_constant_periods"
 
+(* The memoized variant: computes the constant periods of a set of base
+   temporal tables directly from the catalog's {!Sqleval.Cp_memo},
+   skipping the per-statement taupsm_ts materialization. *)
+let constant_periods_memo_fun = "taupsm_constant_periods_memo"
+
 (* PERST: per-routine generated temp tables. *)
 let var_table routine var =
   Printf.sprintf "taupsm_v_%s_%s"

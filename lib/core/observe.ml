@@ -91,9 +91,17 @@ type report = {
   rp_strategy : Stratum.strategy option;
       (* None for current/nonsequenced statements, which have exactly
          one transformation *)
-  rp_strategy_source : [ `Requested | `Cost_model | `Not_applicable ];
+  rp_strategy_source :
+    [ `Requested
+    | `Cost_model
+    | `Auto of Stratum.decision_source
+    | `Not_applicable ];
   rp_sql : string option;  (* transformed SQL/PSM; None when spliced natively *)
+  rp_merge : Temporal_merge.plan option;
+      (* the computed merge plan for a TEMPORAL MERGE statement *)
   rp_estimate : Cost_model.estimate option;
+  rp_calibration : string option;
+      (* calibration-state summary; Some under Auto *)
   rp_outcome : outcome;
   rp_seconds : float;
   rp_metrics : metrics;
@@ -101,11 +109,14 @@ type report = {
 }
 
 (* Sequenced INSERT/DELETE/UPDATE bypass the slicing transformations in
-   {!Stratum.exec} (valid-time splicing is done natively on storage). *)
+   {!Stratum.exec} (valid-time splicing is done natively on storage).
+   TEMPORAL MERGE is deliberately NOT in this set: it has no SQL
+   rewriting either, but its read-only planner produces a proper plan
+   that the report carries in [rp_merge] instead of the fallthrough
+   message. *)
 let spliced_natively ts =
   match (ts.t_modifier, ts.t_stmt) with
   | Mod_sequenced _, (Sinsert _ | Sdelete _ | Supdate _) -> true
-  | _, Smerge _ -> true
   | _ -> false
 
 let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =
@@ -120,9 +131,14 @@ let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =
     | _, (Mod_current | Mod_nonsequenced) -> (None, `Not_applicable)
     | Some s, Mod_sequenced _ -> (Some s, `Requested)
     | None, Mod_sequenced _ -> (
-        match Cost_model.choose_for e ts with
-        | s -> (Some s, `Cost_model)
-        | exception _ -> (Some Stratum.Max, `Cost_model))
+        if cat.Catalog.options.Catalog.auto_strategy && Stratum.auto_eligible ts
+        then
+          let s, src = Stratum.decide e ts in
+          (Some s, `Auto src)
+        else
+          match Cost_model.choose_for e ts with
+          | s -> (Some s, `Cost_model)
+          | exception _ -> (Some Stratum.Max, `Cost_model))
   in
   let estimate =
     match ts.t_modifier with
@@ -134,12 +150,33 @@ let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =
         | exception _ -> None)
     | _ -> None
   in
+  let calibration =
+    match source with
+    | `Auto _ -> Some (Sqleval.Calibration.summary cat.Catalog.calibration)
+    | _ -> None
+  in
   let sql =
     if spliced_natively ts then None
     else
-      match Stratum.transform_to_sql ?strategy e ts with
-      | s -> Some s
-      | exception _ -> None
+      match ts.t_stmt with
+      | Smerge _ -> None
+      | _ -> (
+          match Stratum.transform_to_sql ?strategy e ts with
+          | s -> Some s
+          | exception _ -> None)
+  in
+  (* Compute the merge plan before executing: planning is read-only, but
+     execution changes the target and with it the plan. *)
+  let merge_plan =
+    match ts.t_stmt with
+    | Smerge m -> (
+        match
+          Temporal_merge.plan cat ~now:(Engine.now e)
+            ~tt_mode:(Stratum.tt_mode_of e ts) m
+        with
+        | pl -> Some pl
+        | exception _ -> None)
+    | _ -> None
   in
   let t0 = Trace.now () in
   let outcome =
@@ -157,7 +194,9 @@ let explain ?strategy (e : Engine.t) (ts : temporal_stmt) : report =
     rp_strategy = strategy;
     rp_strategy_source = source;
     rp_sql = sql;
+    rp_merge = merge_plan;
     rp_estimate = estimate;
+    rp_calibration = calibration;
     rp_outcome = outcome;
     rp_seconds = seconds;
     rp_metrics = metrics_of tr;
@@ -198,15 +237,50 @@ let report_to_string ?(show_timings = true) (rp : report) : string =
           (match rp.rp_strategy_source with
           | `Requested -> ""
           | `Cost_model -> " (chosen by cost model)"
+          | `Auto src ->
+              Printf.sprintf " (auto: %s)"
+                (Stratum.decision_source_to_string src)
           | `Not_applicable -> "")
     | None -> "strategy=n/a (single transformation)"
   in
   add "EXPLAIN %s" strategy_str;
-  (match rp.rp_sql with
-  | Some sql ->
+  (match (rp.rp_merge, rp.rp_sql) with
+  | Some pl, _ ->
+      let mode =
+        match pl.Temporal_merge.pl_mode with
+        | Mupsert -> "UPSERT"
+        | Mpatch -> "PATCH"
+        | Mreplace -> "REPLACE"
+      in
+      let row_str (r : Sqldb.Value.t array) =
+        "("
+        ^ String.concat ", "
+            (List.map Sqldb.Value.to_string (Array.to_list r))
+        ^ ")"
+      in
+      let capped label rows render =
+        let n = List.length rows in
+        List.iteri (fun i r -> if i < 8 then add "  %s %s" label (render r)) rows;
+        if n > 8 then add "  ... %d more %s row(s)" (n - 8) label
+      in
+      add "-- merge plan --";
+      add "  target=%s mode=%s keys=(%s)" pl.Temporal_merge.pl_target mode
+        (String.concat ", " pl.Temporal_merge.pl_keys);
+      add "  segments: %d examined, %d coalesced away"
+        pl.Temporal_merge.pl_segments pl.Temporal_merge.pl_coalesced;
+      add "  writes: %d insert(s), %d update(s), %d delete(s)"
+        (List.length pl.Temporal_merge.pl_inserts)
+        (List.length pl.Temporal_merge.pl_updates)
+        (List.length pl.Temporal_merge.pl_deletes);
+      capped "+" pl.Temporal_merge.pl_inserts row_str;
+      capped "~" pl.Temporal_merge.pl_updates (fun (old_row, new_row) ->
+          row_str old_row ^ " -> " ^ row_str new_row);
+      capped "-" pl.Temporal_merge.pl_deletes row_str
+  | None, Some sql ->
       add "-- transformed SQL/PSM --";
       add "%s" sql
-  | None -> add "-- spliced natively on storage (no stratum rewriting) --");
+  | None, None ->
+      add "-- spliced natively on storage (no stratum rewriting) --");
   add "-- plan --";
   let m = rp.rp_metrics in
   add "  plan cache: %d hit(s), %d miss(es)" m.plan_cache_hits
@@ -243,6 +317,9 @@ let report_to_string ?(show_timings = true) (rp : report) : string =
          else Printf.sprintf "%.0f" est.Cost_model.perst_cost)
         est.Cost_model.n_cp
   | None -> add "  estimated: n/a (not a sequenced statement)");
+  (match rp.rp_calibration with
+  | Some s -> add "  calibration: %s" s
+  | None -> ());
   let outcome_str =
     match rp.rp_outcome with
     | Rows n -> Printf.sprintf "%d row(s)" n

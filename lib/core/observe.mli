@@ -63,12 +63,25 @@ type report = {
   rp_strategy : Stratum.strategy option;
       (** [None] for current/nonsequenced statements, which have exactly
           one transformation *)
-  rp_strategy_source : [ `Requested | `Cost_model | `Not_applicable ];
+  rp_strategy_source :
+    [ `Requested
+    | `Cost_model
+    | `Auto of Stratum.decision_source
+    | `Not_applicable ];
+      (** [`Auto] when the engine's [auto_strategy] option drove the
+          choice; the payload says whether calibration, exploration, the
+          cost model, or the §VII-F heuristic decided *)
   rp_sql : string option;
       (** the transformed conventional SQL/PSM; [None] for sequenced
           modifications, which are spliced natively on storage *)
+  rp_merge : Temporal_merge.plan option;
+      (** the read-only merge plan for a TEMPORAL MERGE statement —
+          segments examined, coalescing, and the exact insert/update/
+          delete payloads — computed before execution *)
   rp_estimate : Cost_model.estimate option;
       (** cost-model prediction; [None] for non-sequenced statements *)
+  rp_calibration : string option;
+      (** one-line calibration-state summary; present under [`Auto] *)
   rp_outcome : outcome;
   rp_seconds : float;  (** wall-clock of the execution *)
   rp_metrics : metrics;
@@ -79,8 +92,9 @@ val explain :
   ?strategy:Stratum.strategy -> Sqleval.Engine.t ->
   Sqlast.Ast.temporal_stmt -> report
 (** Explain-and-run on a copy of the engine.  Without [?strategy], a
-    sequenced statement's strategy is chosen by the cost model (and the
-    report says so). *)
+    sequenced statement's strategy comes from {!Stratum.decide} when the
+    engine has [auto_strategy] on, else from the cost model (and the
+    report says which). *)
 
 val explain_sql :
   ?strategy:Stratum.strategy -> Sqleval.Engine.t -> string -> report

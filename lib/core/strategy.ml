@@ -1,0 +1,27 @@
+(* The slicing strategies as a pure type, below every other module.
+
+   {!Stratum} re-exports [t] as its [strategy] so existing callers
+   (`Stratum.Max` / `Stratum.Perst`) compile unchanged, while
+   {!Heuristic} and {!Cost_model} can return a strategy without
+   depending on the executor — the layering that lets {!Stratum}
+   consult both when choosing adaptively. *)
+
+type t = Max | Perst
+
+let to_string = function Max -> "MAX" | Perst -> "PERST"
+
+(* What a caller may ask for: a fixed strategy, or the engine's
+   adaptive choice (§VII-F features refined by the cost model and
+   learned calibration). *)
+type choice = Auto | Force of t
+
+let choice_to_string = function
+  | Auto -> "AUTO"
+  | Force s -> to_string s
+
+let choice_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Ok Auto
+  | "max" -> Ok (Force Max)
+  | "perst" -> Ok (Force Perst)
+  | _ -> Error (Printf.sprintf "unknown strategy %S (auto|max|perst)" s)

@@ -1,0 +1,18 @@
+(** The slicing strategies as a pure type.
+
+    {!Stratum.strategy} is a re-export of {!t}; {!Heuristic} and
+    {!Cost_model} return values of this type so they sit below the
+    executor in the dependency order. *)
+
+type t = Max | Perst
+
+val to_string : t -> string
+
+(** A caller-facing request: force one strategy, or let the engine
+    choose adaptively per statement. *)
+type choice = Auto | Force of t
+
+val choice_to_string : choice -> string
+
+val choice_of_string : string -> (choice, string) result
+(** Case-insensitive ["auto"], ["max"], ["perst"]. *)

@@ -21,10 +21,15 @@ module Period = Sqldb.Period
 module Table = Sqldb.Table
 module Schema = Sqldb.Schema
 module Database = Sqldb.Database
+module Calibration = Sqleval.Calibration
+module Cp_memo = Sqleval.Cp_memo
 
-type strategy = Max | Perst
+(* Re-exported from {!Strategy} so [Stratum.Max]/[Stratum.Perst] keep
+   working while {!Heuristic} and {!Cost_model} (which return
+   [Strategy.t]) sit below this module in the dependency order. *)
+type strategy = Strategy.t = Max | Perst
 
-let strategy_to_string = function Max -> "MAX" | Perst -> "PERST"
+let strategy_to_string = Strategy.to_string
 
 (* ------------------------------------------------------------------ *)
 (* Engine-level natives                                                *)
@@ -95,12 +100,67 @@ let constant_periods_native : Catalog.native_table_fun =
                  "taupsm_constant_periods expects (table_name, bt, et)"))
   }
 
+(* taupsm_constant_periods_memo(tables_csv, bt, et): the same rows the
+   classic taupsm_ts/taupsm_constant_periods pipeline would produce for
+   the named base tables, but sourced from the catalog's incremental
+   point-set memo ({!Sqleval.Cp_memo}) — when the memo's version stamps
+   still hold, no table is scanned at all.  {!Max_slicing.memoizable}
+   gates eligibility (non-transactional, non-shadowed base tables
+   only). *)
+let constant_periods_memo_native : Catalog.native_table_fun =
+  {
+    Catalog.ntf_cols = [ Names.begin_col; Names.end_col ];
+    ntf_fn =
+      (fun cat args ->
+        match args with
+        | [ Value.Str csv; bt; et ] ->
+            let bt = Value.to_date_exn bt and et = Value.to_date_exn et in
+            let tables =
+              String.split_on_char ',' csv |> List.filter (fun s -> s <> "")
+            in
+            let r =
+              Cp_memo.periods cat.Catalog.cp_memo
+                ~generation:cat.Catalog.generation ~db:cat.Catalog.db ~tables
+                ~bt ~et
+            in
+            let rows =
+              List.map
+                (fun (a, b) -> [| Value.Date a; Value.Date b |])
+                r.Cp_memo.pairs
+            in
+            List.iter (fun _ -> Fault.hit Fault.Period_slice) rows;
+            let obs = cat.Catalog.obs in
+            if Trace.enabled obs then begin
+              Trace.count obs "constant_periods.calls" 1;
+              Trace.count obs "constant_periods.periods" (List.length rows);
+              Trace.count obs
+                (if r.Cp_memo.cache_hit then "cp_memo.hits" else "cp_memo.misses")
+                1;
+              if r.Cp_memo.rescanned > 0 then
+                Trace.count obs "cp_memo.rescans" r.Cp_memo.rescanned;
+              Trace.event obs "constant-periods"
+                (Printf.sprintf "memo tables=%s periods=%d%s" csv
+                   (List.length rows)
+                   (if r.Cp_memo.cache_hit then " (memo hit)" else ""))
+            end;
+            { RS.cols = [ Names.begin_col; Names.end_col ]; rows }
+        | _ ->
+            raise
+              (Eval.Sql_error
+                 "taupsm_constant_periods_memo expects (tables_csv, bt, et)"))
+  }
+
 (* Install the stratum's natives into an engine, and the plan compiler
    into the evaluator's hook.  Idempotent. *)
 let install (e : Engine.t) =
   Compile.install ();
-  Catalog.add_native_table_fun (Engine.catalog e) Names.constant_periods_fun
-    constant_periods_native
+  let cat = Engine.catalog e in
+  Catalog.register_derived_prefixes cat
+    [ Names.curr_prefix; Names.max_prefix; Names.ps_prefix ];
+  Catalog.add_native_table_fun cat Names.constant_periods_fun
+    constant_periods_native;
+  Catalog.add_native_table_fun cat Names.constant_periods_memo_fun
+    constant_periods_memo_native
 
 (* ------------------------------------------------------------------ *)
 (* Transformation dispatch                                             *)
@@ -641,6 +701,121 @@ let perst_recoverable = function
       true
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive strategy choice (§VII-F, made live)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Rough database size class from the stored base-table row counts —
+   the §VII-F feature the heuristic calls the data-set class.  The
+   thresholds bracket the taubench dataset shapes (bench/datasets). *)
+let size_class_of_db db : Heuristic.size_class =
+  let rows =
+    List.fold_left
+      (fun acc t -> acc + Table.row_count t)
+      0 (Database.base_tables db)
+  in
+  if rows <= 120 then Heuristic.Small
+  else if rows <= 400 then Heuristic.Medium
+  else Heuristic.Large
+
+let size_tag = function
+  | Heuristic.Small -> 0
+  | Heuristic.Medium -> 1
+  | Heuristic.Large -> 2
+
+(* Calibration key of a sequenced statement: syntactic fingerprint ×
+   context-length bucket × database size class.  The fingerprint hashes
+   the whole temporal statement, so the same query under contexts in
+   different buckets calibrates separately, while repeated runs of one
+   benchmark query share a single learning curve. *)
+let calibration_key (e : Engine.t) (ts : temporal_stmt) =
+  let cat = Engine.catalog e in
+  let fp =
+    Digest.to_hex (Digest.string (Sqlast.Pretty.temporal_stmt_to_string ts))
+  in
+  let ctx = Cost_model.context_of_stmt e ts in
+  ( fp,
+    Calibration.bucket_of_days (Period.duration ctx),
+    size_tag (size_class_of_db cat.Catalog.db) )
+
+type decision_source = Calibrated | Explored | Modeled | Heuristic_fallback
+
+let decision_source_to_string = function
+  | Calibrated -> "calibrated"
+  | Explored -> "explore"
+  | Modeled -> "cost-model"
+  | Heuristic_fallback -> "heuristic"
+
+(* Which statements Auto applies to: sequenced queries and CALLs — the
+   statements with a MAX/PERST choice at all.  Sequenced DML splices
+   natively and TEMPORAL MERGE has its own planner; current and
+   nonsequenced statements have a single transformation. *)
+let auto_eligible (ts : temporal_stmt) =
+  match (ts.t_modifier, ts.t_stmt) with
+  | Mod_sequenced _, (Sinsert _ | Sdelete _ | Supdate _ | Smerge _) -> false
+  | Mod_sequenced _, _ -> true
+  | _ -> false
+
+(* The live §VII-F chooser.  Preference order:
+
+   1. calibrated: both arms carry a measured EMA under the current plan
+      token — pick the cheaper; learned actuals beat any model;
+   2. explore: the modeled arm has ≥2 measured runs and the other arm
+      none — run the other arm once so (1) can take over.  PERST is
+      never explored when the model marked it inapplicable;
+   3. model: the cost model's verdict, computed on first sight and
+      cached in the calibration entry;
+
+   falling back to the paper's literal §VII-F heuristic if the cost
+   model itself fails.  Until an arm has been measured the decision is
+   a pure function of (statement, catalog state), so identical engines
+   replaying identical histories choose identically — the property the
+   recovery fuzzer's state comparisons lean on. *)
+let decide (e : Engine.t) (ts : temporal_stmt) : strategy * decision_source =
+  let cat = Engine.catalog e in
+  let heuristic () =
+    match Heuristic.choose_for e ~db_size:(size_class_of_db cat.Catalog.db) ts with
+    | s -> (s, Heuristic_fallback)
+    | exception _ -> (Max, Heuristic_fallback)
+  in
+  match calibration_key e ts with
+  | exception _ -> heuristic ()
+  | key -> (
+      let cal = cat.Catalog.calibration in
+      let token = Catalog.plan_token cat in
+      match Calibration.measured cal ~key ~token with
+      | Some (max_ema, perst_ema) ->
+          ((if perst_ema < max_ema then Perst else Max), Calibrated)
+      | None -> (
+          (* cm code: 0 = MAX (PERST feasible), 1 = PERST,
+             2 = MAX (PERST inapplicable — never explore it) *)
+          let cm_code =
+            match Calibration.cm_cached cal ~key ~token with
+            | Some c -> c
+            | None ->
+                let code =
+                  match
+                    let context = Cost_model.context_of_stmt e ts in
+                    Cost_model.estimate e ~context ts
+                  with
+                  | est ->
+                      if est.Cost_model.perst_cost = infinity then 2
+                      else if est.Cost_model.perst_cost < est.Cost_model.max_cost
+                      then 1
+                      else 0
+                  | exception _ -> (
+                      match heuristic () with (Perst, _) -> 1 | (Max, _) -> 0)
+                in
+                Calibration.set_cm cal ~key ~token code;
+                code
+          in
+          let max_runs, perst_runs = Calibration.runs cal ~key ~token in
+          match cm_code with
+          | 1 when perst_runs >= 2 && max_runs = 0 -> (Max, Explored)
+          | 1 -> (Perst, Modeled)
+          | 0 when max_runs >= 2 && perst_runs = 0 -> (Perst, Explored)
+          | _ -> (Max, Modeled)))
+
 (* Execute a temporal statement end to end.  Sequenced modifications
    (VALIDTIME INSERT/DELETE/UPDATE) bypass the slicing transformations
    and use valid-time splicing directly.
@@ -696,19 +871,84 @@ let exec ?strategy ?jobs (e : Engine.t) (ts : temporal_stmt) : Eval.exec_result 
       (fun () ->
         atomic (fun () -> checked (fun () -> exec_once ?strategy ?jobs e ts)))
   in
-  match attempt ?strategy () with
-  | r -> r
-  | exception exn
-    when strategy = Some Perst
-         && g.Guard.fallback_to_max && perst_recoverable exn ->
-      let obs = Catalog.trace cat in
-      if Trace.enabled obs then begin
-        Trace.count obs "fallback.perst_to_max" 1;
-        Trace.event obs "fallback"
-          (Printf.sprintf "perst->max: %s"
-             (Taupsm_error.to_string (Taupsm_error.of_exn exn)))
-      end;
-      attempt ~strategy:Max ()
+  let obs = Catalog.trace cat in
+  if
+    strategy = None
+    && cat.Catalog.options.Catalog.auto_strategy
+    && auto_eligible ts
+  then begin
+    (* Auto: decide, execute, and feed the measured wall time back into
+       the calibration so later decisions are evidence-based. *)
+    let chosen, src = decide e ts in
+    if Trace.enabled obs then begin
+      Trace.count obs
+        ("strategy.auto."
+        ^ String.lowercase_ascii (strategy_to_string chosen))
+        1;
+      Trace.event obs "strategy"
+        (Printf.sprintf "auto -> %s (%s)" (strategy_to_string chosen)
+           (decision_source_to_string src))
+    end;
+    let record_arm arm_strategy seconds =
+      match calibration_key e ts with
+      | exception _ -> ()
+      | key -> (
+          let cal = cat.Catalog.calibration in
+          let token = Catalog.plan_token cat in
+          Calibration.record cal ~key ~token
+            ~arm:(match arm_strategy with Max -> 0 | Perst -> 1)
+            ~seconds;
+          (* A completed measurement may reveal the choice was wrong. *)
+          match Calibration.measured cal ~key ~token with
+          | Some (m, p) when Trace.enabled obs ->
+              let best = if p < m then Perst else Max in
+              if best <> chosen then Trace.count obs "strategy.mispredict" 1
+          | _ -> ())
+    in
+    let timed arm_strategy =
+      let t0 = Trace.now () in
+      let r = attempt ~strategy:arm_strategy () in
+      record_arm arm_strategy (Trace.now () -. t0);
+      r
+    in
+    match timed chosen with
+    | r -> r
+    | exception exn when chosen = Perst && perst_recoverable exn ->
+        (* An Auto-chosen PERST must never surface a failure MAX can
+           absorb — the user never asked for PERST — so this retries
+           regardless of the guard's [fallback_to_max]. *)
+        if Trace.enabled obs then begin
+          Trace.count obs "fallback.perst_to_max" 1;
+          Trace.count obs "strategy.mispredict" 1;
+          Trace.event obs "fallback"
+            (Printf.sprintf "auto perst->max: %s"
+               (Taupsm_error.to_string (Taupsm_error.of_exn exn)))
+        end;
+        (match exn with
+        | Perst_slicing.Perst_unsupported _ -> (
+            (* Statement shape PERST cannot express: remember the
+               inapplicability so Auto stops proposing it. *)
+            match calibration_key e ts with
+            | exception _ -> ()
+            | key ->
+                Calibration.set_cm cat.Catalog.calibration ~key
+                  ~token:(Catalog.plan_token cat) 2)
+        | _ -> ());
+        timed Max
+  end
+  else
+    match attempt ?strategy () with
+    | r -> r
+    | exception exn
+      when strategy = Some Perst
+           && g.Guard.fallback_to_max && perst_recoverable exn ->
+        if Trace.enabled obs then begin
+          Trace.count obs "fallback.perst_to_max" 1;
+          Trace.event obs "fallback"
+            (Printf.sprintf "perst->max: %s"
+               (Taupsm_error.to_string (Taupsm_error.of_exn exn)))
+        end;
+        attempt ~strategy:Max ()
 
 let exec_sql ?strategy ?jobs (e : Engine.t) (sql : string) : Eval.exec_result =
   exec ?strategy ?jobs e (Sqlparse.Parser.parse_temporal_stmt sql)

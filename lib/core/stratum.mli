@@ -17,7 +17,9 @@
     constant-period statistics into the engine's shared {!Trace.t};
     {!Observe.explain} renders all of it as an EXPLAIN report. *)
 
-type strategy = Max | Perst
+type strategy = Strategy.t = Max | Perst
+(** Re-export of {!Strategy.t}: [Stratum.Max] and [Strategy.Max] are
+    the same constructor. *)
 
 val strategy_to_string : strategy -> string
 
@@ -78,16 +80,53 @@ val tt_mode_of :
   Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> Sqleval.Eval.tt_mode
 (** The transaction-time reading mode a statement's modifier requests. *)
 
+(** {1 Adaptive strategy choice}
+
+    The §VII-F choice, made live: with
+    [Catalog.options.auto_strategy] set and no strategy forced, {!exec}
+    runs {!decide} per sequenced query/CALL and feeds the measured wall
+    time back into the catalog's {!Sqleval.Calibration}. *)
+
+type decision_source =
+  | Calibrated  (** both arms measured under the current plan token *)
+  | Explored  (** deliberate one-shot run of the unmeasured arm *)
+  | Modeled  (** {!Cost_model}'s verdict (possibly cached) *)
+  | Heuristic_fallback  (** the literal §VII-F rules; model failed *)
+
+val decision_source_to_string : decision_source -> string
+
+val calibration_key :
+  Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt ->
+  string * int * int
+(** The calibration-table key of a sequenced statement: syntactic
+    fingerprint digest × context-length bucket × database size class.
+    Exposed so tests and benchmarks can seed or inspect
+    {!Sqleval.Calibration} entries. *)
+
+val auto_eligible : Sqlast.Ast.temporal_stmt -> bool
+(** Statements Auto applies to: sequenced queries and CALLs — the only
+    statements with a MAX/PERST choice.  Sequenced DML and TEMPORAL
+    MERGE splice natively; current/nonsequenced have one transformation. *)
+
+val decide :
+  Sqleval.Engine.t -> Sqlast.Ast.temporal_stmt -> strategy * decision_source
+(** The strategy Auto would pick right now, and why.  Pure: nothing is
+    executed and no calibration state changes except caching the cost
+    model's verdict. *)
+
 val exec :
   ?strategy:strategy -> ?jobs:int -> Sqleval.Engine.t ->
   Sqlast.Ast.temporal_stmt -> Sqleval.Eval.exec_result
 (** Transform (reusing a cached plan when its validity token still
-    holds) and execute.  [strategy] defaults to {!Heuristic}'s choice
-    for sequenced statements and is ignored for the others.  [jobs]
-    (defaulting to [Catalog.options.jobs], itself 1) slices an eligible
-    sequenced-MAX main query across that many domains; PERST, current
-    and nonsequenced statements, sequenced DML, and mains that fail
-    {!parallelizable_main} always run serially. *)
+    holds) and execute.  When [strategy] is omitted: sequenced queries
+    and CALLs go through {!decide} if [Catalog.options.auto_strategy]
+    is set (an Auto-chosen PERST that fails recoverably always retries
+    under MAX, regardless of [Guard.fallback_to_max]), and default to
+    MAX otherwise.  [jobs] (defaulting to [Catalog.options.jobs],
+    itself 1) slices an eligible sequenced-MAX main query across that
+    many domains; PERST, current and nonsequenced statements, sequenced
+    DML, and mains that fail {!parallelizable_main} always run
+    serially. *)
 
 val exec_sql :
   ?strategy:strategy -> ?jobs:int -> Sqleval.Engine.t -> string ->

@@ -195,7 +195,10 @@ let r_schema c =
 (* WAL records                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type record = Revent of Wal_hook.event | Rcommit of int
+type record =
+  | Revent of Wal_hook.event
+  | Rcommit of int
+  | Raux of string * string
 
 let encode_event ev =
   let b = Buffer.create 64 in
@@ -242,6 +245,18 @@ let encode_commit ~serial =
   w_i64 b serial;
   Buffer.contents b
 
+(* Auxiliary engine state (tag 10): an opaque named blob riding in the
+   WAL ahead of a commit marker.  Advisory by design — recovery hands it
+   to the engine via [on_aux] but the committed-prefix guarantee is
+   about database state only, so an unknown name is skipped, never an
+   error. *)
+let encode_aux ~name ~blob =
+  let b = Buffer.create (String.length name + String.length blob + 9) in
+  w_u8 b 10;
+  w_str b name;
+  w_str b blob;
+  Buffer.contents b
+
 let decode_record payload =
   let c = cursor payload in
   let r =
@@ -272,6 +287,9 @@ let decode_record payload =
     | 7 -> Revent Wal_hook.Temp_tables_drop
     | 8 -> Revent (Wal_hook.Catalog_ddl (r_str c))
     | 9 -> Rcommit (r_i64 c)
+    | 10 ->
+        let name = r_str c in
+        Raux (name, r_str c)
     | t -> corrupt "unknown record tag %d" t
   in
   at_end c;
@@ -287,6 +305,10 @@ type snapshot = {
   ddl : string list;
   base : (Schema.t * Value.t array list) list;
   temp : (Schema.t * Value.t array list) list;
+  aux : (string * string) list;
+      (* named opaque blobs (e.g. the strategy-calibration state);
+         encoded only when non-empty, so aux-free snapshots keep the
+         exact byte layout the golden vectors pin *)
 }
 
 let w_tables b tables =
@@ -313,6 +335,14 @@ let encode_snapshot s =
   List.iter (w_str b) s.ddl;
   w_tables b s.base;
   w_tables b s.temp;
+  if s.aux <> [] then begin
+    w_u32 b (List.length s.aux);
+    List.iter
+      (fun (name, blob) ->
+        w_str b name;
+        w_str b blob)
+      s.aux
+  end;
   Buffer.contents b
 
 let decode_snapshot payload =
@@ -323,5 +353,17 @@ let decode_snapshot payload =
   let ddl = r_list c nddl r_str in
   let base = r_tables c in
   let temp = r_tables c in
+  (* The aux section is a tail extension: absent in pre-aux snapshots
+     (and in any snapshot with nothing to carry), so only read it when
+     bytes remain. *)
+  let aux =
+    if c.pos = String.length c.s then []
+    else begin
+      let n = r_u32 c in
+      r_list c n (fun c ->
+          let name = r_str c in
+          (name, r_str c))
+    end
+  in
   at_end c;
-  { serial; now; ddl; base; temp }
+  { serial; now; ddl; base; temp; aux }

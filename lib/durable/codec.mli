@@ -20,13 +20,24 @@ exception Corrupt of string
     field, unknown tag, impossible count.  Recovery maps this to a
     [Taupsm_error] with code [Durability]. *)
 
-(** A decoded WAL record: a buffered storage event, or the commit
-    marker sealing every event since the previous marker into one
-    atomic statement (the serial is the store-wide statement number). *)
-type record = Revent of Sqldb.Wal_hook.event | Rcommit of int
+(** A decoded WAL record: a buffered storage event, the commit marker
+    sealing every event since the previous marker into one atomic
+    statement (the serial is the store-wide statement number), or an
+    auxiliary named blob of engine state (e.g. strategy calibration)
+    that rides along advisorily — it is applied on scan during
+    recovery but carries no committed-prefix obligation. *)
+type record =
+  | Revent of Sqldb.Wal_hook.event
+  | Rcommit of int
+  | Raux of string * string
 
 val encode_event : Sqldb.Wal_hook.event -> string
 val encode_commit : serial:int -> string
+
+val encode_aux : name:string -> blob:string -> string
+(** Tag-10 auxiliary record: [name] identifies the consumer, [blob] is
+    opaque to the store. *)
+
 val decode_record : string -> record
 
 (** A full-database snapshot: the last committed serial, the engine
@@ -38,6 +49,9 @@ type snapshot = {
   ddl : string list;  (** catalog DDL in definition order *)
   base : (Sqldb.Schema.t * Sqldb.Value.t array list) list;
   temp : (Sqldb.Schema.t * Sqldb.Value.t array list) list;
+  aux : (string * string) list;
+      (** named opaque engine-state blobs; a tail extension, so an
+          empty list keeps the pre-aux byte layout *)
 }
 
 val encode_snapshot : snapshot -> string

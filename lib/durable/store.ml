@@ -16,6 +16,12 @@ type t = {
   db : Database.t;
   now : unit -> int;
   ddl : unit -> string list;
+  aux : unit -> (string * string) list;
+      (* full dump of auxiliary engine state, polled at snapshot time
+         (and by {!flush_aux}) like [now] and [ddl] *)
+  aux_dirty : unit -> (string * string) list;
+      (* drain of aux entries changed since the last drain; appended as
+         tag-10 records inside the next commit group *)
   mutable wal : Wal.t;
   mutable snap_id : int;
   mutable serial : int;
@@ -103,7 +109,7 @@ let dump_tables tables =
 (* Write snapshot [id] atomically: tmp file, fsync, rename, dir fsync.
    A crash at any point leaves either no snap-[id] (older generations
    still recoverable) or a complete one. *)
-let write_snapshot ~dir ~obs ~id ~serial ~now ~ddl ~db =
+let write_snapshot ~dir ~obs ~id ~serial ~now ~ddl ~aux ~db =
   let body =
     Codec.encode_snapshot
       {
@@ -112,6 +118,7 @@ let write_snapshot ~dir ~obs ~id ~serial ~now ~ddl ~db =
         ddl;
         base = dump_tables (Database.base_tables db);
         temp = dump_tables (Database.temp_tables db);
+        aux;
       }
   in
   let final = Filename.concat dir (snap_name id) in
@@ -211,8 +218,18 @@ let rec commit st =
     if evs <> [] then begin
       let group_start = Wal.offset st.wal in
       st.serial <- st.serial + 1;
+      (* Dirty aux entries ride inside the commit group, ahead of the
+         marker.  They are advisory: a truncated group loses them from
+         the log (the next snapshot carries the full dump), and replay
+         applies them on scan without any prefix obligation. *)
+      let auxes =
+        List.map
+          (fun (name, blob) -> Codec.encode_aux ~name ~blob)
+          (st.aux_dirty ())
+      in
       (match
          List.iter (Wal.append st.wal) evs;
+         List.iter (Wal.append st.wal) auxes;
          Wal.append st.wal (Codec.encode_commit ~serial:st.serial);
          Wal.commit_done st.wal
        with
@@ -254,7 +271,7 @@ and rotate st =
   let id = st.snap_id + 1 in
   match
     write_snapshot ~dir:st.dir ~obs:st.obs ~id ~serial:st.serial
-      ~now:(st.now ()) ~ddl:(st.ddl ()) ~db:st.db
+      ~now:(st.now ()) ~ddl:(st.ddl ()) ~aux:(st.aux ()) ~db:st.db
   with
   | exception (Fault.Crash _ as e) ->
       st.dead <- true;
@@ -304,8 +321,8 @@ let hook st =
 (* Attach / recover / resume                                           *)
 (* ------------------------------------------------------------------ *)
 
-let init ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir ~db
-    ~now ~ddl () =
+let init ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null)
+    ?(aux = fun () -> []) ?(aux_dirty = fun () -> []) ~dir ~db ~now ~ddl () =
   mkdir_p dir;
   ignore (cleanup_tmp ~obs dir);
   let id = match snapshot_ids dir with [] -> 0 | i :: _ -> i + 1 in
@@ -313,7 +330,8 @@ let init ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir ~db
      storage failure here is typed and the directory left sweepable *)
   let wal =
     try
-      write_snapshot ~dir ~obs ~id ~serial:0 ~now:(now ()) ~ddl:(ddl ()) ~db;
+      write_snapshot ~dir ~obs ~id ~serial:0 ~now:(now ()) ~ddl:(ddl ())
+        ~aux:(aux ()) ~db;
       Wal.create ~policy ~obs (Filename.concat dir (wal_name id))
     with Unix.Unix_error (err, _, path) ->
       Taupsm_error.raise_error Taupsm_error.Durability
@@ -330,6 +348,8 @@ let init ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir ~db
       db;
       now;
       ddl;
+      aux;
+      aux_dirty;
       wal;
       snap_id = id;
       serial = 0;
@@ -382,7 +402,8 @@ let apply_event db ~on_ddl ev =
   | Wal_hook.Temp_tables_drop -> Database.drop_temp_tables db
   | Wal_hook.Catalog_ddl sql -> on_ddl sql
 
-let recover ?(obs = Trace.null) ?stop_at_serial ~dir ~db ~on_ddl ~on_now () =
+let recover ?(obs = Trace.null) ?(on_aux = fun _ _ -> ()) ?stop_at_serial ~dir
+    ~db ~on_ddl ~on_now () =
   let t0 = Mono_clock.now () in
   Trace.with_span obs "recover" (fun () ->
       let ids = snapshot_ids dir in
@@ -427,6 +448,7 @@ let recover ?(obs = Trace.null) ?stop_at_serial ~dir ~db ~on_ddl ~on_now () =
               Database.add_temp_table db (Table.of_rows sch rows))
             snap.Codec.temp;
           List.iter on_ddl snap.Codec.ddl;
+          List.iter (fun (name, blob) -> on_aux name blob) snap.Codec.aux;
           on_now snap.Codec.now);
       (* Replay: buffer each record group, apply only on its intact
          commit marker.  An uncommitted suffix — torn tail, corrupt
@@ -458,6 +480,12 @@ let recover ?(obs = Trace.null) ?stop_at_serial ~dir ~db ~on_ddl ~on_now () =
                 if not !frozen then
                   match Codec.decode_record payload with
                   | Codec.Revent ev -> pending := ev :: !pending
+                  | Codec.Raux (name, blob) ->
+                      (* Advisory: applied on scan, independent of the
+                         commit-marker discipline — even the dirty-drain
+                         records of a group whose marker never made it
+                         carry valid (merely newer) engine state. *)
+                      on_aux name blob
                   | Codec.Rcommit s
                     when (match stop_at_serial with
                          | Some n -> s > n
@@ -535,8 +563,9 @@ let recover ?(obs = Trace.null) ?stop_at_serial ~dir ~db ~on_ddl ~on_now () =
         seconds;
       })
 
-let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir
-    ~db ~now ~ddl (r : report) =
+let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null)
+    ?(aux = fun () -> []) ?(aux_dirty = fun () -> []) ~dir ~db ~now ~ddl
+    (r : report) =
   ignore (cleanup_tmp ~obs dir);
   (* continue on the generation whose WAL is the live log — past the
      chain, when recovery walked across rotations *)
@@ -559,6 +588,8 @@ let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir
       db;
       now;
       ddl;
+      aux;
+      aux_dirty;
       wal;
       snap_id = r.wal_generation;
       serial = r.last_serial;
@@ -574,6 +605,22 @@ let resume ?(policy = Wal.Batch 16) ?snapshot_every ?(obs = Trace.null) ~dir
   st
 
 let snapshot st = if not st.dead then rotate st
+
+(* Append the full aux dump to the live WAL, outside any commit group.
+   Used at detach so the last statements' calibration updates (drained
+   dirty sets ride only on the NEXT commit) reach disk: recovery applies
+   tag-10 records on scan, so a trailing marker-less record still
+   loads — {!resume} then truncates it away and the engine re-flushes. *)
+let flush_aux st =
+  if not st.dead then begin
+    let entries = st.aux () in
+    if entries <> [] then begin
+      List.iter
+        (fun (name, blob) -> Wal.append st.wal (Codec.encode_aux ~name ~blob))
+        entries;
+      Wal.sync st.wal
+    end
+  end
 
 let detach st =
   if not st.dead then begin
@@ -626,7 +673,7 @@ let scrub_generation ~dir id =
       (Filename.concat dir (wal_name id))
       ~f:(fun ~off:_ payload ->
         match Codec.decode_record payload with
-        | Codec.Revent _ -> ()
+        | Codec.Revent _ | Codec.Raux _ -> ()
         | Codec.Rcommit s ->
             incr commits;
             last := s)
@@ -856,7 +903,7 @@ let backup_dir ?(obs = Trace.null) ~dir ~target () =
        (Filename.concat dir (wal_name id))
        ~f:(fun ~off payload ->
          match Codec.decode_record payload with
-         | Codec.Revent _ -> ()
+         | Codec.Revent _ | Codec.Raux _ -> ()
          | Codec.Rcommit s ->
              serial := s;
              committed := off));

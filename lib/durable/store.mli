@@ -59,6 +59,8 @@ val init :
   ?policy:Wal.sync_policy ->
   ?snapshot_every:int ->
   ?obs:Trace.t ->
+  ?aux:(unit -> (string * string) list) ->
+  ?aux_dirty:(unit -> (string * string) list) ->
   dir:string ->
   db:Sqldb.Database.t ->
   now:(unit -> int) ->
@@ -68,12 +70,17 @@ val init :
 (** Fresh attach: create [dir] if needed, write a snapshot of the
     database as it stands, open a new WAL and install the durability
     hook on [db].  [now] and [ddl] are polled at snapshot time (the
-    engine clock and the catalog's view/routine definitions).
+    engine clock and the catalog's view/routine definitions); [aux] is
+    the full dump of auxiliary engine state (named opaque blobs, e.g.
+    strategy calibration), likewise polled at snapshot time, while
+    [aux_dirty] drains the entries changed since its last call —
+    appended as tag-10 records inside each commit group.
     [snapshot_every n] rotates to a fresh snapshot + WAL pair every
     [n] commits; omitted means WAL-only until {!snapshot} is called. *)
 
 val recover :
   ?obs:Trace.t ->
+  ?on_aux:(string -> string -> unit) ->
   ?stop_at_serial:int ->
   dir:string ->
   db:Sqldb.Database.t ->
@@ -97,12 +104,20 @@ val recover :
     the commit with serial [n] — later groups are scanned but never
     applied, and snapshot generations taken after serial [n] are passed
     over so an older generation can replay up to the mark.  The
-    resulting [report.last_serial] is at most [n]. *)
+    resulting [report.last_serial] is at most [n].
+
+    [on_aux name blob] receives each auxiliary blob — first from the
+    snapshot, then from every tag-10 WAL record in scan order (later
+    blobs supersede earlier ones).  Aux records are advisory engine
+    state outside the committed-prefix guarantee: they are applied on
+    scan whether or not their group's marker survived. *)
 
 val resume :
   ?policy:Wal.sync_policy ->
   ?snapshot_every:int ->
   ?obs:Trace.t ->
+  ?aux:(unit -> (string * string) list) ->
+  ?aux_dirty:(unit -> (string * string) list) ->
   dir:string ->
   db:Sqldb.Database.t ->
   now:(unit -> int) ->
@@ -119,6 +134,13 @@ val resume :
 val snapshot : t -> unit
 (** Force a rotation now: write snapshot [K+1] (old generations are
     retained as recovery fallbacks) and start WAL [K+1]. *)
+
+val flush_aux : t -> unit
+(** Append the full aux dump to the live WAL (outside any commit group)
+    and sync.  Called before {!detach} so calibration updates from the
+    final statements — whose dirty drain would only ride the next
+    commit — survive a clean shutdown.  No-op on a dead store or when
+    the dump is empty. *)
 
 val detach : t -> unit
 (** Uninstall the hook from the database and close the WAL.  The store

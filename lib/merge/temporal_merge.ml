@@ -406,6 +406,7 @@ let execute (cat : Catalog.t) ~now (pl : plan) : int =
   let t = Database.find_table_exn cat.Catalog.db pl.pl_target in
   let schema = Table.schema t in
   let transactional = schema.Schema.transaction in
+  let version_before = t.Table.version in
   let stamp (row : Value.t array) =
     if transactional then begin
       row.(Schema.tt_begin_index schema) <- Value.Date now;
@@ -464,6 +465,28 @@ let execute (cat : Catalog.t) ~now (pl : plan) : int =
   if closed <> [] then
     ignore
       (Table.update_where (fun r -> List.memq r closed) (fun r -> close r) t);
+  (* Incremental constant-period maintenance: the planner knows exactly
+     which valid-time boundary points this statement added (INSERTs) and
+     removed (physical DELETEs) — UPDATEs pair rows with identical
+     periods and contribute nothing — so splice them into the catalog's
+     point-set memo instead of forcing a rescan.  Transactional targets
+     are never memoized (closed versions stay physically present), and a
+     later rollback of this statement re-bumps the table version, which
+     invalidates the splice on its own. *)
+  if not transactional then begin
+    let bi = Schema.begin_index schema and ei = Schema.end_index schema in
+    let points rows =
+      List.concat_map
+        (fun (r : Value.t array) ->
+          match (r.(bi), r.(ei)) with
+          | Value.Date a, Value.Date b -> [ a; b ]
+          | _ -> [])
+        rows
+    in
+    Sqleval.Cp_memo.note_write cat.Catalog.cp_memo ~table:pl.pl_target
+      ~from_version:version_before ~to_version:t.Table.version
+      ~added:(points pl.pl_inserts) ~removed:(points pl.pl_deletes)
+  end;
   plan_writes pl
 
 (* ------------------------------------------------------------------ *)

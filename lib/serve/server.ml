@@ -39,6 +39,10 @@ type config = {
       (* when set, write-lane resubmission jitter is drawn from a
          per-session stream seeded from this, so serve-fuzz failures
          replay with identical backoff timing *)
+  default_strategy : Taupsm.Stratum.strategy option;
+      (* forced strategy for requests that don't carry their own; None
+         (the default) leaves the choice to the engine — the adaptive
+         chooser when its [auto_strategy] option is on, MAX otherwise *)
   lane : Commit_lane.config;
 }
 
@@ -53,6 +57,7 @@ let default_config =
     stmt_deadline = Some 30.;
     max_rows = None;
     retry_seed = None;
+    default_strategy = None;
     lane = Commit_lane.default_config;
   }
 
@@ -123,7 +128,10 @@ let publish_snapshot t =
 let strategy_of_string = function
   | "max" -> Ok (Some Taupsm.Stratum.Max)
   | "perst" -> Ok (Some Taupsm.Stratum.Perst)
-  | s -> Error (Printf.sprintf "unknown strategy %S (want max|perst)" s)
+  | "auto" -> Ok None
+      (* no forced strategy: the engine's adaptive chooser decides when
+         its [auto_strategy] option is on (the CLI default), else MAX *)
+  | s -> Error (Printf.sprintf "unknown strategy %S (want auto|max|perst)" s)
 
 (* Execute a read-only statement against the published snapshot: a
    private read view pins the snapshot for the duration (later
@@ -360,7 +368,9 @@ let handle_stmt t ~sid ~id ~sql ~strategy fd =
       send_json fd (Wire.error ?id ~code:"bad_request" ~message:msg ())
   | (None | Some (Ok _)) as validated -> (
       let strategy =
-        match validated with Some (Ok st) -> st | _ -> None
+        match validated with
+        | Some (Ok (Some _ as st)) -> st
+        | _ -> t.cfg.default_strategy
       in
       match Sqlparse.Parser.parse_temporal_stmt sql with
       | exception e ->

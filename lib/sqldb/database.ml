@@ -2,12 +2,17 @@
    Views and stored routines carry SQL ASTs, so their registries live one
    layer up, in the engine (lib/sqleval).  Names are case-insensitive. *)
 
-(* [version] counts changes to the *visible schema* of the database
-   (table creation and removal) and is the storage half of the stratum's
-   plan-cache invalidation token.  Re-creating a temporary table with an
-   unchanged schema — the per-execution churn of the stratum's own
-   taupsm_ts/taupsm_cp scratch tables — deliberately does not bump it,
-   so cached transformed plans survive their own execution. *)
+(* [version] counts changes to the *base* visible schema of the
+   database (table creation and removal) and is the storage half of the
+   stratum's plan-cache invalidation token.  Temporary-table churn is
+   counted separately in [temp_epoch]: a temp table can shadow a base
+   table — which changes what statements mean, so the plan cache must
+   see it — but it is session noise to the learned calibration and the
+   constant-period memo, whose validity tracks only durable schema.
+   Re-creating a temporary table with an unchanged visible schema — the
+   per-execution churn of the stratum's own taupsm_ts/taupsm_cp scratch
+   tables — bumps neither counter, so cached transformed plans survive
+   their own execution. *)
 (* [undo] is the database-wide undo journal; it is propagated onto every
    table added here (like [obs]) and driven by {!with_atomic}. *)
 (* [wal] is the durability hook (see {!Wal_hook}), installed by the
@@ -18,6 +23,7 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   temp_tables : (string, Table.t) Hashtbl.t;
   mutable version : int;
+  mutable temp_epoch : int;  (* temp-table shadowing churn; see above *)
   mutable obs : Trace.t;  (* propagated onto every table added here *)
   undo : Undo_log.t;
   mutable wal : Wal_hook.t option;
@@ -28,6 +34,7 @@ let create () =
     tables = Hashtbl.create 16;
     temp_tables = Hashtbl.create 16;
     version = 0;
+    temp_epoch = 0;
     obs = Trace.null;
     undo = Undo_log.create ();
     wal = None;
@@ -42,6 +49,7 @@ let set_observe db obs =
   Hashtbl.iter (fun _ t -> Table.set_observe t obs) db.temp_tables
 
 let version db = db.version
+let temp_epoch db = db.temp_epoch
 
 (* Point this database — and every table it holds now or later — at the
    durability hook [wal] (or detach with [None]). *)
@@ -113,7 +121,7 @@ let add_temp_table db table =
     | None -> Option.map Table.schema (Hashtbl.find_opt db.tables k)
   in
   if visible_schema <> Some (Table.schema table) then
-    db.version <- db.version + 1;
+    db.temp_epoch <- db.temp_epoch + 1;
   Table.set_observe table db.obs;
   Table.set_undo table db.undo;
   Table.set_wal table db.wal;
@@ -125,34 +133,37 @@ let add_temp_table db table =
          (match prev with
          | None -> Hashtbl.remove db.temp_tables k
          | Some t -> Hashtbl.replace db.temp_tables k t);
-         db.version <- db.version + 1));
+         db.temp_epoch <- db.temp_epoch + 1));
   Hashtbl.replace db.temp_tables k table
 
 let drop_table db name =
   let k = key name in
-  let drop_from tables =
-    db.version <- db.version + 1;
+  let drop_from ~bump tables =
+    bump ();
     wal_emit db (Wal_hook.Table_drop name);
     (if Undo_log.is_active db.undo then
        let prev = Hashtbl.find tables k in
        Undo_log.log db.undo (fun () ->
            Hashtbl.replace tables k prev;
-           db.version <- db.version + 1));
+           bump ()));
     Hashtbl.remove tables k
   in
-  if Hashtbl.mem db.temp_tables k then drop_from db.temp_tables
-  else if Hashtbl.mem db.tables k then drop_from db.tables
+  let bump_base () = db.version <- db.version + 1 in
+  let bump_temp () = db.temp_epoch <- db.temp_epoch + 1 in
+  if Hashtbl.mem db.temp_tables k then
+    drop_from ~bump:bump_temp db.temp_tables
+  else if Hashtbl.mem db.tables k then drop_from ~bump:bump_base db.tables
   else raise (No_such_table name)
 
 let drop_temp_tables db =
   if Hashtbl.length db.temp_tables > 0 then begin
-    db.version <- db.version + 1;
+    db.temp_epoch <- db.temp_epoch + 1;
     wal_emit db Wal_hook.Temp_tables_drop;
     if Undo_log.is_active db.undo then begin
       let prev = Hashtbl.fold (fun k t acc -> (k, t) :: acc) db.temp_tables [] in
       Undo_log.log db.undo (fun () ->
           List.iter (fun (k, t) -> Hashtbl.replace db.temp_tables k t) prev;
-          db.version <- db.version + 1)
+          db.temp_epoch <- db.temp_epoch + 1)
     end
   end;
   Hashtbl.reset db.temp_tables
@@ -202,6 +213,7 @@ let read_view db =
       tables = Hashtbl.create (Hashtbl.length db.tables);
       temp_tables = Hashtbl.create (max 16 (Hashtbl.length db.temp_tables));
       version = db.version;
+      temp_epoch = db.temp_epoch;
       obs = Trace.null;
       undo = Undo_log.create ();
       wal = None;
@@ -232,6 +244,7 @@ let freeze db =
       tables = Hashtbl.create (max 16 (Hashtbl.length db.tables));
       temp_tables = Hashtbl.create (max 16 (Hashtbl.length db.temp_tables));
       version = db.version;
+      temp_epoch = db.temp_epoch;
       obs = Trace.null;
       undo = Undo_log.create ();
       wal = None;

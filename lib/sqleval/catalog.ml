@@ -35,21 +35,48 @@ and t = {
          {!Sqldb.Database.version} it forms the stratum's plan-cache
          invalidation token.  Re-registering an identical definition —
          e.g. the MAX plan re-creating its own max_ routines on every
-         execution — does not bump it. *)
+         execution — does not bump it, and neither does the *first*
+         install of a stratum-derived routine (see
+         {!register_derived_prefixes}): learned calibration must survive
+         the rewrite machinery's own bookkeeping. *)
+  mutable derived_epoch : int;
+      (* counts installs of stratum-derived routines (names matching
+         {!t.derived_prefixes}).  Part of the plan-cache token — a
+         derived body can change when its source routine does — but
+         deliberately absent from {!plan_token}, which stamps
+         calibration entries and the constant-period memo. *)
+  mutable derived_prefixes : string list;
+      (* lowercase name prefixes that mark a routine as
+         stratum-generated rather than user DDL; registered by the
+         stratum at install time so this layer needs no knowledge of
+         the naming convention *)
   plan_cache :
     ( string * Sqlast.Ast.temporal_stmt,
-      (int * int * int) * Sqlast.Ast.stmt list )
+      ((int * int * int) * (int * int)) * Sqlast.Ast.stmt list )
     Hashtbl.t;
       (* transformed-plan cache, written and read by the stratum:
          (strategy tag, temporal statement) -> (validity token, plan).
-         The token is (generation, schema version, options fingerprint):
-         option flips don't bump the generation, so they carry their own
-         token component — see {!plan_token}. *)
+         The token is {!plan_token} plus the database's temp-table
+         epoch and the catalog's derived-routine epoch: temp shadowing
+         and re-derived routine bodies change what a statement
+         transforms into, so cached plans must react to them even
+         though the durable-schema token does not — see
+         {!cache_token}. *)
   mutable compile_ext : ext option;
       (* the plan-compilation layer's per-catalog closure cache (see
          {!ext}).  Shared by {!read_view} so parallel workers hit the
          parent's compiled entries; dropped by {!copy} (a deep copy is a
          different database). *)
+  calibration : Calibration.t;
+      (* learned MAX/PERST timings for the adaptive chooser, stamped
+         with {!plan_token} per entry; persisted through the durable
+         store as an aux blob (see {!Persist}).  {!copy} and
+         {!read_view} take content copies — knowledge is inherited but
+         never shared mutable across engines *)
+  cp_memo : Cp_memo.t;
+      (* memoized constant-period point sets, token-guarded by
+         (generation, database version); always fresh in copies and
+         views — it re-warms from the data in one scan *)
 }
 
 (* Evaluator switches, exposed for ablation experiments. *)
@@ -85,6 +112,18 @@ and options = {
          only for benchmark ablations.  Not part of the plan-cache
          fingerprint: checking happens after execution and never changes
          a transformed plan *)
+  mutable memoize_constant_periods : bool;
+      (* serve MAX's constant-period prep from the {!Cp_memo} cache
+         (incrementally maintained under merge DML) instead of the
+         per-statement taupsm_ts rebuild; changes the transformed plan's
+         prep shape, so it IS part of the plan-cache fingerprint.  Off
+         by default — the CLI and benches opt in *)
+  mutable auto_strategy : bool;
+      (* when no strategy is forced on a sequenced statement, let the
+         stratum choose MAX vs PERST adaptively (§VII-F features, cost
+         model, learned calibration) instead of defaulting to MAX.  Not
+         part of the fingerprint: plans are cached under whichever
+         strategy was chosen *)
   guards : Guard.t;
       (* resource limits (deadline, row budget, loop cap, recursion
          depth) plus the atomic-execution and PERST→MAX fallback
@@ -104,6 +143,8 @@ let default_options () =
     jobs = 1;
     compile = true;
     check_constraints = true;
+    memoize_constant_periods = false;
+    auto_strategy = false;
     guards = Guard.default ();
   }
 
@@ -119,8 +160,12 @@ let create () =
     options = default_options ();
     obs;
     generation = 0;
+    derived_epoch = 0;
+    derived_prefixes = [];
     plan_cache = Hashtbl.create 16;
     compile_ext = None;
+    calibration = Calibration.create ();
+    cp_memo = Cp_memo.create ();
   }
 
 (* The catalog's trace sink with its enabled flag synced to
@@ -196,20 +241,36 @@ let ddl_dump cat =
   in
   views @ routines
 
+(* Tell the catalog which routine-name prefixes belong to the stratum's
+   generated code.  Installing (or re-deriving) such a routine bumps
+   {!t.derived_epoch} rather than {!t.generation}: the plan cache still
+   invalidates, but calibration and the constant-period memo — stamped
+   with {!plan_token} — keep their learning. *)
+let register_derived_prefixes cat prefixes =
+  cat.derived_prefixes <- List.map key prefixes
+
+let is_derived_name cat k =
+  List.exists (fun p -> String.starts_with ~prefix:p k) cat.derived_prefixes
+
 let add_routine ?(replace = false) cat kind (r : Sqlast.Ast.routine) =
   let k = key r.Sqlast.Ast.r_name in
   if (not replace) && Hashtbl.mem cat.routines k then
     raise (Duplicate_routine r.Sqlast.Ast.r_name);
   let prev = Hashtbl.find_opt cat.routines k in
   if prev <> Some (kind, r) then begin
-    cat.generation <- cat.generation + 1;
+    let bump =
+      if is_derived_name cat k then fun () ->
+        cat.derived_epoch <- cat.derived_epoch + 1
+      else fun () -> cat.generation <- cat.generation + 1
+    in
+    bump ();
     Undo_log.log
       (Sqldb.Database.undo cat.db)
       (fun () ->
         (match prev with
         | None -> Hashtbl.remove cat.routines k
         | Some x -> Hashtbl.replace cat.routines k x);
-        cat.generation <- cat.generation + 1);
+        bump ());
     let stmt =
       match kind with
       | Rfunction -> Sqlast.Ast.Screate_function r
@@ -261,6 +322,7 @@ let options_fingerprint o =
   lor (if o.memoize_table_functions then 2 else 0)
   lor (if o.temporal_index then 4 else 0)
   lor (if o.compile then 8 else 0)
+  lor (if o.memoize_constant_periods then 16 else 0)
 
 (* Validity token: a cached plan holds only as long as no view, routine
    or table definition has changed — and no evaluator option has been
@@ -270,12 +332,22 @@ let plan_token cat =
     Sqldb.Database.version cat.db,
     options_fingerprint cat.options )
 
+(* The plan cache additionally reacts to temp-table churn and to
+   derived-routine installs: a session temp table can shadow a base
+   table, and a re-derived max_/ps_ routine body can change what a
+   statement transforms into.  Calibration stamps and the
+   constant-period memo deliberately use the narrower {!plan_token} —
+   artifacts created by the rewrite machinery itself must not
+   invalidate learning. *)
+let cache_token cat =
+  (plan_token cat, (Sqldb.Database.temp_epoch cat.db, cat.derived_epoch))
+
 let find_plan cat key =
   if not cat.options.plan_caching then None
   else begin
     let t = trace cat in
     match Hashtbl.find_opt cat.plan_cache key with
-    | Some (token, plan) when token = plan_token cat ->
+    | Some (token, plan) when token = cache_token cat ->
         if Trace.enabled t then begin
           Trace.count t "plan_cache.hit" 1;
           Trace.event t "plan-cache" (Printf.sprintf "hit strategy=%s" (fst key))
@@ -293,7 +365,7 @@ let find_plan cat key =
 
 let store_plan cat key plan =
   if cat.options.plan_caching then
-    Hashtbl.replace cat.plan_cache key (plan_token cat, plan)
+    Hashtbl.replace cat.plan_cache key (cache_token cat, plan)
 
 (* Deep copy: storage is copied; views/routines (immutable ASTs) and
    natives (parameterized over the catalog) are shared.  The plan cache
@@ -312,8 +384,12 @@ let copy cat =
     options = { cat.options with guards = Guard.copy cat.options.guards };
     obs;
     generation = cat.generation;
+    derived_epoch = cat.derived_epoch;
+    derived_prefixes = cat.derived_prefixes;
     plan_cache = Hashtbl.create 16;
     compile_ext = None;
+    calibration = Calibration.copy_into cat.calibration;
+    cp_memo = Cp_memo.create ();
   }
 
 (* A read-only snapshot view for parallel workers and serving sessions:
@@ -340,8 +416,12 @@ let read_view cat =
     options = { cat.options with guards = Guard.copy cat.options.guards };
     obs;
     generation = cat.generation;
+    derived_epoch = cat.derived_epoch;
+    derived_prefixes = cat.derived_prefixes;
     plan_cache = Hashtbl.create 16;
     compile_ext = cat.compile_ext;
+    calibration = Calibration.copy_into cat.calibration;
+    cp_memo = Cp_memo.create ();
   }
 
 (* Publish an immutable snapshot of this catalog for concurrent readers:
@@ -362,6 +442,10 @@ let publish cat =
     options = { cat.options with guards = Guard.copy cat.options.guards };
     obs = Trace.null;
     generation = cat.generation;
+    derived_epoch = cat.derived_epoch;
+    derived_prefixes = cat.derived_prefixes;
     plan_cache = Hashtbl.create 16;
     compile_ext = cat.compile_ext;
+    calibration = Calibration.copy_into cat.calibration;
+    cp_memo = Cp_memo.create ();
   }

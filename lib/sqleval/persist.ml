@@ -28,15 +28,42 @@ let apply_ddl cat sql =
 
 let obs_of obs cat = match obs with Some o -> o | None -> Catalog.trace cat
 
+(* Auxiliary engine state riding in the WAL/snapshot stream.  Today
+   that is one record: the adaptive-strategy calibration (keyed blobs
+   are open-ended — adding a record kind later costs nothing).  Aux
+   records are advisory: recovery applies whatever survives on disk and
+   the engine re-learns the rest, so they sit outside the
+   committed-prefix guarantee. *)
+let calibration_aux_name = "calibration"
+
+let aux_closures cat =
+  let aux () =
+    if Calibration.size cat.Catalog.calibration = 0 then []
+    else [ (calibration_aux_name, Calibration.save cat.Catalog.calibration) ]
+  in
+  let aux_dirty () =
+    if Calibration.is_dirty cat.Catalog.calibration then begin
+      Calibration.clear_dirty cat.Catalog.calibration;
+      [ (calibration_aux_name, Calibration.save cat.Catalog.calibration) ]
+    end
+    else []
+  in
+  (aux, aux_dirty)
+
+let on_aux cat name blob =
+  if name = calibration_aux_name then
+    Calibration.load cat.Catalog.calibration blob
+
 (* Fresh attach: snapshot the engine as it stands and start logging. *)
 let attach ?policy ?snapshot_every ?obs ~dir (e : Engine.t) =
   let cat = Engine.catalog e in
+  let aux, aux_dirty = aux_closures cat in
   let store =
     Durable.Store.init ?policy ?snapshot_every ~obs:(obs_of obs cat) ~dir
       ~db:(Engine.database e)
       ~now:(fun () -> Engine.now e)
       ~ddl:(fun () -> Catalog.ddl_dump cat)
-      ()
+      ~aux ~aux_dirty ()
   in
   { dir; store }
 
@@ -52,21 +79,32 @@ let recover ?obs ?stop_at_serial ~dir () =
       ~db:(Engine.database e)
       ~on_ddl:(apply_ddl cat)
       ~on_now:(fun d -> Engine.set_now e d)
-      ()
+      ~on_aux:(on_aux cat) ()
   in
+  (* The recovered entries were stamped against the writing engine's
+     plan token; this engine replayed the same history but its version
+     counters took a different path (replay has no rollbacks or temp
+     churn).  The data is identical, so re-stamp rather than discard. *)
+  Calibration.stamp_all cat.Catalog.calibration (Catalog.plan_token cat);
   (e, report)
 
 (* Attach after {!recover}: truncate the torn/corrupt WAL tail and
    append from the last intact record, serial numbering continuous. *)
 let resume ?policy ?snapshot_every ?obs ~dir (e : Engine.t) report =
   let cat = Engine.catalog e in
+  let aux, aux_dirty = aux_closures cat in
   let store =
     Durable.Store.resume ?policy ?snapshot_every ~obs:(obs_of obs cat) ~dir
       ~db:(Engine.database e)
       ~now:(fun () -> Engine.now e)
       ~ddl:(fun () -> Catalog.ddl_dump cat)
-      report
+      ~aux ~aux_dirty report
   in
+  (* Resume may have truncated a torn tail that carried the latest aux
+     records; mark the calibration dirty so the next commit group (or
+     detach) re-flushes the full state. *)
+  if Calibration.size cat.Catalog.calibration > 0 then
+    Calibration.mark_dirty cat.Catalog.calibration;
   { dir; store }
 
 (* Recover-or-init: the CLI's --db-dir semantics.  An existing store is
@@ -84,7 +122,12 @@ let open_dir ?policy ?snapshot_every ?obs ~dir () =
   end
 
 let snapshot h = Durable.Store.snapshot h.store
-let detach h = Durable.Store.detach h.store
+
+let detach h =
+  (* Flush the full calibration state before closing so a clean
+     shutdown never loses learned timings, even mid-commit-group. *)
+  Durable.Store.flush_aux h.store;
+  Durable.Store.detach h.store
 let store h = h.store
 let sync h = Durable.Store.sync h.store
 let serial h = Durable.Store.serial h.store
@@ -108,8 +151,9 @@ let restore ?policy ?snapshot_every ?obs ?as_of_serial ~archive ~dir () =
       ~dir:archive ~db:(Engine.database e)
       ~on_ddl:(apply_ddl cat)
       ~on_now:(fun d -> Engine.set_now e d)
-      ()
+      ~on_aux:(on_aux cat) ()
   in
+  Calibration.stamp_all cat.Catalog.calibration (Catalog.plan_token cat);
   (match as_of_serial with
   | Some n when report.Durable.Store.last_serial <> n ->
       Taupsm_error.raise_error Taupsm_error.Durability

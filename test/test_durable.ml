@@ -165,6 +165,7 @@ let prop_event_roundtrip ev =
   let enc = Codec.encode_event ev in
   match Codec.decode_record enc with
   | Codec.Rcommit _ -> QCheck.Test.fail_report "event decoded as commit"
+  | Codec.Raux _ -> QCheck.Test.fail_report "event decoded as aux"
   | Codec.Revent ev' ->
       (* structural equality, plus byte equality of a re-encode (the
          latter also covers NaN floats, where (=) would lie) *)
@@ -173,19 +174,26 @@ let prop_event_roundtrip ev =
 let prop_commit_roundtrip serial =
   match Codec.decode_record (Codec.encode_commit ~serial) with
   | Codec.Rcommit s -> s = serial
-  | Codec.Revent _ -> false
+  | Codec.Revent _ | Codec.Raux _ -> false
+
+let prop_aux_roundtrip (name, blob) =
+  match Codec.decode_record (Codec.encode_aux ~name ~blob) with
+  | Codec.Raux (n, b) -> n = name && b = blob
+  | Codec.Revent _ | Codec.Rcommit _ -> false
 
 let gen_snapshot =
   QCheck.Gen.(
     let gen_table = pair gen_schema (list_size (int_range 0 6) gen_row) in
-    map2
-      (fun (serial, now, ddl) (base, temp) ->
-        { Codec.serial; now; ddl; base; temp })
+    map3
+      (fun (serial, now, ddl) (base, temp) aux ->
+        { Codec.serial; now; ddl; base; temp; aux })
       (triple (int_range 0 1000000) (int_range 0 4000000)
          (list_size (int_range 0 4) (string_size (int_range 0 200))))
       (pair
          (list_size (int_range 0 3) gen_table)
-         (list_size (int_range 0 3) gen_table)))
+         (list_size (int_range 0 3) gen_table))
+      (list_size (int_range 0 2)
+         (pair gen_name (string_size (int_range 0 100)))))
 
 let prop_snapshot_roundtrip snap =
   let enc = Codec.encode_snapshot snap in
@@ -200,6 +208,12 @@ let codec_qcheck_tests =
       QCheck.Test.make ~count:100 ~name:"commit marker round-trip"
         QCheck.(map abs int)
         prop_commit_roundtrip;
+      QCheck.Test.make ~count:100 ~name:"aux record round-trip"
+        QCheck.(
+          pair
+            (string_gen_of_size Gen.(int_range 0 24) Gen.printable)
+            (string_gen_of_size Gen.(int_range 0 500) Gen.char))
+        prop_aux_roundtrip;
       QCheck.Test.make ~count:100 ~name:"snapshot encode/decode round-trip"
         (QCheck.make gen_snapshot ~print:(fun s ->
              Printf.sprintf "snapshot serial=%d (%d base, %d temp)"

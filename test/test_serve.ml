@@ -598,6 +598,7 @@ let base_cfg =
     stmt_deadline = Some 30.;
     max_rows = None;
     retry_seed = None;
+    default_strategy = None;
     lane = Lane.default_config;
   }
 
